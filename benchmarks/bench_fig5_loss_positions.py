@@ -1,0 +1,60 @@
+"""Fig. 5 — causes for lost packets by loss position (REFILL's view).
+
+The paper's observations: "though the sources of lost packets are evenly
+distributed, the loss positions are on a small portion of nodes"; the sink
+band sits on top ("a lot of received losses on the sink node"); timeout and
+duplicated losses come in bursts (the ellipses).
+"""
+
+from repro.analysis.report import render_scatter_summary
+from repro.analysis.temporal import (
+    burstiness,
+    concentration_gini,
+    loss_scatter,
+    per_node_loss_counts,
+)
+from repro.core.diagnosis import LossCause
+from repro.simnet.scenarios import DAY
+
+
+def test_fig5_loss_positions(benchmark, two_day_eval, emit):
+    result = two_day_eval
+
+    def compute():
+        by_source = loss_scatter(result.reports, result.est_loss_times, axis="source")
+        by_position = loss_scatter(result.reports, result.est_loss_times, axis="position")
+        return by_source, by_position
+
+    by_source, by_position = benchmark.pedantic(compute, rounds=5, iterations=1)
+    nodes = result.sim.topology.nodes
+
+    source_gini = concentration_gini(per_node_loss_counts(by_source, nodes))
+    position_counts = per_node_loss_counts(by_position, nodes)
+    position_gini = concentration_gini(position_counts)
+    # the paper's headline asymmetry
+    assert position_gini > source_gini + 0.2
+
+    # the sink band: the sink is the single biggest loss position
+    sink = result.sink
+    assert position_counts[sink] == max(position_counts.values())
+    assert position_counts[sink] > 0.3 * sum(position_counts.values())
+
+    # bursty minority causes (the figure's ellipses)
+    for cause in (LossCause.TIMEOUT_LOSS, LossCause.DUP_LOSS):
+        n = sum(1 for _, _, c in by_position if c is cause)
+        if n >= 5:
+            assert burstiness(by_position, cause, window=DAY / 24, top_k=3) > 0.4
+
+    emit(
+        "fig5_loss_positions",
+        render_scatter_summary(
+            by_position,
+            window=DAY / 12,
+            title=(
+                "Fig.5 — REFILL loss positions per 2h window by cause "
+                f"(position gini={position_gini:.2f} vs source gini="
+                f"{source_gini:.2f}; sink carries "
+                f"{position_counts[sink]}/{sum(position_counts.values())})"
+            ),
+        ),
+    )

@@ -1,0 +1,33 @@
+"""Fig. 8 — spatial distribution of received losses.
+
+"the sink node has a large number of received losses, in which packets get
+lost even after they have arrived at the sink node" — the sink must carry
+the biggest circle, and in-node losses concentrate on few nodes.
+"""
+
+from repro.analysis.report import render_spatial
+from repro.analysis.spatial import (
+    loss_share_of_top_nodes,
+    received_loss_map,
+    top_loss_node,
+)
+
+
+def test_fig8_spatial_received_losses(benchmark, two_day_eval, emit):
+    result = two_day_eval
+
+    def compute():
+        return received_loss_map(result.reports, result.sim.topology)
+
+    points = benchmark.pedantic(compute, rounds=5, iterations=1)
+    assert points
+
+    top = top_loss_node(points)
+    assert top.node == result.sink
+    assert top.is_sink
+    # the top handful of nodes carry the majority of in-node losses
+    assert loss_share_of_top_nodes(points, 5) > 0.5
+    # but other nodes do appear (in-node task failures are network-wide)
+    assert len(points) > 10
+
+    emit("fig8_spatial", render_spatial(points))

@@ -1,0 +1,67 @@
+"""Fig. 9 + §V-C — the cause breakdown of all losses over 30 days.
+
+Paper numbers: server outage 22.6%; received 32.2% (20.0% sink + 12.2%
+elsewhere); acked 38.6% (38.0% sink + 0.6% elsewhere); duplicated 0.3%;
+timeout 0.8%; overflow 1.1%.  Absolute shares depend on the (simulated)
+deployment; what must hold is the *shape*: acked and received dominate and
+mostly sit on the sink, the outage slice is substantial, and
+dup/timeout/overflow are low single digits.
+"""
+
+from repro.analysis.causes import cause_shares, sink_split
+from repro.analysis.report import render_cause_shares
+from repro.core.diagnosis import LossCause
+from repro.util.tables import render_table
+
+PAPER = {
+    LossCause.SERVER_OUTAGE: 22.6,
+    LossCause.RECEIVED_LOSS: 32.2,
+    LossCause.ACKED_LOSS: 38.6,
+    LossCause.DUP_LOSS: 0.3,
+    LossCause.TIMEOUT_LOSS: 0.8,
+    LossCause.OVERFLOW_LOSS: 1.1,
+}
+
+PAPER_SPLIT = {
+    "received_sink": 20.0,
+    "received_other": 12.2,
+    "acked_sink": 38.0,
+    "acked_other": 0.6,
+}
+
+
+def test_fig9_cause_breakdown(benchmark, thirty_day_eval, emit):
+    result = thirty_day_eval
+
+    def compute():
+        return cause_shares(result.reports), sink_split(result.reports, result.sink)
+
+    shares, split = benchmark.pedantic(compute, rounds=5, iterations=1)
+
+    # shape assertions (who wins, by roughly what class of magnitude)
+    assert shares[LossCause.ACKED_LOSS] > 20
+    assert shares[LossCause.RECEIVED_LOSS] > 20
+    assert shares[LossCause.ACKED_LOSS] + shares[LossCause.RECEIVED_LOSS] > 55
+    assert 8 < shares[LossCause.SERVER_OUTAGE] < 40
+    for minority in (LossCause.DUP_LOSS, LossCause.TIMEOUT_LOSS, LossCause.OVERFLOW_LOSS):
+        assert shares.get(minority, 0.0) < 8
+    # the sink dominates both in-node bands; elsewhere acked losses are rare
+    assert split["acked_sink"] > split["acked_other"] * 4
+    assert split["received_sink"] + split["acked_sink"] > 40
+    assert split["acked_other"] < 5
+
+    rows = [
+        (str(cause), round(shares.get(cause, 0.0), 1), PAPER[cause])
+        for cause in PAPER
+    ]
+    rows += [
+        (key, round(split[key], 1), PAPER_SPLIT[key]) for key in PAPER_SPLIT
+    ]
+    emit(
+        "fig9_cause_breakdown",
+        render_table(
+            ["cause", "measured_%", "paper_%"],
+            rows,
+            title="Fig.9 / §V-C — loss cause breakdown (percent of all losses)",
+        ),
+    )

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Regenerate docs/FSMS.md from the live FSM templates.
+
+Run from the repository root:
+
+    python docs/gen_fsms.py
+"""
+
+import pathlib
+
+from repro.fsm.templates import (
+    dissemination_templates,
+    forwarder_template,
+    query_templates,
+)
+
+
+def main() -> None:
+    sections = []
+    fw = forwarder_template()
+    sections.append((
+        "The CTP forwarder FSM (paper Fig. 2, Table I)",
+        "One instance per (node, packet). Solid edges below are the normal\n"
+        "transitions; the engine additionally derives the intra-node jumps "
+        "listed\nin `bench_fig2_fsm_construction.py`'s output.",
+        fw.graph.to_dot("forwarder"),
+    ))
+    dt = dissemination_templates(seeder=0)
+    sections.append((
+        "Dissemination seeder (paper Fig. 3b/d)",
+        "Completion waits on every listed target (Peer.TARGETS).",
+        dt(0).graph.to_dot("seeder"),
+    ))
+    sections.append(("Dissemination receiver", "", dt(1).graph.to_dot("receiver")))
+    qt = query_templates(origin=0)
+    sections.append((
+        "Query flood (tree dissemination, Fig. 3a cascade)",
+        "Hearing requires the parent to have FORWARDED; the origin starts at HEARD.",
+        qt(1).graph.to_dot("query"),
+    ))
+
+    out = [
+        "# FSM templates (generated)\n",
+        "Rendered from the live templates via `TransitionGraph.to_dot()`;",
+        "regenerate with `python docs/gen_fsms.py`.  Pipe any block through",
+        "`dot -Tsvg` for a picture.\n",
+    ]
+    for title, blurb, dot in sections:
+        out.append(f"## {title}\n")
+        if blurb:
+            out.append(blurb + "\n")
+        out.append("```dot\n" + dot + "\n```\n")
+    target = pathlib.Path(__file__).parent / "FSMS.md"
+    target.write_text("\n".join(out))
+    print(f"wrote {target}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Render the paper's figures as SVG files from a simulated deployment.
+
+Produces `figures/fig4_sink_view.svg`, `fig5_loss_positions.svg`,
+`fig6_causes_over_days.svg` and `fig8_spatial.svg` — the pictures behind
+the benchmarks' ASCII series.  Run:
+
+    python examples/citysee_figures.py [--days N] [--out DIR]
+"""
+
+import argparse
+import pathlib
+
+from repro.analysis.causes import daily_composition
+from repro.analysis.pipeline import evaluate
+from repro.analysis.spatial import received_loss_map
+from repro.analysis.temporal import loss_scatter
+from repro.simnet.scenarios import DAY, citysee
+from repro.vis.figures import (
+    render_scatter_svg,
+    render_spatial_svg,
+    render_stacked_days_svg,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--days", type=int, default=12)
+    parser.add_argument("--nodes", type=int, default=100)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", default="figures")
+    args = parser.parse_args()
+
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    print(f"simulating {args.nodes} nodes / {args.days} scaled days ...")
+    result = evaluate(citysee(n_nodes=args.nodes, days=args.days, seed=args.seed))
+
+    sources = loss_scatter(result.reports, result.est_loss_times, axis="source")
+    (out / "fig4_sink_view.svg").write_text(
+        render_scatter_svg(
+            sources,
+            title="Fig. 4 — sink view of lost packets (time x source node)",
+            y_label="source node id",
+        )
+    )
+
+    positions = loss_scatter(result.reports, result.est_loss_times, axis="position")
+    (out / "fig5_loss_positions.svg").write_text(
+        render_scatter_svg(
+            positions,
+            title="Fig. 5 — causes for lost packets by position (REFILL)",
+            y_label="loss position (node id)",
+        )
+    )
+
+    days = daily_composition(
+        result.reports, result.est_loss_times, day_seconds=DAY, n_days=args.days
+    )
+    annotations = {d: "snow" for d in (8, 9) if d < args.days}
+    if args.days > 23:
+        annotations[23] = "sink fixed"
+    (out / "fig6_causes_over_days.svg").write_text(
+        render_stacked_days_svg(days, annotations=annotations)
+    )
+
+    spatial = received_loss_map(result.reports, result.sim.topology)
+    (out / "fig8_spatial.svg").write_text(
+        render_spatial_svg(spatial, positions=result.sim.topology.positions)
+    )
+
+    for name in ("fig4_sink_view", "fig5_loss_positions", "fig6_causes_over_days", "fig8_spatial"):
+        print(f"wrote {out / (name + '.svg')}")
+
+
+if __name__ == "__main__":
+    main()

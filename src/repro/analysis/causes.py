@@ -1,0 +1,120 @@
+"""Cause attribution and composition (paper §V-C, Figs. 6 and 9).
+
+The paper's order of attribution: "Over the 30 days, server outage (base
+station server down) results in 22.6% of packet losses.  Then with REFILL,
+we find the causes for other packet losses."  The operations log of outage
+windows reassigns sink-anchored losses whose estimated loss time falls in a
+window; everything else keeps its REFILL cause.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Mapping, Optional, Sequence
+
+from repro.core.diagnosis import LossCause, LossReport
+from repro.events.packet import PacketKey
+
+#: REFILL causes that are compatible with "the packet made it to the sink"
+#: and can therefore be re-attributed to a server outage.
+_SINK_ANCHORED = frozenset(
+    {LossCause.RECEIVED_LOSS, LossCause.ACKED_LOSS, LossCause.UNKNOWN}
+)
+
+
+def attribute_server_outages(
+    reports: Mapping[PacketKey, LossReport],
+    est_times: Mapping[PacketKey, Optional[float]],
+    *,
+    outages: Sequence[tuple[float, float]],
+    sink: int,
+    base_station: int,
+) -> dict[PacketKey, LossReport]:
+    """Reassign outage-window losses at the sink to ``SERVER_OUTAGE``."""
+    if not outages:
+        return dict(reports)
+    out: dict[PacketKey, LossReport] = {}
+    for packet, report in reports.items():
+        out[packet] = report
+        if not report.lost or report.cause not in _SINK_ANCHORED:
+            continue
+        if report.position not in (sink, base_station):
+            continue
+        t = est_times.get(packet)
+        if t is None:
+            continue
+        if any(start <= t < end for start, end in outages):
+            out[packet] = LossReport(LossCause.SERVER_OUTAGE, base_station, report.anchor)
+    return out
+
+
+def cause_counts(reports: Mapping[PacketKey, LossReport]) -> Counter:
+    """Loss counts per cause (delivered packets excluded)."""
+    counts: Counter = Counter()
+    for report in reports.values():
+        if report.lost:
+            counts[report.cause] += 1
+    return counts
+
+
+def cause_shares(reports: Mapping[PacketKey, LossReport]) -> dict[LossCause, float]:
+    """Percentage share of each cause among lost packets (Fig. 9)."""
+    counts = cause_counts(reports)
+    total = sum(counts.values())
+    if total == 0:
+        return {}
+    return {cause: 100.0 * n / total for cause, n in counts.items()}
+
+
+def sink_split(
+    reports: Mapping[PacketKey, LossReport], sink: int
+) -> dict[str, float]:
+    """The §V-C breakdown: received/acked losses split sink vs elsewhere.
+
+    Returns percentage-of-all-losses entries keyed like the paper's prose:
+    ``received_sink``, ``received_other``, ``acked_sink``, ``acked_other``.
+    """
+    total = sum(1 for r in reports.values() if r.lost)
+    if total == 0:
+        return {k: 0.0 for k in ("received_sink", "received_other", "acked_sink", "acked_other")}
+    buckets = Counter()
+    for report in reports.values():
+        if not report.lost:
+            continue
+        if report.cause is LossCause.RECEIVED_LOSS:
+            buckets["received_sink" if report.position == sink else "received_other"] += 1
+        elif report.cause is LossCause.ACKED_LOSS:
+            buckets["acked_sink" if report.position == sink else "acked_other"] += 1
+    return {
+        key: 100.0 * buckets.get(key, 0) / total
+        for key in ("received_sink", "received_other", "acked_sink", "acked_other")
+    }
+
+
+def daily_composition(
+    reports: Mapping[PacketKey, LossReport],
+    est_times: Mapping[PacketKey, Optional[float]],
+    *,
+    day_seconds: float,
+    n_days: int,
+) -> list[Counter]:
+    """Per-day loss-cause counts (Fig. 6).
+
+    Packets without a time estimate are dropped (the paper's figure plots
+    only packets it can place in time).
+    """
+    days: list[Counter] = [Counter() for _ in range(n_days)]
+    for packet, report in reports.items():
+        if not report.lost:
+            continue
+        t = est_times.get(packet)
+        if t is None:
+            continue
+        index = int(t // day_seconds)
+        if 0 <= index < n_days:
+            days[index][report.cause] += 1
+    return days
+
+
+def daily_loss_totals(days: Sequence[Counter]) -> list[int]:
+    return [sum(day.values()) for day in days]

@@ -1,0 +1,129 @@
+"""Side-by-side analyzer comparison harness (benchmark A2 as a library).
+
+Runs REFILL and the related-work baselines over the *same* collected logs
+and scores each against the same ground truth — the apples-to-apples
+comparison the paper argues qualitatively in §III/§V-D/§VI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.analysis.accuracy import cause_accuracy
+from repro.analysis.pipeline import EvalResult
+from repro.baselines.netcheck import NetCheckAnalyzer
+from repro.baselines.time_correlation import TimeCorrelationDiagnosis
+from repro.baselines.wit import WitMerger
+from repro.core.diagnosis import LossReport
+from repro.events.packet import PacketKey
+from repro.util.tables import render_table
+
+
+@dataclass(frozen=True, slots=True)
+class AnalyzerScore:
+    """One analyzer's marks on a shared trace."""
+
+    name: str
+    cause_accuracy: float
+    position_accuracy: float
+    note: str = ""
+
+
+@dataclass
+class ComparisonResult:
+    """All analyzers' scores plus the Wit merge feasibility."""
+
+    scores: list[AnalyzerScore]
+    wit_mergeable_fraction: float
+
+    def by_name(self, name: str) -> AnalyzerScore:
+        for score in self.scores:
+            if score.name == name:
+                return score
+        raise KeyError(name)
+
+    def refill_dominates(self, margin: float = 0.0) -> bool:
+        """REFILL beats every baseline on both axes by ``margin``."""
+        refill = self.by_name("REFILL")
+        others = [s for s in self.scores if s.name != "REFILL"]
+        return all(
+            refill.cause_accuracy >= s.cause_accuracy + margin
+            and refill.position_accuracy >= s.position_accuracy + margin
+            for s in others
+        )
+
+    def render(self) -> str:
+        rows = [
+            (s.name, round(s.cause_accuracy, 3), round(s.position_accuracy, 3), s.note)
+            for s in self.scores
+        ]
+        rows.append(
+            (
+                "Wit-style",
+                "-",
+                "-",
+                f"unmergeable ({self.wit_mergeable_fraction:.0%} of log pairs share events)",
+            )
+        )
+        return render_table(
+            ["analyzer", "cause_acc", "position_acc", "note"],
+            rows,
+            title="Analyzer comparison (same logs, same ground truth)",
+        )
+
+
+def compare_analyzers(result: EvalResult) -> ComparisonResult:
+    """Score REFILL, NetCheck-style and time-correlation on ``result``."""
+    sim = result.sim
+    truth = sim.truth
+    logs = result.collected_logs
+
+    refill_acc, refill_pos, _ = cause_accuracy(result.reports, truth, sink=sim.sink)
+
+    netcheck = NetCheckAnalyzer()
+    nc_reports = netcheck.diagnose(
+        netcheck.reconstruct(logs), delivery_node=sim.base_station_node
+    )
+    nc_acc, nc_pos, _ = cause_accuracy(
+        nc_reports, truth, sink=sim.sink, outage_attributed=False
+    )
+
+    tc_reports = _time_correlation_reports(result)
+    tc_acc, tc_pos, _ = cause_accuracy(
+        tc_reports, truth, sink=sim.sink, outage_attributed=False
+    )
+
+    wit = WitMerger().merge(logs)
+    n = len(logs)
+    wit_fraction = wit.mergeable_fraction(n * (n - 1) // 2) if n > 1 else 0.0
+
+    return ComparisonResult(
+        scores=[
+            AnalyzerScore("REFILL", refill_acc, refill_pos),
+            AnalyzerScore(
+                "NetCheck-style", nc_acc, nc_pos, "per-node replay, naive loss rule"
+            ),
+            AnalyzerScore(
+                "time-correlation", tc_acc, tc_pos, "co-temporal event voting"
+            ),
+        ],
+        wit_mergeable_fraction=wit_fraction,
+    )
+
+
+def _time_correlation_reports(result: EvalResult) -> dict[PacketKey, LossReport]:
+    """Time-correlation diagnosis with fair delivery knowledge."""
+    lost_times = {
+        packet: result.est_loss_times.get(packet)
+        for packet, report in result.raw_reports.items()
+        if report.lost
+    }
+    reports = dict(result.raw_reports)
+    reports.update(
+        TimeCorrelationDiagnosis(result.collected_logs).diagnose(lost_times)
+    )
+    for packet, report in result.raw_reports.items():
+        if not report.lost:
+            reports[packet] = report  # the sink view knows what arrived
+    return reports

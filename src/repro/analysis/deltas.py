@@ -1,0 +1,146 @@
+"""Before/after comparison of loss diagnoses (the paper's day-23 story).
+
+"After the 23th day, we changed the sink and its connection to the mesh
+node.  We can see packet losses are significantly reduced."  Operators ask
+this question constantly — did the intervention work? — so the comparison
+is a first-class object: split the diagnosis at a time boundary (or any
+two windows), compare loss rates and cause compositions, and surface what
+changed.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.core.diagnosis import LossCause, LossReport
+from repro.events.packet import PacketKey
+from repro.util.tables import render_table
+
+
+@dataclass
+class WindowDiagnosis:
+    """Diagnosis restricted to one time window."""
+
+    label: str
+    start: float
+    end: float
+    packets: int
+    lost: int
+    causes: Counter
+
+    @property
+    def loss_rate(self) -> float:
+        return self.lost / self.packets if self.packets else 0.0
+
+    def cause_share(self, cause: LossCause) -> float:
+        return self.causes.get(cause, 0) / self.lost if self.lost else 0.0
+
+
+@dataclass
+class DeltaReport:
+    """What changed between two windows."""
+
+    before: WindowDiagnosis
+    after: WindowDiagnosis
+
+    @property
+    def loss_rate_change(self) -> float:
+        """after − before (negative = improvement)."""
+        return self.after.loss_rate - self.before.loss_rate
+
+    @property
+    def improvement_factor(self) -> Optional[float]:
+        """before/after loss-rate ratio (>1 = fewer losses after)."""
+        if self.after.loss_rate == 0:
+            return None if self.before.loss_rate == 0 else float("inf")
+        return self.before.loss_rate / self.after.loss_rate
+
+    def cause_deltas(self) -> dict[LossCause, float]:
+        """Per-cause change in per-packet loss probability."""
+        out: dict[LossCause, float] = {}
+        for cause in set(self.before.causes) | set(self.after.causes):
+            b = self.before.causes.get(cause, 0) / max(self.before.packets, 1)
+            a = self.after.causes.get(cause, 0) / max(self.after.packets, 1)
+            out[cause] = a - b
+        return out
+
+    def biggest_mover(self) -> Optional[LossCause]:
+        deltas = self.cause_deltas()
+        if not deltas:
+            return None
+        return max(deltas, key=lambda c: abs(deltas[c]))
+
+    def render(self) -> str:
+        rows = []
+        for window in (self.before, self.after):
+            rows.append(
+                (
+                    window.label,
+                    window.packets,
+                    window.lost,
+                    f"{window.loss_rate:.1%}",
+                    ", ".join(
+                        f"{cause}={count}" for cause, count in window.causes.most_common(3)
+                    ),
+                )
+            )
+        table = render_table(
+            ["window", "packets", "lost", "loss_rate", "top causes"],
+            rows,
+            title="Before/after comparison",
+        )
+        factor = self.improvement_factor
+        verdict = (
+            "no losses either side"
+            if factor is None
+            else f"loss rate changed x{1 / factor:.2f} (before -> after)"
+        )
+        return f"{table}\n{verdict}"
+
+
+def window_diagnosis(
+    reports: Mapping[PacketKey, LossReport],
+    est_times: Mapping[PacketKey, Optional[float]],
+    *,
+    label: str,
+    start: float,
+    end: float,
+) -> WindowDiagnosis:
+    """Restrict a diagnosis to packets whose estimated time is in a window.
+
+    Packets without an estimate are excluded (both sides, symmetrically).
+    """
+    packets = lost = 0
+    causes: Counter = Counter()
+    for packet, report in reports.items():
+        t = est_times.get(packet)
+        if t is None or not start <= t < end:
+            continue
+        packets += 1
+        if report.lost:
+            lost += 1
+            causes[report.cause] += 1
+    return WindowDiagnosis(label, start, end, packets, lost, causes)
+
+
+def compare_windows(
+    reports: Mapping[PacketKey, LossReport],
+    est_times: Mapping[PacketKey, Optional[float]],
+    *,
+    boundary: float,
+    start: float = 0.0,
+    end: float = float("inf"),
+) -> DeltaReport:
+    """Split at ``boundary`` and compare the two sides."""
+    if not start < boundary < end:
+        raise ValueError("boundary must lie strictly inside [start, end)")
+    return DeltaReport(
+        before=window_diagnosis(
+            reports, est_times, label="before", start=start, end=boundary
+        ),
+        after=window_diagnosis(
+            reports, est_times, label="after", start=boundary, end=end
+        ),
+    )

@@ -1,0 +1,126 @@
+"""The paper's §V-D implications, as computable checks.
+
+§V-D narrates five design lessons from REFILL's output; this module turns
+each into a measurable statement over a diagnosis, so an operator (or a
+regression test) can ask "does my deployment exhibit the CitySee
+pathologies?":
+
+1. *whose vs where* — sources spread evenly, positions concentrate;
+2. *correlation limitation* — how often multiple causes co-occur in the
+   same time window (where correlation-based diagnosis must guess);
+3. *node loss vs link loss* — in-node losses dominate link losses once
+   retransmissions are aggressive;
+4. *the last mile* — the share of losses past the WSN (sink serial +
+   server), the part lab tests never exercised;
+5. *ACK mechanism* — hardware acks confirm packets that still die above
+   the radio (the acked-loss share).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from repro.analysis.temporal import concentration_gini, loss_scatter, per_node_loss_counts
+from repro.core.diagnosis import LossCause, LossReport
+from repro.events.packet import PacketKey
+
+#: Losses that happen inside a node after successful radio delivery.
+NODE_LOSSES = frozenset({LossCause.RECEIVED_LOSS, LossCause.ACKED_LOSS})
+#: Losses on the radio link itself.
+LINK_LOSSES = frozenset({LossCause.TIMEOUT_LOSS})
+#: Losses past the WSN proper.
+LAST_MILE = frozenset({LossCause.SERVER_OUTAGE})
+
+
+@dataclass(frozen=True, slots=True)
+class Implications:
+    """Quantified §V-D lessons for one diagnosis."""
+
+    #: 1. Gini of loss sources vs loss positions.
+    source_gini: float
+    position_gini: float
+    #: 2. Fraction of loss windows containing 2+ distinct causes.
+    cause_cooccurrence: float
+    #: 3. node-loss : link-loss ratio (None when no link losses observed).
+    node_vs_link_ratio: Optional[float]
+    #: 4. Share of all losses past the WSN (incl. sink in-node losses).
+    last_mile_share: float
+    #: 5. Share of losses where a hardware ack confirmed a dying packet.
+    acked_loss_share: float
+
+    def rows(self) -> list[tuple[str, str]]:
+        ratio = "inf" if self.node_vs_link_ratio is None else f"{self.node_vs_link_ratio:.1f}:1"
+        return [
+            ("1. source gini vs position gini",
+             f"{self.source_gini:.2f} vs {self.position_gini:.2f}"),
+            ("2. windows with co-occurring causes", f"{self.cause_cooccurrence:.0%}"),
+            ("3. node-loss : link-loss", ratio),
+            ("4. last-mile share of losses", f"{self.last_mile_share:.0%}"),
+            ("5. acked-loss share", f"{self.acked_loss_share:.0%}"),
+        ]
+
+
+def derive_implications(
+    reports: Mapping[PacketKey, LossReport],
+    est_times: Mapping[PacketKey, Optional[float]],
+    *,
+    nodes: Sequence[int],
+    sink: int,
+    window: float,
+) -> Implications:
+    """Compute the five §V-D statements from a diagnosis."""
+    lost = {p: r for p, r in reports.items() if r.lost}
+    counts = Counter(r.cause for r in lost.values())
+    total = sum(counts.values()) or 1
+
+    sources = loss_scatter(reports, est_times, axis="source")
+    positions = loss_scatter(reports, est_times, axis="position")
+    source_gini = concentration_gini(per_node_loss_counts(sources, nodes))
+    position_gini = concentration_gini(per_node_loss_counts(positions, nodes))
+
+    # 2. co-occurrence: bucket losses by time window, count multi-cause ones
+    windows: dict[int, set[LossCause]] = {}
+    for t, _, cause in positions:
+        windows.setdefault(int(t // window), set()).add(cause)
+    multi = sum(1 for causes in windows.values() if len(causes) >= 2)
+    cooccurrence = multi / len(windows) if windows else 0.0
+
+    node_losses = sum(counts.get(c, 0) for c in NODE_LOSSES)
+    link_losses = sum(counts.get(c, 0) for c in LINK_LOSSES)
+    ratio = node_losses / link_losses if link_losses else None
+
+    last_mile = counts.get(LossCause.SERVER_OUTAGE, 0)
+    last_mile += sum(
+        1
+        for r in lost.values()
+        if r.cause in NODE_LOSSES and r.position == sink
+    )
+
+    return Implications(
+        source_gini=source_gini,
+        position_gini=position_gini,
+        cause_cooccurrence=cooccurrence,
+        node_vs_link_ratio=ratio,
+        last_mile_share=last_mile / total,
+        acked_loss_share=counts.get(LossCause.ACKED_LOSS, 0) / total,
+    )
+
+
+def check_citysee_pathologies(implications: Implications) -> dict[str, bool]:
+    """Does a deployment exhibit the paper's findings?
+
+    Returns named boolean verdicts usable in dashboards/regressions.
+    """
+    return {
+        "positions_concentrate_vs_sources": implications.position_gini
+        > implications.source_gini + 0.15,
+        "causes_cooccur": implications.cause_cooccurrence > 0.2,
+        "node_losses_dominate_link_losses": (
+            implications.node_vs_link_ratio is None
+            or implications.node_vs_link_ratio > 2.0
+        ),
+        "last_mile_is_significant": implications.last_mile_share > 0.3,
+        "hardware_acks_overpromise": implications.acked_loss_share > 0.1,
+    }

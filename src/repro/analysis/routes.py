@@ -1,0 +1,119 @@
+"""Route evolution from event flows (paper §II "the path of the packet";
+§VI's path-tracking discussion of DTrack [2]).
+
+Each packet's reconstructed flow yields its path; comparing consecutive
+packets of the same origin reveals parent switches and route churn over
+time — the per-origin route timeline an operator uses to correlate routing
+instability with loss bursts (the duplicate-loss episodes of Fig. 5 are
+route changes caught mid-flight).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from repro.core.event_flow import EventFlow
+from repro.core.tracing import trace_packet
+from repro.events.packet import PacketKey
+
+
+@dataclass(frozen=True, slots=True)
+class RouteChange:
+    """One observed path switch for an origin."""
+
+    origin: int
+    seq: int
+    old_path: tuple[int, ...]
+    new_path: tuple[int, ...]
+
+    @property
+    def divergence_hop(self) -> int:
+        """Index of the first hop where the paths differ."""
+        for i, (a, b) in enumerate(zip(self.old_path, self.new_path)):
+            if a != b:
+                return i
+        return min(len(self.old_path), len(self.new_path))
+
+
+@dataclass
+class RouteTimeline:
+    """Per-origin route history."""
+
+    origin: int
+    #: (seq, path) in sequence order; only packets with a non-trivial path.
+    observations: list[tuple[int, tuple[int, ...]]] = field(default_factory=list)
+    changes: list[RouteChange] = field(default_factory=list)
+
+    @property
+    def churn(self) -> float:
+        """Fraction of consecutive observations that switched paths."""
+        if len(self.observations) < 2:
+            return 0.0
+        return len(self.changes) / (len(self.observations) - 1)
+
+    def dominant_path(self) -> Optional[tuple[int, ...]]:
+        if not self.observations:
+            return None
+        counts = Counter(path for _, path in self.observations)
+        return counts.most_common(1)[0][0]
+
+
+def route_timelines(
+    flows: Mapping[PacketKey, EventFlow],
+    *,
+    exclude: frozenset[int] = frozenset(),
+    min_hops: int = 1,
+) -> dict[int, RouteTimeline]:
+    """Build per-origin route timelines from reconstructed flows.
+
+    ``exclude`` drops pseudo-nodes (the base station) from paths; flows
+    whose reconstructed path is shorter than ``min_hops`` hops are skipped
+    (nothing to compare).
+    """
+    by_origin: dict[int, list[tuple[int, tuple[int, ...]]]] = defaultdict(list)
+    for packet, flow in flows.items():
+        path = tuple(n for n in trace_packet(flow).path if n not in exclude)
+        if len(path) - 1 < min_hops:
+            continue
+        by_origin[packet.origin].append((packet.seq, path))
+
+    timelines: dict[int, RouteTimeline] = {}
+    for origin, observations in by_origin.items():
+        observations.sort()
+        timeline = RouteTimeline(origin, observations)
+        for (seq_a, path_a), (seq_b, path_b) in zip(observations, observations[1:]):
+            if path_a != path_b:
+                timeline.changes.append(RouteChange(origin, seq_b, path_a, path_b))
+        timelines[origin] = timeline
+    return timelines
+
+
+def network_churn(timelines: Mapping[int, RouteTimeline]) -> float:
+    """Mean per-origin churn across the network."""
+    if not timelines:
+        return 0.0
+    return sum(t.churn for t in timelines.values()) / len(timelines)
+
+
+def churn_hotspots(
+    timelines: Mapping[int, RouteTimeline], *, top: int = 10
+) -> list[tuple[int, float]]:
+    """Origins with the most unstable routes."""
+    ranked = sorted(
+        ((origin, t.churn) for origin, t in timelines.items()),
+        key=lambda item: -item[1],
+    )
+    return ranked[:top]
+
+
+def switch_point_counts(timelines: Mapping[int, RouteTimeline]) -> Counter:
+    """Which nodes routes diverge *at* — unstable parents show up here."""
+    counts: Counter = Counter()
+    for timeline in timelines.values():
+        for change in timeline.changes:
+            hop = change.divergence_hop
+            if hop > 0 and hop <= len(change.old_path):
+                counts[change.old_path[hop - 1]] += 1
+    return counts

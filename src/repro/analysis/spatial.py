@@ -1,0 +1,73 @@
+"""Spatial loss analytics (paper Fig. 8).
+
+"Figure 8 shows the received packet losses ... The radius of circle
+indicates the number of packet losses.  The triangle denotes the sink
+node."  The series is (node, x, y, received-loss count); the headline
+assertion is that the sink carries the largest circle.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from repro.core.diagnosis import LossCause, LossReport
+from repro.events.packet import PacketKey
+from repro.simnet.topology import Topology
+
+
+@dataclass(frozen=True, slots=True)
+class SpatialPoint:
+    """One circle of the Fig. 8 map."""
+
+    node: int
+    x: float
+    y: float
+    count: int
+    is_sink: bool
+
+
+def received_loss_map(
+    reports: Mapping[PacketKey, LossReport],
+    topology: Topology,
+    *,
+    causes: Sequence[LossCause] = (LossCause.RECEIVED_LOSS, LossCause.ACKED_LOSS),
+) -> list[SpatialPoint]:
+    """Received-loss counts per node position, largest first.
+
+    ``causes`` defaults to both in-node loss observations (received and
+    acked), which is what "packet losses even when they are received on a
+    certain node" covers; pass ``(LossCause.RECEIVED_LOSS,)`` for the
+    strict reading.
+    """
+    counts: Counter = Counter()
+    for report in reports.values():
+        if report.lost and report.cause in causes and report.position is not None:
+            counts[report.position] += 1
+    points = [
+        SpatialPoint(
+            node=node,
+            x=topology.positions[node][0],
+            y=topology.positions[node][1],
+            count=count,
+            is_sink=node == topology.sink,
+        )
+        for node, count in counts.items()
+        if node in topology.positions
+    ]
+    points.sort(key=lambda p: (-p.count, p.node))
+    return points
+
+
+def top_loss_node(points: Sequence[SpatialPoint]) -> Optional[SpatialPoint]:
+    """The node with the most received losses (the paper's sink)."""
+    return points[0] if points else None
+
+
+def loss_share_of_top_nodes(points: Sequence[SpatialPoint], k: int) -> float:
+    """Fraction of mapped losses carried by the top-``k`` nodes."""
+    total = sum(p.count for p in points)
+    if total == 0:
+        return 0.0
+    return sum(p.count for p in points[:k]) / total

@@ -1,0 +1,118 @@
+"""Parameter-sweep harness over the evaluation pipeline.
+
+The ablation benchmarks all share a shape — vary one knob, run the
+pipeline, extract metrics, tabulate.  This module makes that shape a
+first-class, reusable object so new studies (sensitivity analyses, tuning
+runs) are three lines instead of a bespoke script.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+from repro.analysis.accuracy import AccuracyReport, score_run
+from repro.analysis.pipeline import EvalResult, evaluate
+from repro.lognet.loss import LogLossSpec
+from repro.simnet.network import ScenarioParams
+from repro.util.tables import render_table
+
+#: Derives the scenario for one sweep point from the base + the value.
+Vary = Callable[[ScenarioParams, Any], ScenarioParams]
+#: Extracts one metric from an evaluated point.
+Metric = Callable[[EvalResult], Any]
+
+
+@dataclass
+class SweepPoint:
+    """One evaluated configuration."""
+
+    value: Any
+    result: EvalResult
+    metrics: dict[str, Any]
+
+
+@dataclass
+class SweepResult:
+    """All points of one sweep, in input order."""
+
+    name: str
+    points: list[SweepPoint]
+
+    def series(self, metric: str) -> list[tuple[Any, Any]]:
+        """(value, metric) pairs across the sweep."""
+        return [(p.value, p.metrics[metric]) for p in self.points]
+
+    def render(self) -> str:
+        if not self.points:
+            return f"{self.name}: (empty sweep)"
+        metric_names = list(self.points[0].metrics)
+        rows = [
+            (p.value, *[_round(p.metrics[m]) for m in metric_names])
+            for p in self.points
+        ]
+        return render_table([self.name, *metric_names], rows, title=f"Sweep: {self.name}")
+
+
+def _round(value: Any) -> Any:
+    return round(value, 4) if isinstance(value, float) else value
+
+
+#: Ready-made metrics for the common studies.
+def accuracy_metrics(result: EvalResult) -> dict[str, float]:
+    """Standard ground-truth scores for a point."""
+    acc = score_run(
+        result.flows,
+        result.reports,
+        result.collected_logs,
+        result.sim.truth,
+        sink=result.sink,
+    )
+    return {
+        "cause_acc": acc.cause_accuracy,
+        "position_acc": acc.position_accuracy,
+        "event_recall": acc.event_recall,
+        "event_precision": acc.event_precision,
+    }
+
+
+def delivery_metrics(result: EvalResult) -> dict[str, float]:
+    """Network-level outcomes for a point."""
+    lost = sum(1 for r in result.reports.values() if r.lost)
+    return {
+        "delivery_ratio": result.sim.delivery_ratio(),
+        "losses_analyzed": lost,
+        "packets": len(result.sim.truth.fates),
+    }
+
+
+def run_sweep(
+    name: str,
+    base: ScenarioParams,
+    values: Sequence[Any],
+    vary: Vary,
+    *,
+    metrics: Mapping[str, Metric] | None = None,
+    metric_sets: Sequence[Callable[[EvalResult], dict[str, Any]]] = (accuracy_metrics,),
+    loss_spec_for: Optional[Callable[[Any], Optional[LogLossSpec]]] = None,
+    collection_seed: int = 99,
+) -> SweepResult:
+    """Evaluate ``base`` varied over ``values``.
+
+    ``vary(base, value)`` builds each point's scenario; ``metric_sets`` (and
+    optional ad-hoc ``metrics``) extract the outputs; ``loss_spec_for``
+    optionally varies the log degradation instead of (or as well as) the
+    scenario.
+    """
+    points: list[SweepPoint] = []
+    for value in values:
+        params = vary(base, value)
+        spec = loss_spec_for(value) if loss_spec_for is not None else None
+        result = evaluate(params, loss_spec=spec, collection_seed=collection_seed)
+        extracted: dict[str, Any] = {}
+        for metric_set in metric_sets:
+            extracted.update(metric_set(result))
+        for metric_name, fn in (metrics or {}).items():
+            extracted[metric_name] = fn(result)
+        points.append(SweepPoint(value, result, extracted))
+    return SweepResult(name, points)

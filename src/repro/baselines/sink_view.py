@@ -1,0 +1,107 @@
+"""The sink view: loss analysis from collected data packets alone (Fig. 4).
+
+"This is obtained from the collected data packets by analyzing whose
+packets are lost. ... we calculate the time for the received packet right
+before the lost packet. Then we calculate the sequence gap ... Since
+packets are sent periodically in our network, we can derive the sent time
+of lost packets and use it to approximate the packet loss time." (§V-B1)
+
+The sink view knows *whose* packets were lost and roughly *when* — but not
+*where* or *why*; that asymmetry is the paper's motivation for REFILL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.events.packet import PacketKey
+
+
+class SinkView:
+    """Per-origin sequence-gap analysis of base-station arrivals."""
+
+    def __init__(
+        self,
+        bs_arrivals: Iterable[tuple[PacketKey, float]],
+        gen_interval: float,
+        *,
+        known_max_seq: Optional[Mapping[int, int]] = None,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        bs_arrivals:
+            ``(packet, arrival_time)`` pairs observed at the base station.
+        gen_interval:
+            The (known) sensing period.
+        known_max_seq:
+            Last sequence number each origin generated, when the operator
+            knows it (end-of-experiment bookkeeping).  Without it, tail
+            losses after an origin's last delivered packet are invisible —
+            a real limitation of the sink view.
+        """
+        self.gen_interval = gen_interval
+        self._arrivals: dict[int, dict[int, float]] = {}
+        for packet, t in bs_arrivals:
+            self._arrivals.setdefault(packet.origin, {})[packet.seq] = t
+        self._known_max_seq = dict(known_max_seq) if known_max_seq else None
+
+    # ------------------------------------------------------------------ #
+
+    def origins(self) -> list[int]:
+        if self._known_max_seq is not None:
+            return sorted(self._known_max_seq)
+        return sorted(self._arrivals)
+
+    def max_seq(self, origin: int) -> int:
+        if self._known_max_seq is not None:
+            return self._known_max_seq.get(origin, 0)
+        seqs = self._arrivals.get(origin)
+        return max(seqs) if seqs else 0
+
+    def lost_packets(self) -> list[PacketKey]:
+        """Packets that never reached the base station (seq-gap detection)."""
+        lost: list[PacketKey] = []
+        for origin in self.origins():
+            received = self._arrivals.get(origin, {})
+            for seq in range(1, self.max_seq(origin) + 1):
+                if seq not in received:
+                    lost.append(PacketKey(origin, seq))
+        return lost
+
+    def delivered_packets(self) -> list[PacketKey]:
+        return sorted(
+            PacketKey(origin, seq)
+            for origin, seqs in self._arrivals.items()
+            for seq in seqs
+        )
+
+    def estimate_loss_time(self, packet: PacketKey) -> Optional[float]:
+        """Approximate loss time from the nearest delivered neighbour.
+
+        Anchors on the closest delivered sequence number of the same origin
+        and extrapolates by the sensing period (the paper's §V-B1 recipe).
+        """
+        received = self._arrivals.get(packet.origin)
+        if not received:
+            return None
+        before = [s for s in received if s < packet.seq]
+        if before:
+            anchor = max(before)
+            return received[anchor] + (packet.seq - anchor) * self.gen_interval
+        after = [s for s in received if s > packet.seq]
+        if after:
+            anchor = min(after)
+            return received[anchor] - (anchor - packet.seq) * self.gen_interval
+        return None
+
+    def loss_times(self) -> dict[PacketKey, Optional[float]]:
+        """Estimated loss time of every lost packet."""
+        return {p: self.estimate_loss_time(p) for p in self.lost_packets()}
+
+    def loss_rate(self) -> float:
+        total = sum(self.max_seq(o) for o in self.origins())
+        if total == 0:
+            return 0.0
+        return len(self.lost_packets()) / total

@@ -1,0 +1,175 @@
+"""Command-line interface: ``refill`` (or ``python -m repro``).
+
+Three subcommands mirror the deployment workflow:
+
+- ``refill simulate`` — run a scaled CitySee scenario, write the collected
+  (lossy, clock-skewed) per-node logs as text files plus an operations log;
+- ``refill analyze`` — reconstruct event flows from a log directory and
+  print the loss diagnosis;
+- ``refill trace`` — print one packet's reconstructed event flow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Optional
+
+from repro.analysis.causes import attribute_server_outages, cause_shares, sink_split
+from repro.analysis.report import render_cause_shares
+from repro.baselines.sink_view import SinkView
+from repro.core.diagnosis import classify_flow
+from repro.core.refill import Refill
+from repro.core.tracing import trace_packet
+from repro.events.packet import PacketKey
+from repro.events.store import StoreMetadata, load_store, save_store
+from repro.lognet.collector import collect_logs
+from repro.analysis.pipeline import default_loss_spec
+from repro.simnet.scenarios import citysee, run_scenario
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    params = citysee(n_nodes=args.nodes, days=args.days, seed=args.seed)
+    print(f"simulating {args.nodes} nodes for {args.days} scaled days ...", file=sys.stderr)
+    sim = run_scenario(params)
+    collected = collect_logs(
+        sim.true_logs,
+        default_loss_spec(sim),
+        args.seed + 1,
+        perfect_clocks=frozenset({sim.base_station_node}),
+    )
+    metadata = StoreMetadata(
+        sink=sim.sink,
+        base_station=sim.base_station_node,
+        gen_interval=params.gen_interval,
+        outages=params.base_station.outages,
+        extra={"n_nodes": args.nodes, "days": args.days, "seed": args.seed},
+    )
+    out = save_store(args.out, collected, metadata)
+    total = sum(len(log) for log in collected.values())
+    print(
+        f"wrote {len(collected)} node logs ({total} events) and operations.json to {out}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    store = load_store(args.logs)
+    if store.corrupt_lines:
+        skipped = sum(store.corrupt_lines.values())
+        print(f"skipped {skipped} undecodable log lines", file=sys.stderr)
+    logs, meta = store.logs, store.metadata
+    print(f"reconstructing from {len(logs)} node logs ...", file=sys.stderr)
+    flows, reports, _est = _diagnose_store(store)
+    lost = sum(1 for r in reports.values() if r.lost)
+    print(f"{len(flows)} packets reconstructed, {lost} diagnosed as lost\n")
+    print(render_cause_shares(cause_shares(reports)))
+    split = sink_split(reports, meta.sink)
+    print()
+    for key, value in split.items():
+        print(f"  {key:<16} {value:5.1f}%")
+    return 0
+
+
+def _diagnose_store(store):
+    """Shared reconstruct + diagnose over a loaded store."""
+    logs, meta = store.logs, store.metadata
+    flows = Refill().reconstruct(logs)
+    bs = meta.base_station
+    reports = {p: classify_flow(f, delivery_node=bs) for p, f in flows.items()}
+    bs_arrivals = [
+        (e.packet, e.time)
+        for e in logs.get(bs, [])
+        if e.etype == "recv" and e.packet is not None
+    ]
+    sink_view = SinkView(bs_arrivals, meta.gen_interval)
+    est = {p: sink_view.estimate_loss_time(p) for p in reports}
+    reports = attribute_server_outages(
+        reports, est, outages=meta.outages, sink=meta.sink, base_station=bs
+    )
+    return flows, reports, est
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.analysis.temporal import loss_scatter
+    from repro.vis.figures import render_scatter_svg
+
+    store = load_store(args.logs)
+    print("reconstructing ...", file=sys.stderr)
+    _flows, reports, est = _diagnose_store(store)
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    sources = loss_scatter(reports, est, axis="source")
+    positions = loss_scatter(reports, est, axis="position")
+    (out / "fig4_sink_view.svg").write_text(
+        render_scatter_svg(
+            sources,
+            title="Fig. 4 — sink view of lost packets",
+            y_label="source node id",
+        )
+    )
+    (out / "fig5_loss_positions.svg").write_text(
+        render_scatter_svg(
+            positions,
+            title="Fig. 5 — causes for lost packets (REFILL)",
+            y_label="loss position (node id)",
+        )
+    )
+    print(f"wrote fig4/fig5 SVGs to {out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    store = load_store(args.logs)
+    packet = PacketKey.parse(args.packet)
+    flows = Refill().reconstruct(store.logs)
+    flow = flows.get(packet)
+    if flow is None:
+        print(f"packet {packet} does not appear in any collected log", file=sys.stderr)
+        return 1
+    report = classify_flow(flow, delivery_node=store.metadata.base_station)
+    trace = trace_packet(flow)
+    print(f"packet {packet}")
+    print(f"  flow:      {flow.format()}")
+    print(f"  path:      {trace.path_string()}")
+    print(f"  diagnosis: {report.cause} at node {report.position}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="refill", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sim = sub.add_parser("simulate", help="simulate a CitySee-like network, write logs")
+    p_sim.add_argument("--nodes", type=int, default=100)
+    p_sim.add_argument("--days", type=int, default=5)
+    p_sim.add_argument("--seed", type=int, default=7)
+    p_sim.add_argument("--out", default="citysee-logs")
+    p_sim.set_defaults(fn=_cmd_simulate)
+
+    p_an = sub.add_parser("analyze", help="reconstruct + diagnose a log directory")
+    p_an.add_argument("--logs", default="citysee-logs")
+    p_an.set_defaults(fn=_cmd_analyze)
+
+    p_tr = sub.add_parser("trace", help="print one packet's reconstructed flow")
+    p_tr.add_argument("--logs", default="citysee-logs")
+    p_tr.add_argument("packet", help="packet key, e.g. p17.3")
+    p_tr.set_defaults(fn=_cmd_trace)
+
+    p_fig = sub.add_parser("figures", help="render loss-scatter figures as SVG")
+    p_fig.add_argument("--logs", default="citysee-logs")
+    p_fig.add_argument("--out", default="figures")
+    p_fig.set_defaults(fn=_cmd_figures)
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests/cli
+    raise SystemExit(main())

@@ -1,0 +1,60 @@
+"""REFILL core: connected inference engines and the transition algorithm.
+
+This is the paper's primary contribution (§IV): per-node FSM inference
+engines connected by intra-node and inter-node transitions, a recursive
+event-processing algorithm that reconstructs the network-wide event flow and
+infers lost events, plus the downstream consumers of the flow — loss
+diagnosis (§V-B) and per-packet tracing.
+"""
+
+from repro.core.event_flow import EventFlow, FlowEntry
+from repro.core.engine import EngineInstance
+from repro.core.context import PacketContext
+from repro.core.transition_algorithm import PacketReconstructor, ReconstructorOptions
+from repro.core.refill import Refill, RefillOptions
+from repro.core.diagnosis import LossCause, LossReport, classify_flow
+from repro.core.tracing import PacketTrace, trace_packet
+from repro.core.queries import (
+    NetworkStats,
+    PacketStats,
+    estimate_delay,
+    network_stats,
+    packet_stats,
+    retransmission_hotspots,
+)
+from repro.core.logging_advisor import (
+    LabelAdvice,
+    LoggingPlan,
+    advise,
+    advised_plan,
+    apply_plan,
+    full_plan,
+)
+
+__all__ = [
+    "NetworkStats",
+    "PacketStats",
+    "estimate_delay",
+    "network_stats",
+    "packet_stats",
+    "retransmission_hotspots",
+    "LabelAdvice",
+    "LoggingPlan",
+    "advise",
+    "advised_plan",
+    "apply_plan",
+    "full_plan",
+    "EventFlow",
+    "FlowEntry",
+    "EngineInstance",
+    "PacketContext",
+    "PacketReconstructor",
+    "ReconstructorOptions",
+    "Refill",
+    "RefillOptions",
+    "LossCause",
+    "LossReport",
+    "classify_flow",
+    "PacketTrace",
+    "trace_packet",
+]

@@ -1,0 +1,54 @@
+"""Per-packet neighbour knowledge shared by the engines of one packet.
+
+When REFILL realizes an inferred event (say ``[1-2 recv]`` on node 2) it
+must name the counterpart node.  That knowledge comes from the packet's
+*other* events — a processed ``1-2 trans`` teaches us that node 2's upstream
+is node 1 and node 1's downstream is node 2.  :class:`PacketContext` collects
+these facts as events are processed (and is pre-seeded from all pending
+events so inference can run even when the teaching event is processed
+later).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.events.event import Event
+
+
+class PacketContext:
+    """Upstream/downstream relations learned for one packet.
+
+    First-seen values win during pre-seeding (queue order approximates
+    chronology); values learned from *processed* events overwrite, since the
+    transition algorithm processes events in reconstructed order.
+    """
+
+    def __init__(self) -> None:
+        self._upstream: dict[int, int] = {}
+        self._downstream: dict[int, int] = {}
+
+    def upstream(self, node: int) -> Optional[int]:
+        """Known sender that forwarded the packet to ``node``."""
+        return self._upstream.get(node)
+
+    def downstream(self, node: int) -> Optional[int]:
+        """Known next hop of ``node`` for this packet."""
+        return self._downstream.get(node)
+
+    def note(self, event: Event, *, overwrite: bool = True) -> None:
+        """Learn neighbour relations from a processed event."""
+        if event.src is None or event.dst is None:
+            return
+        self._set(self._downstream, event.src, event.dst, overwrite)
+        self._set(self._upstream, event.dst, event.src, overwrite)
+
+    def preseed(self, events: Iterable[Event]) -> None:
+        """Learn from not-yet-processed events without overwriting."""
+        for event in events:
+            self.note(event, overwrite=False)
+
+    @staticmethod
+    def _set(table: dict[int, int], key: int, value: int, overwrite: bool) -> None:
+        if overwrite or key not in table:
+            table[key] = value

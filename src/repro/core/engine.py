@@ -1,0 +1,176 @@
+"""A single inference engine: one FSM instance per (node, packet).
+
+The engine tracks its current state, how many times each state was visited
+(and which flow entry produced each visit), and the index of the last flow
+entry it emitted.  Visit counts are what make inter-node prerequisites work
+for repeated episodes: a second ``ack`` on the sender demands a *second*
+receive on the receiver (paper Table II case 4), while a single broadcast
+visit can satisfy many distinct consumers (paper Fig. 3c).
+
+Transition *selection* prefers normal transitions and falls back to the
+derived intra-node jumps (paper §IV-B "Processing Events", steps 1-2).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.events.packet import PacketKey
+from repro.fsm.graph import Transition
+from repro.fsm.reachability import EdgeFilter
+from repro.fsm.templates import FsmTemplate, NeighborContext
+
+
+@dataclass(frozen=True, slots=True)
+class Selection:
+    """Outcome of transition selection for an event label at a state."""
+
+    #: ``"normal"`` or ``"intra"``.
+    kind: str
+    #: Destination state.
+    target: str
+
+
+class EngineInstance:
+    """FSM state of one node for one packet."""
+
+    def __init__(self, template: FsmTemplate, node: int, packet: Optional[PacketKey]) -> None:
+        self.template = template
+        self.node = node
+        self.packet = packet
+        self.state: str = template.initial_state(node, packet)
+        self.visited: set[str] = {self.state}
+        self.trajectory: list[str] = [self.state]
+        #: Times each state was entered; the initial state counts once.
+        self.visit_count: Counter[str] = Counter({self.state: 1})
+        #: Flow entry index of each visit (None for the initial state).
+        self.visit_entries: dict[str, list[Optional[int]]] = {self.state: [None]}
+        #: All visits in order: (state, flow entry index) pairs.
+        self.visit_seq: list[tuple[str, Optional[int]]] = [(self.state, None)]
+        #: Flow index of the last entry this engine emitted (per-node order).
+        self.last_entry: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+
+    def select(self, label: str) -> Optional[Selection]:
+        """Pick the transition for ``label`` at the current state.
+
+        Normal transitions take precedence over intra-node jumps.  Returns
+        ``None`` when the event is unprocessable here (step 3 of the
+        algorithm: such events are eventually omitted).
+        """
+        normal = self.template.graph.transitions_from(self.state, label)
+        if normal:
+            # Per-(state, label) determinism is a template invariant; keep
+            # declaration order as the deterministic tie-break.
+            return Selection("normal", normal[0].dst)
+        jump = self.template.intra.get((self.state, label))
+        if jump is not None:
+            return Selection("intra", jump.dst)
+        return None
+
+    def fire(self, target: str, entry: Optional[int]) -> None:
+        """Move to ``target``; ``entry`` is the flow index of the cause."""
+        self.state = target
+        self.visited.add(target)
+        self.trajectory.append(target)
+        self.visit_count[target] += 1
+        self.visit_entries.setdefault(target, []).append(entry)
+        self.visit_seq.append((target, entry))
+        if entry is not None:
+            self.last_entry = entry
+
+    def visit_entry(self, state: str, nth: int) -> Optional[int]:
+        """Flow index of the ``nth`` (1-based) visit of ``state``."""
+        entries = self.visit_entries.get(state, [])
+        if not 1 <= nth <= len(entries):
+            raise IndexError(f"visit {nth} of {state!r} not recorded")
+        return entries[nth - 1]
+
+    def visits_of(self, states: tuple[str, ...]) -> int:
+        """Total visits across a set of acceptable states."""
+        return sum(self.visit_count[s] for s in states)
+
+    def visit_entry_of(self, states: tuple[str, ...], nth: int) -> Optional[int]:
+        """Flow index of the ``nth`` (1-based) visit among ``states``."""
+        wanted = set(states)
+        seen = 0
+        for state, entry in self.visit_seq:
+            if state in wanted:
+                seen += 1
+                if seen == nth:
+                    return entry
+        raise IndexError(f"visit {nth} of {states!r} not recorded")
+
+    # ------------------------------------------------------------------ #
+    # inference-path helpers
+
+    def edge_filter(self, ctx: NeighborContext) -> EdgeFilter:
+        """Admissibility predicate bound to this engine's node/packet."""
+        template, node, packet = self.template, self.node, self.packet
+        return lambda t: template.edge_admissible(t, node, packet, ctx)
+
+    def inference_path(
+        self, target: str, ctx: NeighborContext
+    ) -> Optional[list[Transition]]:
+        """Shortest admissible normal path from the current state to ``target``.
+
+        When the engine already *is* at ``target`` but a fresh visit is
+        demanded, the shortest positive-length cycle back to ``target`` is
+        returned instead.
+        """
+        edge_filter = self.edge_filter(ctx)
+        if self.state != target:
+            return self.template.reach.shortest_path(self.state, target, edge_filter)
+        best: Optional[list[Transition]] = None
+        for first in self.template.graph.outgoing(self.state):
+            if not edge_filter(first):
+                continue
+            rest = self.template.reach.shortest_path(first.dst, target, edge_filter)
+            if rest is None:
+                continue
+            candidate = [first, *rest]
+            if best is None or len(candidate) < len(best):
+                best = candidate
+        return best
+
+    def intra_inference_path(
+        self, label: str, target: str, ctx: NeighborContext
+    ) -> Optional[list[Transition]]:
+        """Lost-event prefix for an intra-node jump ``state --label--> target``.
+
+        The path leads to the source of a normal ``label`` transition into
+        ``target``; the final ``label`` edge is the observed event itself and
+        is excluded (paper §IV-B).
+        """
+        return self.template.reach.shortest_path_via_event(
+            self.state, target, label, self.edge_filter(ctx)
+        )
+
+    def distance_to(self, target: str, ctx: NeighborContext) -> Optional[int]:
+        """Length of the shortest admissible path to ``target``.
+
+        Positive-length when a fresh visit is demanded at the current state;
+        ``None`` when unreachable.
+        """
+        path = self.inference_path(target, ctx)
+        return None if path is None else len(path)
+
+    def nearest_of(
+        self, states: tuple[str, ...], ctx: NeighborContext
+    ) -> tuple[Optional[str], Optional[int]]:
+        """The member of ``states`` with the shortest fresh-visit path.
+
+        Returns ``(state, distance)``; ``(None, None)`` when none reachable.
+        """
+        best_state, best_distance = None, None
+        for state in states:
+            distance = self.distance_to(state, ctx)
+            if distance is not None and (best_distance is None or distance < best_distance):
+                best_state, best_distance = state, distance
+        return best_state, best_distance
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EngineInstance(node={self.node}, state={self.state!r})"

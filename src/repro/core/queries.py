@@ -1,0 +1,146 @@
+"""Flow-level queries (paper §II).
+
+"With the event flow, the detailed behavior of the packet can be revealed
+... the packet related information, e.g. per-packet delay, packet
+retransmission, packet loss, can also be revealed."  This module answers
+those questions over reconstructed flows — including delay estimation that
+*corrects for clock skew* by chaining per-hop local timestamps instead of
+subtracting across unsynchronized clocks.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from repro.core.event_flow import EventFlow
+from repro.core.tracing import trace_packet
+from repro.events.event import Event, EventType
+from repro.events.packet import PacketKey
+
+
+@dataclass(frozen=True, slots=True)
+class PacketStats:
+    """Per-packet behaviour extracted from one flow."""
+
+    packet: Optional[PacketKey]
+    hop_count: int
+    retransmissions: int
+    duplicates: int
+    has_loop: bool
+    #: Sum of per-hop residence estimates (None when not estimable).
+    delay_estimate: Optional[float]
+    #: Fraction of the flow's events that had to be inferred.
+    inferred_fraction: float
+
+
+def packet_stats(flow: EventFlow) -> PacketStats:
+    """Summarize one packet's reconstructed behaviour."""
+    trace = trace_packet(flow)
+    total = len(flow.entries)
+    inferred = len(flow.inferred_events())
+    return PacketStats(
+        packet=flow.packet,
+        hop_count=max(0, len(trace.path) - 1),
+        retransmissions=trace.retransmissions,
+        duplicates=trace.duplicates,
+        has_loop=trace.has_loop,
+        delay_estimate=estimate_delay(flow),
+        inferred_fraction=inferred / total if total else 0.0,
+    )
+
+
+def estimate_delay(flow: EventFlow) -> Optional[float]:
+    """End-to-end delay estimate robust to unsynchronized clocks.
+
+    Timestamps from different nodes cannot be subtracted (offsets reach
+    minutes); timestamps from the *same* node share one clock, and crystal
+    drift over a packet's seconds-long transit is negligible.  So the delay
+    is assembled from per-node residence times (last local event minus first
+    local event on each node), which chain along the path.  Radio flight
+    time (microseconds) is ignored.  Returns ``None`` when no node has two
+    timestamped events.
+    """
+    first_seen: dict[int, float] = {}
+    last_seen: dict[int, float] = {}
+    for entry in flow.entries:
+        event = entry.event
+        if event.time is None:
+            continue
+        first_seen.setdefault(event.node, event.time)
+        last_seen[event.node] = event.time
+    residences = [last_seen[n] - first_seen[n] for n in first_seen]
+    if not residences:
+        return None
+    return float(sum(residences))
+
+
+@dataclass
+class NetworkStats:
+    """Aggregates over a whole reconstruction."""
+
+    packets: int = 0
+    delivered: int = 0
+    lost: int = 0
+    hop_histogram: Counter = field(default_factory=Counter)
+    retransmission_total: int = 0
+    loops: int = 0
+    #: Per-node: how many flows visited it (from traced paths).
+    node_load: Counter = field(default_factory=Counter)
+    #: Mean inferred fraction across flows.
+    inferred_fraction: float = 0.0
+    #: Mean delay estimate across flows that had one.
+    mean_delay: Optional[float] = None
+
+    def delivery_ratio(self) -> float:
+        return self.delivered / self.packets if self.packets else 0.0
+
+
+def network_stats(
+    flows: Mapping[PacketKey, EventFlow],
+    *,
+    delivery_node: Optional[int] = None,
+) -> NetworkStats:
+    """Aggregate packet behaviour across all reconstructed flows."""
+    stats = NetworkStats()
+    inferred_sum = 0.0
+    delays: list[float] = []
+    for packet, flow in flows.items():
+        s = packet_stats(flow)
+        stats.packets += 1
+        delivered = delivery_node is not None and any(
+            e.node == delivery_node and e.etype == EventType.RECV.value
+            for e in flow.events
+        )
+        stats.delivered += delivered
+        stats.lost += not delivered
+        stats.hop_histogram[s.hop_count] += 1
+        stats.retransmission_total += s.retransmissions
+        stats.loops += s.has_loop
+        inferred_sum += s.inferred_fraction
+        if s.delay_estimate is not None:
+            delays.append(s.delay_estimate)
+        for node in trace_packet(flow).path:
+            stats.node_load[node] += 1
+    if stats.packets:
+        stats.inferred_fraction = inferred_sum / stats.packets
+    if delays:
+        stats.mean_delay = sum(delays) / len(delays)
+    return stats
+
+
+def retransmission_hotspots(
+    flows: Mapping[PacketKey, EventFlow], *, top: int = 10
+) -> list[tuple[tuple[int, int], int]]:
+    """Links ranked by observed retransmission count (network tuning aid)."""
+    counts: Counter = Counter()
+    for flow in flows.values():
+        seen: Counter = Counter()
+        for event in flow.events:
+            if event.etype == EventType.TRANS.value and event.src is not None:
+                pair = (event.src, event.dst)
+                if seen[pair]:
+                    counts[pair] += 1
+                seen[pair] += 1
+    return counts.most_common(top)

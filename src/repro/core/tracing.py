@@ -1,0 +1,97 @@
+"""Per-packet tracing from event flows (paper §II, §V).
+
+"With the event flow, the detailed behavior of the packet can be revealed,
+e.g., the path of the packet, where the packet is lost and the occurrence of
+loop for the packet" — this module extracts the hop path, retransmission
+counts, loops and duplicate episodes from a reconstructed flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.events.event import EventType
+from repro.core.event_flow import EventFlow
+
+
+@dataclass(frozen=True, slots=True)
+class Hop:
+    """One forwarding step ``src -> dst`` of the packet's journey."""
+
+    src: Optional[int]
+    dst: Optional[int]
+    #: True when the hop is only known through inferred events.
+    inferred: bool
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        left = "?" if self.src is None else str(self.src)
+        right = "?" if self.dst is None else str(self.dst)
+        return f"{left}->{right}"
+
+
+@dataclass
+class PacketTrace:
+    """Reconstructed journey of one packet."""
+
+    hops: list[Hop] = field(default_factory=list)
+    #: Nodes in visit order (derived from the hop sequence).
+    path: list[int] = field(default_factory=list)
+    #: Distinct transmissions per (src, dst) pair, counting repeats.
+    retransmissions: int = 0
+    #: Duplicate-detection events observed.
+    duplicates: int = 0
+    #: True when some node appears more than once on the path.
+    has_loop: bool = False
+    #: Last node known to hold the packet.
+    final_position: Optional[int] = None
+
+    def path_string(self) -> str:
+        return " -> ".join(str(n) for n in self.path) if self.path else "(empty)"
+
+
+def trace_packet(flow: EventFlow) -> PacketTrace:
+    """Extract the packet's journey from its event flow.
+
+    Hops are taken from transmission events whose receive was (really or
+    inferably) observed; the visit path starts at the first known holder.
+    """
+    trace = PacketTrace()
+    seen_pairs: set[tuple[Optional[int], Optional[int]]] = set()
+    last_holder: Optional[int] = None
+
+    for entry in flow.entries:
+        event = entry.event
+        etype = event.etype
+        if etype == EventType.GEN.value:
+            _visit(trace, event.node)
+            last_holder = event.node
+        elif etype == EventType.RECV.value:
+            hop = Hop(event.src, event.node, entry.inferred)
+            trace.hops.append(hop)
+            _visit(trace, event.node)
+            last_holder = event.node
+        elif etype == EventType.TRANS.value:
+            pair = (event.src, event.dst)
+            if pair in seen_pairs:
+                trace.retransmissions += 1
+            seen_pairs.add(pair)
+            if event.src is not None:
+                _visit(trace, event.src)
+                last_holder = event.src
+        elif etype == EventType.DUP.value:
+            trace.duplicates += 1
+
+    counts: dict[int, int] = {}
+    for node in trace.path:
+        counts[node] = counts.get(node, 0) + 1
+    trace.has_loop = any(c > 1 for c in counts.values())
+    trace.final_position = last_holder
+    return trace
+
+
+def _visit(trace: PacketTrace, node: Optional[int]) -> None:
+    if node is None:
+        return
+    if not trace.path or trace.path[-1] != node:
+        trace.path.append(node)

@@ -1,0 +1,329 @@
+"""The recursive transition algorithm (paper §IV-B "Processing Events").
+
+Given the merged per-node event queues of one packet, the algorithm walks
+the connected inference engines:
+
+1. A normal state transition for the current event is taken directly.
+2. Otherwise, an intra-node jump is taken; the prerequisite events on the
+   skipped normal path are emitted as *inferred* lost events (each processed
+   recursively, so their own inter-node prerequisites resolve too).
+3. Before any transition fires, its inter-node prerequisite rules are
+   resolved: each prerequisite engine must have *visited* the prerequisite
+   state often enough.  Demands are counted per consumer: the N-th time one
+   consumer (node, event label, peer) requires a state, the peer must have
+   visited it at least N times — so a second ``ack`` demands a second
+   receive (Table II case 4) while a single broadcast visit satisfies many
+   *distinct* consumers (Fig. 3c).  A missing visit is produced by *driving*
+   the peer: consuming its real pending events while they move toward the
+   target, then inferring the remainder along the shortest admissible
+   normal-transition path.
+4. Events with no available transition are omitted — but only after a full
+   pass over all nodes makes no progress, so an event that is merely
+   *temporarily* unprocessable gets its chance (design decision #2 in
+   DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional, Sequence
+
+from repro.events.event import Event
+from repro.events.packet import PacketKey
+from repro.core.context import PacketContext
+from repro.core.engine import EngineInstance
+from repro.core.event_flow import EventFlow
+from repro.fsm.templates import FsmTemplate
+
+#: Maps a node id to the FSM template its engine runs.
+TemplateFor = Callable[[int], FsmTemplate]
+
+
+@dataclass(frozen=True, slots=True)
+class ReconstructorOptions:
+    """Feature switches (used by the ablation benchmarks).
+
+    Attributes
+    ----------
+    enable_intra:
+        Use derived intra-node jump transitions (step 2).  Off, the engine
+        behaves like a plain FSM replay that omits anything a lost event
+        made unreachable.
+    enable_inter:
+        Resolve inter-node prerequisites (step 3).  Off, engines run in
+        isolation — the NetCheck-style baseline.
+    max_depth:
+        Recursion guard for pathological prerequisite cascades.
+    """
+
+    enable_intra: bool = True
+    enable_inter: bool = True
+    max_depth: int = 400
+
+
+class PacketReconstructor:
+    """Reconstructs the event flow of a single packet."""
+
+    def __init__(
+        self,
+        template_for: TemplateFor | FsmTemplate,
+        packet: Optional[PacketKey] = None,
+        options: ReconstructorOptions = ReconstructorOptions(),
+    ) -> None:
+        if isinstance(template_for, FsmTemplate):
+            template = template_for
+            self._template_for: TemplateFor = lambda node: template
+        else:
+            self._template_for = template_for
+        self.packet = packet
+        self.options = options
+
+    # ------------------------------------------------------------------ #
+
+    def reconstruct(self, events_by_node: Mapping[int, Sequence[Event]]) -> EventFlow:
+        """Run the transition algorithm over per-node ordered event lists."""
+        self.flow = EventFlow(self.packet)
+        self.ctx = PacketContext()
+        self.engines: dict[int, EngineInstance] = {}
+        self.queues: dict[int, deque[Event]] = {
+            node: deque(events) for node, events in sorted(events_by_node.items())
+        }
+        for queue in self.queues.values():
+            self.ctx.preseed(queue)
+        #: Per-consumer prerequisite demand counts; key is
+        #: (consumer node, event label, peer node, prerequisite state).
+        self._demands: Counter[tuple[int, str, int, str]] = Counter()
+        self._driving: set[tuple[int, str]] = set()
+        self._depth = 0
+
+        rotation = self._rotation()
+        while any(self.queues.values()):
+            progressed = False
+            for node in rotation:
+                queue = self.queues[node]
+                while queue:
+                    engine = self._engine(node)
+                    head = queue[0]
+                    if self._select(engine, head.etype) is None:
+                        break  # temporarily unprocessable; revisit next pass
+                    queue.popleft()
+                    self._process(head, inferred=False)
+                    progressed = True
+            if not progressed:
+                self._omit_one(rotation)
+
+        for node, engine in sorted(self.engines.items()):
+            self.flow.final_states[node] = engine.state
+            self.flow.visited_states[node] = frozenset(engine.visited)
+        return self.flow
+
+    # ------------------------------------------------------------------ #
+    # internals
+
+    def _rotation(self) -> list[int]:
+        nodes = sorted(self.queues)
+        if self.packet is not None and self.packet.origin in self.queues:
+            nodes.remove(self.packet.origin)
+            nodes.insert(0, self.packet.origin)
+        return nodes
+
+    def _engine(self, node: int) -> EngineInstance:
+        engine = self.engines.get(node)
+        if engine is None:
+            engine = EngineInstance(self._template_for(node), node, self.packet)
+            self.engines[node] = engine
+        return engine
+
+    def _select(self, engine: EngineInstance, label: str):
+        selection = engine.select(label)
+        if selection is not None and selection.kind == "intra" and not self.options.enable_intra:
+            return None
+        return selection
+
+    def _omit_one(self, rotation: list[int]) -> None:
+        for node in rotation:
+            queue = self.queues[node]
+            if queue:
+                event = queue.popleft()
+                self.flow.omitted.append(event)
+                return
+        raise AssertionError("omit requested with all queues empty")  # pragma: no cover
+
+    def _process(
+        self,
+        event: Event,
+        *,
+        inferred: bool,
+        forced_target: Optional[str] = None,
+        provenance: str = "logged",
+    ) -> None:
+        """Steps 1-2 for one event, with recursive prerequisite resolution."""
+        if self._depth >= self.options.max_depth:
+            self.flow.anomalies.append(f"recursion limit while processing {event}")
+            self.flow.omitted.append(event)
+            return
+        self._depth += 1
+        try:
+            engine = self._engine(event.node)
+            template = engine.template
+            label = event.etype
+
+            if forced_target is not None:
+                target = forced_target
+                prefix = []
+            else:
+                selection = self._select(engine, label)
+                if selection is None:
+                    self.flow.omitted.append(event)
+                    return
+                target = selection.target
+                prefix = []
+                if selection.kind == "intra":
+                    prefix = engine.intra_inference_path(label, target, self.ctx) or []
+
+            # Step 2: inferred prerequisite events on the skipped normal path.
+            for edge in prefix:
+                lost = template.realize_event(edge.event, event.node, self.packet, self.ctx)
+                self._process(
+                    lost,
+                    inferred=True,
+                    forced_target=edge.dst,
+                    provenance=f"intra: skipped by {event.pair_label()}",
+                )
+
+            # Step 3: inter-node prerequisites of this event.
+            prereq_entries: list[int] = []
+            if self.options.enable_inter:
+                for rule in template.prereq_rules(label):
+                    peers = rule.resolve_nodes(event)
+                    if not peers:
+                        self.flow.anomalies.append(
+                            f"unresolvable prerequisite peer for {event}"
+                        )
+                        continue
+                    for peer in peers:
+                        if peer == event.node:
+                            self.flow.anomalies.append(
+                                f"self-referential prerequisite for {event}"
+                            )
+                            continue
+                        entry = self._require_visit(event.node, label, peer, rule.states)
+                        if entry is not None:
+                            prereq_entries.append(entry)
+
+            # Fire and emit.
+            after = list(prereq_entries)
+            if engine.last_entry is not None:
+                after.append(engine.last_entry)
+            index = self.flow.append(
+                event, inferred=inferred, after=sorted(set(after)), provenance=provenance
+            )
+            engine.fire(target, index)
+            self.ctx.note(event, overwrite=not inferred)
+        finally:
+            self._depth -= 1
+
+    # ------------------------------------------------------------------ #
+    # prerequisite resolution
+
+    def _require_visit(
+        self, consumer: int, label: str, peer: int, states: tuple[str, ...]
+    ) -> Optional[int]:
+        """Ensure ``peer`` visited one of ``states`` often enough.
+
+        Demands are per consumer (node, label, peer, state-set); the N-th
+        demand needs N total visits across the acceptable states.  Returns
+        the flow index of the visit that satisfies the demand (for a
+        happens-before edge), or ``None`` when it is the peer's initial
+        state or the demand could not be met.
+        """
+        demand_key = (consumer, label, peer, states)
+        self._demands[demand_key] += 1
+        demand = self._demands[demand_key]
+        engine = self._engine(peer)
+        if engine.visits_of(states) < demand:
+            self._drive(
+                peer, states, demand,
+                reason=f"prereq: required by {label} at node {consumer}",
+            )
+        if engine.visits_of(states) >= demand:
+            return engine.visit_entry_of(states, demand)
+        self.flow.anomalies.append(
+            f"prerequisite {states!r} (visit {demand}) unmet on node {peer}"
+        )
+        return engine.last_entry
+
+    def _drive(
+        self, node: int, states: tuple[str, ...], demand: int, *, reason: str = "prereq"
+    ) -> None:
+        """Drive ``node``'s engine until ``states`` have ``demand`` visits.
+
+        Real pending events are consumed while they strictly decrease the
+        distance to the nearest acceptable state; the remainder of the
+        shortest admissible path is inferred step by step.
+        """
+        key = (node, states)
+        if key in self._driving:
+            self.flow.anomalies.append(f"prerequisite cycle at node {node} -> {states}")
+            return
+        self._driving.add(key)
+        try:
+            engine = self._engine(node)
+            while engine.visits_of(states) < demand:
+                target, distance = engine.nearest_of(states, self.ctx)
+                if target is None:
+                    self.flow.anomalies.append(
+                        f"prerequisite states {states!r} unreachable on node {node}"
+                    )
+                    return
+                if self._consume_toward(engine, node, states, target, distance):
+                    continue
+                # Infer one step along the shortest admissible path.
+                path = engine.inference_path(target, self.ctx)
+                if not path:  # pragma: no cover - distance>0 guarantees a path
+                    self.flow.anomalies.append(
+                        f"no inference path to {target!r} on node {node}"
+                    )
+                    return
+                edge = path[0]
+                lost = engine.template.realize_event(edge.event, node, self.packet, self.ctx)
+                before = len(engine.trajectory)
+                self._process(lost, inferred=True, forced_target=edge.dst, provenance=reason)
+                if len(engine.trajectory) == before:
+                    # the inferred step could not fire (e.g. depth limit):
+                    # abort the drive instead of spinning
+                    self.flow.anomalies.append(
+                        f"drive to {target!r} on node {node} made no progress"
+                    )
+                    return
+        finally:
+            self._driving.discard(key)
+
+    def _consume_toward(
+        self,
+        engine: EngineInstance,
+        node: int,
+        states: tuple[str, ...],
+        target: str,
+        distance: int,
+    ) -> bool:
+        """Consume the node's next real event if it moves toward a target."""
+        queue = self.queues.get(node)
+        if not queue:
+            return False
+        head = queue[0]
+        selection = self._select(engine, head.etype)
+        if selection is None:
+            return False
+        if selection.target not in states:
+            after = self._distance_from(engine, selection.target, target)
+            if after is None or after >= distance:
+                return False
+        queue.popleft()
+        self._process(head, inferred=False)
+        return True
+
+    def _distance_from(self, engine: EngineInstance, start: str, target: str) -> Optional[int]:
+        path = engine.template.reach.shortest_path(start, target, engine.edge_filter(self.ctx))
+        return None if path is None else len(path)

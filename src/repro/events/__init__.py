@@ -1,0 +1,31 @@
+"""Event and log model (paper §II).
+
+An event is a tuple ``E = (V, L, I)``: event type, location (the node that
+recorded it) and related information (typically the sender/receiver pair and
+the packet the event refers to).  Occurrence time is *optional* — REFILL's
+inference never relies on it, matching the paper's assumption that nodes are
+not synchronized.
+"""
+
+from repro.events.event import Event, EventType, SENDER_SIDE_EVENTS, RECEIVER_SIDE_EVENTS
+from repro.events.packet import PacketKey
+from repro.events.log import LogRecord, NodeLog
+from repro.events.codec import encode_event, decode_event, encode_log, decode_log
+from repro.events.merge import merge_logs, interleave_round_robin, group_by_packet
+
+__all__ = [
+    "Event",
+    "EventType",
+    "SENDER_SIDE_EVENTS",
+    "RECEIVER_SIDE_EVENTS",
+    "PacketKey",
+    "LogRecord",
+    "NodeLog",
+    "encode_event",
+    "decode_event",
+    "encode_log",
+    "decode_log",
+    "merge_logs",
+    "interleave_round_robin",
+    "group_by_packet",
+]

@@ -1,0 +1,90 @@
+"""Text codec for node logs.
+
+The on-mote "event system" of the paper's implementation emits compact log
+statements collected over CTP.  We mirror that with a line-oriented text
+format so logs can be written to disk, shipped around and re-parsed:
+
+``node=<L> type=<V> [src=<n1> dst=<n2>] [pkt=p<origin>.<seq>] [t=<time>] [k=v ...]``
+
+Fields after ``type`` are optional; unknown keys round-trip through the
+event's ``info`` mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.events.event import Event
+from repro.events.log import NodeLog
+from repro.events.packet import PacketKey
+
+_RESERVED = ("node", "type", "src", "dst", "pkt", "t")
+
+
+def _format_value(value: Any) -> str:
+    text = str(value)
+    if any(c.isspace() or c == "=" for c in text):
+        raise ValueError(f"log value may not contain whitespace or '=': {value!r}")
+    return text
+
+
+def encode_event(event: Event) -> str:
+    """Serialize one event to a single log line."""
+    parts = [f"node={event.node}", f"type={event.etype}"]
+    if event.src is not None:
+        parts.append(f"src={event.src}")
+    if event.dst is not None:
+        parts.append(f"dst={event.dst}")
+    if event.packet is not None:
+        parts.append(f"pkt={event.packet}")
+    if event.time is not None:
+        parts.append(f"t={event.time!r}")
+    for key, value in event.info:
+        if key in _RESERVED:
+            raise ValueError(f"info key {key!r} collides with a reserved field")
+        parts.append(f"{key}={_format_value(value)}")
+    return " ".join(parts)
+
+
+def decode_event(line: str) -> Event:
+    """Parse one log line back into an :class:`Event`.
+
+    Values of unknown keys are kept as strings in ``info``.
+    """
+    fields: dict[str, str] = {}
+    info: dict[str, str] = {}
+    for token in line.split():
+        key, sep, value = token.partition("=")
+        if not sep:
+            raise ValueError(f"malformed log token {token!r} in line {line!r}")
+        target = fields if key in _RESERVED else info
+        if key in target:
+            raise ValueError(f"duplicate key {key!r} in line {line!r}")
+        target[key] = value
+    if "node" not in fields or "type" not in fields:
+        raise ValueError(f"log line missing node/type: {line!r}")
+    return Event.make(
+        fields["type"],
+        int(fields["node"]),
+        src=int(fields["src"]) if "src" in fields else None,
+        dst=int(fields["dst"]) if "dst" in fields else None,
+        packet=PacketKey.parse(fields["pkt"]) if "pkt" in fields else None,
+        time=float(fields["t"]) if "t" in fields else None,
+        **info,
+    )
+
+
+def encode_log(log: NodeLog) -> str:
+    """Serialize a whole node log, one event per line."""
+    return "\n".join(encode_event(e) for e in log)
+
+
+def decode_log(node: int, text: str) -> NodeLog:
+    """Parse a node log; blank lines are skipped."""
+    events = (decode_event(line) for line in text.splitlines() if line.strip())
+    return NodeLog(node, events)
+
+
+def decode_logs(blobs: Iterable[tuple[int, str]]) -> dict[int, NodeLog]:
+    """Parse a collection of ``(node, text)`` blobs into logs keyed by node."""
+    return {node: decode_log(node, text) for node, text in blobs}

@@ -1,0 +1,41 @@
+"""Packet identity.
+
+CTP data packets carry their origin node id and a per-origin sequence number
+(the THL/origin-seqno pair in real CTP headers).  REFILL groups log events by
+this identity to reconstruct a per-packet event flow (paper §II: "The event
+flow is to recover the correct order of all the events related to the same
+packet in the network").
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class PacketKey(NamedTuple):
+    """Network-wide unique identity of a data packet.
+
+    Attributes
+    ----------
+    origin:
+        Node id of the node that generated the packet.
+    seq:
+        Monotonically increasing per-origin sequence number.
+    """
+
+    origin: int
+    seq: int
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"p{self.origin}.{self.seq}"
+
+    @classmethod
+    def parse(cls, text: str) -> "PacketKey":
+        """Parse the ``p<origin>.<seq>`` form produced by :meth:`__str__`."""
+        if not text.startswith("p"):
+            raise ValueError(f"not a packet key: {text!r}")
+        origin_s, _, seq_s = text[1:].partition(".")
+        try:
+            return cls(int(origin_s), int(seq_s))
+        except ValueError as exc:
+            raise ValueError(f"not a packet key: {text!r}") from exc

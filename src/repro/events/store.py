@@ -1,0 +1,117 @@
+"""On-disk log store: the directory format shared by the CLI and examples.
+
+A store directory holds one ``node_<id>.log`` text file per node (the
+:mod:`repro.events.codec` line format) plus an ``operations.json`` with the
+deployment metadata the analysis layer needs (sink/base-station ids, the
+sensing period, the server-outage operations log).
+
+Field data is dirty: ``load_store`` defaults to *tolerant* decoding, where
+undecodable lines (truncated flash pages, bit flips) are counted and
+skipped instead of aborting the whole analysis.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.events.codec import decode_event, encode_log
+from repro.events.event import Event
+from repro.events.log import NodeLog
+
+
+@dataclass
+class StoreMetadata:
+    """Deployment facts recorded alongside the logs."""
+
+    sink: int
+    base_station: int
+    gen_interval: float
+    outages: tuple[tuple[float, float], ...] = ()
+    extra: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        return {
+            "sink": self.sink,
+            "base_station": self.base_station,
+            "gen_interval": self.gen_interval,
+            "outages": [list(w) for w in self.outages],
+            **self.extra,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping) -> "StoreMetadata":
+        known = {"sink", "base_station", "gen_interval", "outages"}
+        return cls(
+            sink=int(data["sink"]),
+            base_station=int(data["base_station"]),
+            gen_interval=float(data["gen_interval"]),
+            outages=tuple((float(a), float(b)) for a, b in data.get("outages", [])),
+            extra={k: v for k, v in data.items() if k not in known},
+        )
+
+
+@dataclass
+class LoadedStore:
+    """Result of reading a store directory."""
+
+    logs: dict[int, NodeLog]
+    metadata: StoreMetadata
+    #: Per-node count of lines that failed to decode (tolerant mode).
+    corrupt_lines: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def total_events(self) -> int:
+        return sum(len(log) for log in self.logs.values())
+
+
+def save_store(
+    directory, logs: Mapping[int, NodeLog], metadata: StoreMetadata
+) -> pathlib.Path:
+    """Write logs + metadata; returns the directory path."""
+    path = pathlib.Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    for node, log in sorted(logs.items()):
+        (path / f"node_{node:04d}.log").write_text(encode_log(log) + "\n")
+    (path / "operations.json").write_text(
+        json.dumps(metadata.to_json(), indent=2) + "\n"
+    )
+    return path
+
+
+def load_store(directory, *, strict: bool = False) -> LoadedStore:
+    """Read a store directory.
+
+    ``strict=False`` (the default) skips undecodable lines and lines whose
+    recorded node id disagrees with the file they sit in, counting them in
+    ``corrupt_lines``; ``strict=True`` raises on the first bad line.
+    """
+    path = pathlib.Path(directory)
+    metadata = StoreMetadata.from_json(
+        json.loads((path / "operations.json").read_text())
+    )
+    logs: dict[int, NodeLog] = {}
+    corrupt: dict[int, int] = {}
+    for file in sorted(path.glob("node_*.log")):
+        node = int(file.stem.split("_")[1])
+        events: list[Event] = []
+        bad = 0
+        for line in file.read_text().splitlines():
+            if not line.strip():
+                continue
+            try:
+                event = decode_event(line)
+                if event.node != node:
+                    raise ValueError(f"event node {event.node} in file of node {node}")
+            except ValueError:
+                if strict:
+                    raise
+                bad += 1
+                continue
+            events.append(event)
+        logs[node] = NodeLog(node, events)
+        if bad:
+            corrupt[node] = bad
+    return LoadedStore(logs=logs, metadata=metadata, corrupt_lines=corrupt)

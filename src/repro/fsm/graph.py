@@ -1,0 +1,133 @@
+"""Transition graph ``G = (S, T, E)`` (paper §IV-A).
+
+States are vertices, transitions are directed edges and each edge carries an
+event label.  Multiple transitions may carry the same label ("an event may
+lead to different transitions"), and between two states there is at most one
+transition per label.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Optional, Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class Transition:
+    """Directed edge ``s_i -> s_j`` carrying event label ``event``."""
+
+    src: str
+    dst: str
+    event: str
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.src} --{self.event}--> {self.dst}"
+
+
+class TransitionGraph:
+    """The FSM of one inference engine as a directed labelled multigraph.
+
+    Parameters
+    ----------
+    states:
+        The vertex set ``S``.  Must contain ``initial``.
+    transitions:
+        The edge set ``T`` with labels ``E``; the *normal transitions* of the
+        original program FSM (solid edges in paper Fig. 2).
+    initial:
+        The engine's start state.
+    """
+
+    def __init__(
+        self,
+        states: Iterable[str],
+        transitions: Iterable[Transition | tuple[str, str, str]],
+        initial: str,
+    ) -> None:
+        self._states: tuple[str, ...] = tuple(dict.fromkeys(states))
+        state_set = set(self._states)
+        if not self._states:
+            raise ValueError("a transition graph needs at least one state")
+        if initial not in state_set:
+            raise ValueError(f"initial state {initial!r} is not in the state set")
+        self.initial = initial
+
+        edges: list[Transition] = []
+        seen: set[tuple[str, str, str]] = set()
+        for t in transitions:
+            if not isinstance(t, Transition):
+                t = Transition(*t)
+            if t.src not in state_set or t.dst not in state_set:
+                raise ValueError(f"transition {t} references unknown state")
+            key = (t.src, t.dst, t.event)
+            if key in seen:
+                raise ValueError(f"duplicate transition {t}")
+            seen.add(key)
+            edges.append(t)
+        self._transitions: tuple[Transition, ...] = tuple(edges)
+
+        self._out: dict[str, dict[str, list[Transition]]] = {s: {} for s in self._states}
+        self._by_event: dict[str, list[Transition]] = {}
+        for t in self._transitions:
+            self._out[t.src].setdefault(t.event, []).append(t)
+            self._by_event.setdefault(t.event, []).append(t)
+
+    # ------------------------------------------------------------------ #
+    # accessors
+
+    @property
+    def states(self) -> tuple[str, ...]:
+        return self._states
+
+    @property
+    def transitions(self) -> tuple[Transition, ...]:
+        return self._transitions
+
+    @property
+    def events(self) -> tuple[str, ...]:
+        """All distinct event labels appearing on edges."""
+        return tuple(self._by_event)
+
+    def outgoing(self, state: str) -> list[Transition]:
+        """All transitions leaving ``state``."""
+        self._check_state(state)
+        return [t for group in self._out[state].values() for t in group]
+
+    def transitions_from(self, state: str, event: str) -> list[Transition]:
+        """Normal transitions leaving ``state`` with label ``event``."""
+        self._check_state(state)
+        return list(self._out[state].get(event, ()))
+
+    def transitions_with_event(self, event: str) -> list[Transition]:
+        """All transitions (anywhere) carrying label ``event``."""
+        return list(self._by_event.get(event, ()))
+
+    def has_state(self, state: str) -> bool:
+        return state in self._out
+
+    def _check_state(self, state: str) -> None:
+        if state not in self._out:
+            raise KeyError(f"unknown state {state!r}")
+
+    def successors(self, state: str) -> list[str]:
+        """Distinct successor states of ``state``."""
+        self._check_state(state)
+        seen = dict.fromkeys(t.dst for group in self._out[state].values() for t in group)
+        return list(seen)
+
+    def to_dot(self, name: str = "fsm") -> str:
+        """Graphviz DOT rendering (documentation / debugging aid)."""
+        lines = [f"digraph {name} {{", "  rankdir=LR;"]
+        for state in self._states:
+            shape = "doublecircle" if state == self.initial else "circle"
+            lines.append(f'  "{state}" [shape={shape}];')
+        for t in self._transitions:
+            lines.append(f'  "{t.src}" -> "{t.dst}" [label="{t.event}"];')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TransitionGraph(states={len(self._states)}, "
+            f"transitions={len(self._transitions)}, initial={self.initial!r})"
+        )

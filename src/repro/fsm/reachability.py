@@ -1,0 +1,124 @@
+"""Reachability and shortest normal-transition paths (paper §IV-A).
+
+``s_i ≻ s_j`` holds iff there is a non-empty transition sequence from
+``s_i`` to ``s_j`` following *normal* transitions.  Shortest paths are used
+to enumerate the prerequisite (inferred lost) events skipped by an intra-node
+jump and to drive an engine to an inter-node prerequisite state.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional, Sequence
+
+from repro.fsm.graph import Transition, TransitionGraph
+
+#: Predicate deciding whether an edge may appear on an *inference* path.
+#: Templates use it to rule out semantically impossible inferred events
+#: (e.g. a ``gen`` event on a node that is not the packet's origin).
+EdgeFilter = Callable[[Transition], bool]
+
+
+class Reachability:
+    """Precomputed reachability over a transition graph.
+
+    The relation is irreflexive unless the state lies on a cycle, matching
+    the paper's definition (a transition sequence has at least one
+    transition).
+    """
+
+    def __init__(self, graph: TransitionGraph) -> None:
+        self.graph = graph
+        self._reach: dict[str, frozenset[str]] = {}
+        for state in graph.states:
+            self._reach[state] = frozenset(self._bfs_states(state))
+
+    def _bfs_states(self, start: str) -> set[str]:
+        seen: set[str] = set()
+        queue: deque[str] = deque(self.graph.successors(start))
+        seen.update(queue)
+        while queue:
+            state = queue.popleft()
+            for nxt in self.graph.successors(state):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append(nxt)
+        return seen
+
+    def reachable(self, src: str, dst: str) -> bool:
+        """Whether ``src ≻ dst`` (via at least one normal transition)."""
+        return dst in self._reach[src]
+
+    def reachable_set(self, src: str) -> frozenset[str]:
+        """All states reachable from ``src`` by non-empty paths."""
+        return self._reach[src]
+
+    def shortest_path(
+        self,
+        src: str,
+        dst: str,
+        edge_filter: Optional[EdgeFilter] = None,
+    ) -> Optional[list[Transition]]:
+        """Shortest sequence of normal transitions from ``src`` to ``dst``.
+
+        Returns ``None`` when no admissible path exists, ``[]`` when
+        ``src == dst`` (already there).  Ties are broken deterministically by
+        edge declaration order.
+        """
+        if src == dst:
+            return []
+        parent: dict[str, Transition] = {}
+        queue: deque[str] = deque([src])
+        visited = {src}
+        while queue:
+            state = queue.popleft()
+            for t in self.graph.outgoing(state):
+                if edge_filter is not None and not edge_filter(t):
+                    continue
+                if t.dst in visited:
+                    continue
+                parent[t.dst] = t
+                if t.dst == dst:
+                    return self._unwind(parent, src, dst)
+                visited.add(t.dst)
+                queue.append(t.dst)
+        return None
+
+    @staticmethod
+    def _unwind(parent: dict[str, Transition], src: str, dst: str) -> list[Transition]:
+        path: list[Transition] = []
+        cur = dst
+        while cur != src:
+            t = parent[cur]
+            path.append(t)
+            cur = t.src
+        path.reverse()
+        return path
+
+    def shortest_path_via_event(
+        self,
+        src: str,
+        target: str,
+        event: str,
+        edge_filter: Optional[EdgeFilter] = None,
+    ) -> Optional[list[Transition]]:
+        """Shortest path ``src ⇝ s_ic --event--> target``.
+
+        Among all transitions with label ``event`` whose destination is
+        ``target``, pick the one whose source minimizes the normal-transition
+        path from ``src``; the returned path *excludes* that final ``event``
+        edge (its label corresponds to the real, observed event — only the
+        prefix is made of inferred lost events, paper §IV-B).
+        """
+        best: Optional[list[Transition]] = None
+        for t in self.graph.transitions_with_event(event):
+            if t.dst != target:
+                continue
+            if edge_filter is not None and not edge_filter(t):
+                continue
+            prefix = self.shortest_path(src, t.src, edge_filter)
+            if prefix is None:
+                continue
+            if best is None or len(prefix) < len(best):
+                best = prefix
+        return best

@@ -1,0 +1,114 @@
+"""Template linting (paper §IV-A: FSMs are hand-written or mined — check them).
+
+Hand-written FSMs drift from the protocol and mined FSMs inherit trace
+noise; either way a broken template silently degrades inference.  The
+validator checks the structural properties the engine relies on:
+
+- **determinism** — at most one normal transition per (state, label);
+- **connectivity** — every state reachable from the initial state;
+- **liveness** — every non-terminal state has an outgoing transition
+  (reported as info, not an error: drop states are legitimately terminal);
+- **prerequisite sanity** — every rule references states that exist in the
+  graph (for explicit-node rules, the peer's template must be checked by
+  the caller, since templates are per-role);
+- **intra coverage** — which labels are dead at which states (neither a
+  normal transition nor a derived jump), i.e. where logs will be omitted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.fsm.templates import FsmTemplate
+
+
+@dataclass
+class ValidationReport:
+    """Findings for one template."""
+
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+    #: (state, label) pairs where an observed event would be omitted.
+    dead_pairs: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+
+def validate_template(template: FsmTemplate) -> ValidationReport:
+    """Lint ``template``; see module docstring for the checks."""
+    report = ValidationReport()
+    graph = template.graph
+
+    # determinism per (state, label)
+    for state in graph.states:
+        for label in graph.events:
+            edges = graph.transitions_from(state, label)
+            if len(edges) > 1:
+                report.errors.append(
+                    f"nondeterministic: {len(edges)} transitions for "
+                    f"({state!r}, {label!r})"
+                )
+
+    # connectivity from the initial state
+    reachable = {graph.initial} | set(template.reach.reachable_set(graph.initial))
+    for state in graph.states:
+        if state not in reachable:
+            report.errors.append(f"state {state!r} unreachable from {graph.initial!r}")
+
+    # liveness info
+    for state in graph.states:
+        if not graph.outgoing(state):
+            report.warnings.append(f"state {state!r} is terminal")
+
+    # prerequisite sanity: referenced states exist *somewhere sensible*.
+    # Rules usually point at the same template (uniform-role protocols);
+    # unknown states are warnings because multi-role wiring is legal.
+    for label, rules in template.prereqs.items():
+        if label not in graph.events:
+            report.warnings.append(
+                f"prerequisite rule for unknown label {label!r}"
+            )
+        for rule in rules:
+            for state in rule.states:
+                if not graph.has_state(state):
+                    report.warnings.append(
+                        f"prerequisite state {state!r} (label {label!r}) is not "
+                        "a state of this template (multi-role wiring?)"
+                    )
+
+    # dead (state, label) pairs
+    for state in graph.states:
+        for label in graph.events:
+            if graph.transitions_from(state, label):
+                continue
+            if (state, label) in template.intra:
+                continue
+            report.dead_pairs.append((state, label))
+
+    return report
+
+
+def validate_role_family(
+    templates: Sequence[FsmTemplate],
+) -> ValidationReport:
+    """Validate a set of role templates together.
+
+    Cross-role prerequisite states are resolved against *any* template in
+    the family, clearing the per-template warnings when they match.
+    """
+    combined = ValidationReport()
+    all_states = {s for t in templates for s in t.graph.states}
+    for template in templates:
+        single = validate_template(template)
+        combined.errors.extend(f"{template.name}: {e}" for e in single.errors)
+        combined.dead_pairs.extend(single.dead_pairs)
+        for warning in single.warnings:
+            if "multi-role wiring" in warning:
+                state = warning.split("'")[1]
+                if state in all_states:
+                    continue  # resolved by a sibling role
+            combined.warnings.append(f"{template.name}: {warning}")
+    return combined

@@ -1,0 +1,30 @@
+"""The lossy, unsynchronized logging substrate (paper §I-III).
+
+Nodes record events locally; the collected logs differ from the true event
+record in exactly the ways the paper describes:
+
+- **record loss** — individual log writes fail (flash errors, buffer
+  pressure): :class:`~repro.lognet.loss.LogLossSpec.write_fail_p`;
+- **tail loss** — a node crash truncates its log;
+- **chunk loss** — logs are shipped to the sink over CTP in chunks; whole
+  chunks go missing in transit;
+- **whole-log loss** — a node's log never arrives (Table II case 1);
+- **clock skew** — timestamps, where present at all, are local clock
+  readings with per-node offset and drift (:mod:`repro.lognet.clock`), so
+  cross-node ordering by timestamp is unreliable.
+
+:func:`~repro.lognet.collector.collect_logs` applies all of it
+deterministically given a seed.
+"""
+
+from repro.lognet.clock import LocalClock, make_clocks
+from repro.lognet.loss import LogLossSpec, apply_losses
+from repro.lognet.collector import collect_logs
+
+__all__ = [
+    "LocalClock",
+    "make_clocks",
+    "LogLossSpec",
+    "apply_losses",
+    "collect_logs",
+]

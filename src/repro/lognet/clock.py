@@ -1,0 +1,54 @@
+"""Unsynchronized local clocks.
+
+Sensor nodes have no global time source: each node's clock has a boot-time
+offset and a crystal drift (real 32kHz crystals drift tens of ppm).  The
+logging substrate stamps collected log records with *local* clock readings,
+so any analysis that compares timestamps across nodes (e.g. the
+time-correlation baseline) inherits the skew, while REFILL — which never
+reads timestamps — does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.util.rng import RngStreams
+
+
+@dataclass(frozen=True, slots=True)
+class LocalClock:
+    """``local = true * (1 + drift) + offset``."""
+
+    offset: float
+    drift: float
+
+    def local(self, true_time: float) -> float:
+        """Local clock reading at global time ``true_time``."""
+        return true_time * (1.0 + self.drift) + self.offset
+
+    def true(self, local_time: float) -> float:
+        """Invert a local reading back to global time (for tests)."""
+        return (local_time - self.offset) / (1.0 + self.drift)
+
+
+def make_clocks(
+    nodes,
+    rng: RngStreams,
+    *,
+    max_offset: float = 120.0,
+    max_drift_ppm: float = 80.0,
+    perfect: frozenset[int] | set[int] = frozenset(),
+) -> dict[int, LocalClock]:
+    """Random per-node clocks; nodes in ``perfect`` (e.g. the PC base
+    station) get an exact clock."""
+    stream = rng.stream("clocks")
+    clocks: dict[int, LocalClock] = {}
+    for node in sorted(nodes):
+        if node in perfect:
+            clocks[node] = LocalClock(0.0, 0.0)
+        else:
+            offset = stream.uniform(-max_offset, max_offset)
+            drift = stream.uniform(-max_drift_ppm, max_drift_ppm) * 1e-6
+            clocks[node] = LocalClock(offset, drift)
+    return clocks

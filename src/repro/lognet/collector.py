@@ -1,0 +1,54 @@
+"""Log collection: true per-node logs -> what the analyst actually gets.
+
+Combines the loss pipeline with local-clock stamping.  The returned logs
+are what REFILL (and the baselines) see: per-node ordered, incomplete, with
+unsynchronized timestamps.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.events.log import NodeLog
+from repro.lognet.clock import LocalClock, make_clocks
+from repro.lognet.loss import LogLossSpec, apply_losses
+from repro.util.rng import RngStreams
+
+
+def collect_logs(
+    true_logs: Mapping[int, NodeLog],
+    spec: LogLossSpec,
+    seed: int,
+    *,
+    clocks: Optional[Mapping[int, LocalClock]] = None,
+    perfect_clocks: frozenset[int] = frozenset(),
+) -> dict[int, NodeLog]:
+    """Apply log losses and clock skew; deterministic given ``seed``.
+
+    Parameters
+    ----------
+    true_logs:
+        Per-node logs with *true* timestamps (from the simulator).
+    spec:
+        The degradation pipeline configuration.
+    clocks:
+        Pre-built per-node clocks; generated from the seed when omitted.
+    perfect_clocks:
+        Nodes with exact clocks (the PC base station), used only when
+        ``clocks`` is generated here.
+    """
+    rng = RngStreams(seed)
+    if clocks is None:
+        clocks = make_clocks(true_logs.keys(), rng, perfect=perfect_clocks)
+    lossy = apply_losses(true_logs, spec, rng)
+    collected: dict[int, NodeLog] = {}
+    for node, log in lossy.items():
+        clock = clocks.get(node, LocalClock(0.0, 0.0))
+        collected[node] = NodeLog(
+            node,
+            (
+                e.with_time(clock.local(e.time)) if e.time is not None else e
+                for e in log
+            ),
+        )
+    return collected

@@ -1,0 +1,111 @@
+"""Log degradation models (paper §I: "logs ... may also be lossy due to
+log-write failure or even node failure").
+
+All loss modes operate on true per-node logs and are deterministic given an
+RNG stream.  They compose in the physically sensible order: write failures
+happen first (the record never existed on flash), then a crash truncates the
+tail, then collection drops chunks or whole logs in transit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.events.log import NodeLog
+from repro.util.rng import RngStreams
+
+
+@dataclass(frozen=True, slots=True)
+class LogLossSpec:
+    """Knobs of the degradation pipeline.
+
+    Attributes
+    ----------
+    write_fail_p:
+        Probability each individual record fails to be written.
+    crash_p / crash_keep_min:
+        Probability a node's log is truncated (crash / log-buffer wrap);
+        the surviving prefix length is uniform in
+        ``[crash_keep_min * len, len]``.
+    chunk_size / chunk_loss_p:
+        Logs ship to the sink in chunks of ``chunk_size`` records; each
+        chunk is lost in transit independently.
+    node_loss_p:
+        Probability a node's log never arrives at all (Table II case 1).
+    immune:
+        Nodes whose logs are reliable (the PC base station).
+    write_fail_overrides:
+        Per-node ``write_fail_p`` overrides as ``(node, p)`` pairs.  The
+        paper's sink is the canonical case: a node under heavy forwarding
+        load drops most of its own log writes, which is what splits the
+        sink's serial losses into the *acked* (recv record gone) vs
+        *received* (recv record survived) bands of Figs. 6/9.
+    """
+
+    write_fail_p: float = 0.0
+    crash_p: float = 0.0
+    crash_keep_min: float = 0.5
+    chunk_size: int = 16
+    chunk_loss_p: float = 0.0
+    node_loss_p: float = 0.0
+    immune: frozenset[int] = frozenset()
+    write_fail_overrides: tuple[tuple[int, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("write_fail_p", "crash_p", "chunk_loss_p", "node_loss_p"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p}")
+        for node, p in self.write_fail_overrides:
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"override for node {node} must be a probability, got {p}")
+        if self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        if not 0.0 <= self.crash_keep_min <= 1.0:
+            raise ValueError("crash_keep_min must be in [0, 1]")
+
+    def write_fail_for(self, node: int) -> float:
+        for n, p in self.write_fail_overrides:
+            if n == node:
+                return p
+        return self.write_fail_p
+
+    @classmethod
+    def lossless(cls) -> "LogLossSpec":
+        return cls()
+
+    @classmethod
+    def moderate(cls) -> "LogLossSpec":
+        """A CitySee-plausible default: a few percent of everything."""
+        return cls(write_fail_p=0.03, crash_p=0.02, chunk_loss_p=0.05, node_loss_p=0.01)
+
+
+def apply_losses(
+    logs: Mapping[int, NodeLog], spec: LogLossSpec, rng: RngStreams
+) -> dict[int, NodeLog]:
+    """Degrade ``logs`` per ``spec``; returns new logs, input untouched."""
+    out: dict[int, NodeLog] = {}
+    for node in sorted(logs):
+        log = logs[node]
+        if node in spec.immune:
+            out[node] = NodeLog(node, log.events)
+            continue
+        stream = rng.stream(f"logloss:{node}")
+        if spec.node_loss_p and stream.random() < spec.node_loss_p:
+            continue  # whole log missing
+        write_fail = spec.write_fail_for(node)
+        if write_fail:
+            keep = [stream.random() >= write_fail for _ in range(len(log))]
+            log = log.filtered(keep)
+        if spec.crash_p and stream.random() < spec.crash_p:
+            lo = int(len(log) * spec.crash_keep_min)
+            log = log.truncated(stream.randint(lo, len(log)))
+        if spec.chunk_loss_p and len(log):
+            keep = []
+            for start in range(0, len(log), spec.chunk_size):
+                kept = stream.random() >= spec.chunk_loss_p
+                keep.extend([kept] * min(spec.chunk_size, len(log) - start))
+            log = log.filtered(keep)
+        out[node] = log
+    return out

@@ -1,0 +1,66 @@
+"""CitySee-like WSN discrete-event simulator (substrate for §V).
+
+The paper evaluates REFILL on a physical 1200-node deployment.  We do not
+have that deployment, so this package builds the closest synthetic
+equivalent that exercises the same code paths *and* records ground truth —
+which the physical network could not provide:
+
+- :mod:`repro.simnet.sim` — discrete-event core;
+- :mod:`repro.simnet.topology` — urban-grid placement, sink + base station;
+- :mod:`repro.simnet.link` — distance-based PRR with temporal disturbances
+  (regional interference bursts, the paper's snow days);
+- :mod:`repro.simnet.mac` — LPL-style MAC with hardware acks and up to 30
+  retransmissions (§V-A2);
+- :mod:`repro.simnet.ctp` — CTP/ETX routing with beacon staleness, so
+  transient loops (and hence duplicate events) arise naturally (§V-A3);
+- :mod:`repro.simnet.sinkpath` — the unstable RS232 sink-to-base-station
+  link and the server outage schedule (§V-B/C, Fig. 7);
+- :mod:`repro.simnet.network` — the orchestrator producing true per-node
+  event logs plus a :class:`~repro.simnet.truth.GroundTruth`;
+- :mod:`repro.simnet.scenarios` — presets for every figure.
+"""
+
+from repro.simnet.sim import Simulator
+from repro.simnet.topology import Topology, make_grid_topology
+from repro.simnet.link import Disturbance, LinkModel, LinkParams
+from repro.simnet.mac import LplMac, MacOutcome, MacParams
+from repro.simnet.ctp import CtpParams, CtpRouting
+from repro.simnet.sinkpath import BaseStationModel, SerialLink
+from repro.simnet.truth import GroundTruth, TrueFate
+from repro.simnet.network import (
+    CrashParams,
+    Network,
+    NodeParams,
+    ScenarioParams,
+    SimulationResult,
+)
+from repro.simnet.query import QueryParams, QueryResult, run_query
+from repro.simnet.scenarios import citysee, small_network
+
+__all__ = [
+    "Simulator",
+    "Topology",
+    "make_grid_topology",
+    "Disturbance",
+    "LinkModel",
+    "LinkParams",
+    "LplMac",
+    "MacOutcome",
+    "MacParams",
+    "CtpParams",
+    "CtpRouting",
+    "BaseStationModel",
+    "SerialLink",
+    "GroundTruth",
+    "TrueFate",
+    "CrashParams",
+    "Network",
+    "NodeParams",
+    "ScenarioParams",
+    "SimulationResult",
+    "QueryParams",
+    "QueryResult",
+    "run_query",
+    "citysee",
+    "small_network",
+]

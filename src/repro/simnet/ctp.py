@@ -1,0 +1,177 @@
+"""CTP routing over the ETX metric (paper §V-A3).
+
+"The link ETX is calculated as 1/q ... Each node selects the path with
+smallest ETX as the routing path."  Beacons propagate path-ETX values
+asynchronously: at each beacon round a node recomputes its route from the
+values its neighbours *advertised at the previous round*.  That one-round
+staleness is what real CTP has between beacons — when link qualities swing
+(bursts, snow), transient routing loops arise naturally, which is exactly
+how the paper's duplicate losses happen ("often due to routing loops",
+Table I).  An optional ``loop_churn_p`` injects occasional stale parent
+choices to keep loop events present at small scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simnet.link import LinkModel
+from repro.simnet.topology import Topology
+from repro.util.rng import RngStreams
+
+#: Path ETX of unreachable nodes.
+INFINITE_ETX = float("inf")
+
+#: Links below this PRR are unusable for routing.
+MIN_ROUTABLE_PRR = 0.1
+
+#: ETX ceiling per link (1/PRR capped, mirroring CTP implementations).
+MAX_LINK_ETX = 10.0
+
+
+@dataclass(frozen=True, slots=True)
+class CtpParams:
+    """Routing knobs."""
+
+    beacon_interval: float = 60.0
+    #: Probability per (node, round) of adopting a *stale* parent choice (a
+    #: delayed/corrupted beacon makes a random routable neighbour look
+    #: good); the controlled source of transient loops at small scale.
+    loop_churn_p: float = 0.001
+    #: Hysteresis: switch parents only for an ETX gain above this.
+    parent_switch_threshold: float = 1.0
+    #: EWMA weight of the link-quality estimator (real CTP smooths ETX over
+    #: beacon windows; routing on instantaneous PRR would flap unrealistically).
+    etx_alpha: float = 0.2
+
+
+class CtpRouting:
+    """Distributed ETX tree maintenance with beacon staleness."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        link: LinkModel,
+        rng: RngStreams,
+        params: CtpParams = CtpParams(),
+    ) -> None:
+        self.topology = topology
+        self.link = link
+        self.params = params
+        self._stream = rng.stream("ctp")
+        self.parent: dict[int, int | None] = {n: None for n in topology.nodes}
+        self.path_etx: dict[int, float] = {n: INFINITE_ETX for n in topology.nodes}
+        self.path_etx[topology.sink] = 0.0
+        #: Values neighbours can currently hear (previous round's state).
+        self._advertised: dict[int, float] = dict(self.path_etx)
+        #: EWMA-smoothed link quality per undirected pair.
+        self._smoothed_q: dict[tuple[int, int], float] = {}
+        #: Liveness hook (set by the network when runtime crashes are on):
+        #: dead nodes advertise nothing and keep their stale route.
+        self.is_alive = lambda node: True
+        self.rounds_run = 0
+
+    # ------------------------------------------------------------------ #
+
+    def _smoothed(self, a: int, b: int, t: float) -> float:
+        """EWMA of the pair's quality, updated once per beacon round."""
+        key = (a, b) if a < b else (b, a)
+        return self._smoothed_q.get(key, self.link.base_prr(a, b))
+
+    def _update_smoothing(self, t: float) -> None:
+        alpha = self.params.etx_alpha
+        link = self.link
+        smoothed = self._smoothed_q
+        for node in self.topology.nodes:
+            for nbr in self.topology.neighbors(node):
+                if nbr < node:
+                    continue  # handle each undirected pair once
+                key = (node, nbr)
+                q = link.prr(node, nbr, t)
+                old = smoothed.get(key)
+                smoothed[key] = q if old is None else old + alpha * (q - old)
+
+    def link_etx(self, a: int, b: int, t: float) -> float:
+        """``1/q`` from the smoothed link quality, with floor/cap.
+
+        Real CTP keeps routing over a degraded link (and pays
+        retransmissions) rather than instantly dropping it — the ETX is
+        capped, not infinite, for any physically existing link.
+        """
+        q = self._smoothed(a, b, t)
+        if q <= 0.0:
+            return INFINITE_ETX
+        return min(MAX_LINK_ETX, 1.0 / max(q, MIN_ROUTABLE_PRR))
+
+    def beacon_round(self, t: float) -> None:
+        """One network-wide beacon exchange at time ``t``.
+
+        Every node recomputes (parent, path ETX) from the *advertised*
+        (one-round-stale) neighbour values; advertisements update at the end
+        of the round.
+        """
+        self._update_smoothing(t)
+        sink = self.topology.sink
+        rng = self._stream
+        new_etx: dict[int, float] = {sink: 0.0}
+        for node in self.topology.nodes:
+            if node == sink:
+                self.parent[sink] = None
+                continue
+            if not self.is_alive(node):
+                # a dead node beacons nothing and keeps its stale route
+                new_etx[node] = INFINITE_ETX
+                continue
+            candidates: list[tuple[float, int]] = []
+            best_parent, best_etx = None, INFINITE_ETX
+            for nbr in self.topology.neighbors(node):
+                if not self.is_alive(nbr):
+                    continue
+                through = self._advertised.get(nbr, INFINITE_ETX) + self.link_etx(node, nbr, t)
+                if through < INFINITE_ETX:
+                    candidates.append((through, nbr))
+                if through < best_etx:
+                    best_parent, best_etx = nbr, through
+            current = self.parent[node]
+            if (
+                current is not None
+                and best_parent is not None
+                and current != best_parent
+            ):
+                current_through = self._advertised.get(current, INFINITE_ETX) + self.link_etx(
+                    node, current, t
+                )
+                if current_through < best_etx + self.params.parent_switch_threshold:
+                    best_parent, best_etx = current, current_through
+            if candidates and rng.random() < self.params.loop_churn_p:
+                # stale/corrupted beacon: a random routable neighbour looks
+                # attractive for one round — the seed of a transient loop
+                best_etx, best_parent = candidates[rng.randrange(len(candidates))]
+            self.parent[node] = best_parent
+            new_etx[node] = best_etx
+        self.path_etx = new_etx
+        self._advertised = dict(new_etx)
+        self.rounds_run += 1
+
+    def converge(self, t: float = 0.0, rounds: int | None = None) -> None:
+        """Run beacon rounds until the tree stabilizes (setup phase)."""
+        if rounds is None:
+            # diameter bound: one round propagates ETX one hop
+            rounds = len(self.topology.nodes)
+        previous: dict[int, int | None] = {}
+        for _ in range(rounds):
+            self.beacon_round(t)
+            if self.parent == previous:
+                break
+            previous = dict(self.parent)
+
+    def next_hop(self, node: int, t: float) -> int | None:
+        """Current parent of ``node`` (None when no route)."""
+        return self.parent.get(node)
+
+    def routed_fraction(self) -> float:
+        """Fraction of non-sink nodes that currently have a route."""
+        nodes = [n for n in self.topology.nodes if n != self.topology.sink]
+        if not nodes:
+            return 1.0
+        return sum(1 for n in nodes if self.parent[n] is not None) / len(nodes)

@@ -1,0 +1,159 @@
+"""Wireless link quality model.
+
+Packet reception ratio (PRR) decays with distance (the classic CC2420
+transition region), gets a static per-link fudge (multipath), and is
+modulated over time by *disturbances*:
+
+- **regional interference bursts** — short windows where links near a point
+  degrade sharply; these produce the bursty timeout/duplicate losses the
+  paper's Fig. 5 circles;
+- **global weather** — the snow on days 9-10 that degraded the whole
+  network (paper §V-B: "On the 9th and 10th day, the packet losses become
+  high due to snow").
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.simnet.topology import Topology
+from repro.util.rng import RngStreams
+
+
+@dataclass(frozen=True, slots=True)
+class Disturbance:
+    """A multiplicative PRR factor active during ``[start, end)``.
+
+    ``region`` limits the effect to links with an endpoint within
+    ``radius`` of ``center``; ``None`` makes it global (weather).
+    """
+
+    start: float
+    end: float
+    factor: float
+    center: Optional[tuple[float, float]] = None
+    radius: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("disturbance must have positive duration")
+        if not 0.0 <= self.factor <= 1.0:
+            raise ValueError("factor must be in [0, 1]")
+
+    def active(self, t: float) -> bool:
+        return self.start <= t < self.end
+
+    def affects(self, position: tuple[float, float]) -> bool:
+        if self.center is None:
+            return True
+        return math.hypot(position[0] - self.center[0], position[1] - self.center[1]) <= self.radius
+
+
+@dataclass(frozen=True, slots=True)
+class LinkParams:
+    """Distance → PRR curve parameters.
+
+    PRR is ``good_prr`` inside the connected region, decays quadratically
+    across the transition region, and hits zero at ``radio_range``.
+    """
+
+    good_prr: float = 0.97
+    good_range_fraction: float = 0.55
+    floor_prr: float = 0.05
+    static_jitter: float = 0.06
+
+
+class LinkModel:
+    """PRR between node pairs as a function of time."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        rng: RngStreams,
+        params: LinkParams = LinkParams(),
+        disturbances: Sequence[Disturbance] = (),
+    ) -> None:
+        self.topology = topology
+        self.params = params
+        self.disturbances = sorted(disturbances, key=lambda d: d.start)
+        self._stream = rng.stream("links")
+        self._base: dict[tuple[int, int], float] = {}
+        # piecewise-constant active set: boundaries where it changes, plus a
+        # cache of the disturbances active in the current window (queries are
+        # mostly time-ordered, so the cache hit rate is high; the common
+        # no-disturbance window reduces prr() to one dict lookup).
+        self._boundaries = sorted(
+            {0.0}
+            | {d.start for d in self.disturbances}
+            | {d.end for d in self.disturbances}
+        )
+        self._window: tuple[float, float, tuple[Disturbance, ...]] = (
+            -float("inf"),
+            -float("inf"),
+            (),
+        )
+
+    def base_prr(self, a: int, b: int) -> float:
+        """Time-invariant PRR of the ``a -> b`` link (symmetric base)."""
+        key = (a, b) if a < b else (b, a)
+        prr = self._base.get(key)
+        if prr is None:
+            prr = self._compute_base(*key)
+            self._base[key] = prr
+        return prr
+
+    def _compute_base(self, a: int, b: int) -> float:
+        p = self.params
+        d = self.topology.distance(a, b)
+        r = self.topology.radio_range
+        good = p.good_range_fraction * r
+        if d <= good:
+            prr = p.good_prr
+        elif d >= r:
+            prr = 0.0
+        else:
+            frac = (d - good) / (r - good)
+            prr = p.good_prr * (1.0 - frac**2)
+        # deterministic per-link static jitter (hash the pair for stability)
+        jitter = (self._pair_hash(a, b) * 2.0 - 1.0) * p.static_jitter
+        return float(min(1.0, max(p.floor_prr if d < r else 0.0, prr + jitter)))
+
+    @staticmethod
+    def _pair_hash(a: int, b: int) -> float:
+        # xorshift-style mix; stable across runs, uniform-ish in [0, 1)
+        x = (a * 2654435761 ^ b * 40503) & 0xFFFFFFFF
+        x ^= x >> 13
+        x = (x * 1274126177) & 0xFFFFFFFF
+        x ^= x >> 16
+        return x / 2**32
+
+    def _active_at(self, t: float) -> tuple[Disturbance, ...]:
+        lo, hi, active = self._window
+        if lo <= t < hi:
+            return active
+        i = bisect.bisect_right(self._boundaries, t)
+        lo = self._boundaries[i - 1] if i > 0 else -float("inf")
+        hi = self._boundaries[i] if i < len(self._boundaries) else float("inf")
+        active = tuple(d for d in self.disturbances if d.active(t))
+        self._window = (lo, hi, active)
+        return active
+
+    def temporal_factor(self, a: int, b: int, t: float) -> float:
+        """Product of active disturbance factors touching the link."""
+        active = self._active_at(t)
+        if not active:
+            return 1.0
+        factor = 1.0
+        pa = self.topology.positions[a]
+        pb = self.topology.positions[b]
+        for disturbance in active:
+            if disturbance.affects(pa) or disturbance.affects(pb):
+                factor *= disturbance.factor
+        return factor
+
+    def prr(self, a: int, b: int, t: float) -> float:
+        """Instantaneous PRR of the directed ``a -> b`` link at time ``t``."""
+        return self.base_prr(a, b) * self.temporal_factor(a, b, t)

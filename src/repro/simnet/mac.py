@@ -1,0 +1,76 @@
+"""LPL-style MAC layer (paper §V-A2).
+
+"If a node has packets to send, it repeatedly sends the packets until an
+ACK is received or a timeout of a certain period" — each attempt delivers
+with the link's data-direction PRR; on delivery the receiver's radio sends a
+hardware ACK which itself can be lost (reverse-direction PRR), causing
+retransmissions the receiver's MAC dedupes silently by DSN.  Up to
+``max_retries`` attempts (the paper mentions "up to 30 retransmissions",
+§V-D3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simnet.link import LinkModel
+from repro.util.rng import RngStreams
+
+
+@dataclass(frozen=True, slots=True)
+class MacParams:
+    """MAC timing/retry knobs.
+
+    ``attempt_time`` covers the LPL preamble + data + ack window of one
+    attempt (coarse; only relative timing matters to the model).
+    """
+
+    max_retries: int = 30
+    attempt_time: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 1:
+            raise ValueError("max_retries must be >= 1")
+        if self.attempt_time <= 0:
+            raise ValueError("attempt_time must be positive")
+
+
+@dataclass(frozen=True, slots=True)
+class MacOutcome:
+    """Result of one MAC send (one routing-layer transmission).
+
+    ``delivered`` — at least one data frame reached the receiver;
+    ``acked`` — the sender saw a hardware ACK;
+    ``delivered and not acked`` is the interesting asymmetry: the receiver
+    holds the packet while the sender times out.
+    """
+
+    delivered: bool
+    acked: bool
+    attempts: int
+    duration: float
+
+
+class LplMac:
+    """Simulates unicast sends over the link model."""
+
+    def __init__(self, link: LinkModel, rng: RngStreams, params: MacParams = MacParams()) -> None:
+        self.link = link
+        self.params = params
+        self._stream = rng.stream("mac")
+
+    def send(self, src: int, dst: int, t: float) -> MacOutcome:
+        """One routing-layer unicast with retransmissions until ack/timeout."""
+        rng = self._stream
+        prr_data = self.link.prr(src, dst, t)
+        prr_ack = self.link.prr(dst, src, t)
+        delivered = False
+        attempts = 0
+        for attempts in range(1, self.params.max_retries + 1):
+            if rng.random() < prr_data:
+                delivered = True
+                if rng.random() < prr_ack:
+                    return MacOutcome(True, True, attempts, attempts * self.params.attempt_time)
+        return MacOutcome(
+            delivered, False, attempts, attempts * self.params.attempt_time
+        )

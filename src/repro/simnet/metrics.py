@@ -1,0 +1,65 @@
+"""Network-level metrics over a simulation's ground truth.
+
+Operator-facing statistics used by examples and benchmarks: per-node
+delivery, hop-length distribution, load concentration — the numbers a
+CitySee-style deployment dashboard would show.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.simnet.network import SimulationResult
+from repro.simnet.truth import TrueCause
+
+
+@dataclass
+class NetworkReport:
+    """Ground-truth statistics of one run."""
+
+    packets: int
+    delivered: int
+    per_origin_delivery: dict[int, float]
+    hop_histogram: Counter
+    node_forwarding_load: Counter
+    loss_counts: dict[TrueCause, int]
+
+    @property
+    def delivery_ratio(self) -> float:
+        return self.delivered / self.packets if self.packets else 0.0
+
+    def mean_hops(self) -> float:
+        total = sum(self.hop_histogram.values())
+        if not total:
+            return 0.0
+        return sum(h * c for h, c in self.hop_histogram.items()) / total
+
+
+def summarize(result: SimulationResult) -> NetworkReport:
+    """Compute the report from a simulation's ground truth."""
+    truth = result.truth
+    bs = result.base_station_node
+    per_origin: dict[int, list[int]] = {}
+    hop_histogram: Counter = Counter()
+    load: Counter = Counter()
+    for packet, fate in truth.fates.items():
+        per_origin.setdefault(packet.origin, [0, 0])
+        per_origin[packet.origin][1] += 1
+        per_origin[packet.origin][0] += fate.delivered
+        path = truth.true_path(packet, exclude=frozenset({bs}))
+        if fate.delivered:
+            hop_histogram[max(0, len(path) - 1)] += 1
+        for node in path[1:]:  # forwarding work: everyone after the origin
+            load[node] += 1
+    return NetworkReport(
+        packets=len(truth.fates),
+        delivered=len(truth.delivered_packets()),
+        per_origin_delivery={
+            origin: ok / total for origin, (ok, total) in sorted(per_origin.items())
+        },
+        hop_histogram=hop_histogram,
+        node_forwarding_load=load,
+        loss_counts=truth.loss_counts(),
+    )

@@ -1,0 +1,431 @@
+"""The network orchestrator: packets, queues, logging, ground truth.
+
+Ties the substrate layers together into a running network.  Every node logs
+its own events (``gen``/``recv``/``trans``/``ack_recvd``/``dup``/
+``overflow``/``timeout``, paper Table I) into a *true* per-node log with
+true timestamps; :mod:`repro.lognet` later degrades those into the lossy
+collected logs REFILL sees.  Silent losses — in-node task failures, serial
+drops, server outages — produce **no** event, which is precisely what makes
+them invisible to naive analysis and recoverable by REFILL's inference.
+
+Model simplifications (documented per DESIGN.md §1.3): packets move as a
+single live copy (a hardware-ack loss makes the sender time out and drop
+while the receiver's copy continues — no forking); MAC contention between
+nodes is not modelled; the origin's application queue never overflows (CTP
+clients have a dedicated send slot).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.events.event import Event, EventType
+from repro.events.log import NodeLog
+from repro.events.packet import PacketKey
+from repro.simnet.ctp import CtpParams, CtpRouting
+from repro.simnet.link import Disturbance, LinkModel, LinkParams
+from repro.simnet.mac import LplMac, MacParams
+from repro.simnet.sim import Simulator
+from repro.simnet.sinkpath import BaseStationModel, SerialLink
+from repro.simnet.topology import Topology, make_grid_topology
+from repro.simnet.truth import GroundTruth, TrueCause, TrueFate
+from repro.util.rng import RngStreams
+
+
+@dataclass(frozen=True, slots=True)
+class NodeParams:
+    """Per-node resource model (paper §V-D3: losses *inside* nodes)."""
+
+    queue_capacity: int = 12
+    dup_cache_size: int = 64
+    #: Probability a received packet dies being handed to upper layers
+    #: (task-post failure, component conflicts) — a silent in-node loss.
+    task_fail_p: float = 0.004
+    #: Per-packet processing delay before the radio takes over.
+    proc_delay: float = 0.005
+    #: Serial transfer time of one packet at the sink.
+    serial_time: float = 0.02
+    #: Hop budget (CTP's THL); exceeded = persistent loop.
+    max_hops: int = 25
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity < 1 or self.dup_cache_size < 1 or self.max_hops < 1:
+            raise ValueError("capacities must be positive")
+        if not 0.0 <= self.task_fail_p <= 1.0:
+            raise ValueError("task_fail_p must be a probability")
+
+
+@dataclass(frozen=True, slots=True)
+class CrashParams:
+    """Runtime node failures (paper §III: "malfunction of nodes").
+
+    Crashes follow a per-node Poisson process; a crashed node drops its RAM
+    queue (silent in-node losses), stops generating/forwarding (neighbours'
+    sends time out) and returns after ``repair_time``.  Its flash log
+    survives — log-side losses are :mod:`repro.lognet`'s department.
+    """
+
+    #: Expected crashes per node per ``day_seconds`` of simulated time.
+    rate_per_day: float = 0.0
+    day_seconds: float = 7200.0
+    repair_time: float = 600.0
+
+    def __post_init__(self) -> None:
+        if self.rate_per_day < 0:
+            raise ValueError("rate_per_day must be non-negative")
+        if self.repair_time <= 0 or self.day_seconds <= 0:
+            raise ValueError("repair_time/day_seconds must be positive")
+
+
+@dataclass(frozen=True)
+class ScenarioParams:
+    """Everything needed to build and run one network scenario."""
+
+    n_nodes: int = 60
+    duration: float = 3600.0
+    gen_interval: float = 300.0
+    #: Width of the window the per-node sampling phases fall in.  Sensing
+    #: applications sample on a common period, so phases cluster: rounds of
+    #: near-simultaneous generation hit the relays as arrival bursts (and,
+    #: when links are also degraded, as queue overflow).  ``None`` spreads
+    #: phases uniformly over the whole interval.
+    gen_sync_window: Optional[float] = 30.0
+    seed: int = 7
+    spacing: float = 50.0
+    jitter: float = 10.0
+    radio_range: float = 80.0
+    link: LinkParams = LinkParams()
+    disturbances: tuple[Disturbance, ...] = ()
+    mac: MacParams = MacParams()
+    ctp: CtpParams = CtpParams()
+    node: NodeParams = NodeParams()
+    serial: SerialLink = SerialLink()
+    base_station: BaseStationModel = BaseStationModel()
+    crash: CrashParams = CrashParams()
+
+    def with_(self, **changes) -> "ScenarioParams":
+        """Functional update."""
+        return replace(self, **changes)
+
+
+@dataclass
+class SimulationResult:
+    """Everything a downstream analysis needs."""
+
+    params: ScenarioParams
+    topology: Topology
+    #: True per-node logs (true timestamps, nothing lost yet).
+    true_logs: dict[int, NodeLog]
+    truth: GroundTruth
+    #: Data packets received at the base station, with true arrival times —
+    #: the input of the sink-view baseline (paper Fig. 4).
+    bs_arrivals: list[tuple[PacketKey, float]]
+    sim_events: int
+
+    @property
+    def sink(self) -> int:
+        return self.topology.sink
+
+    @property
+    def base_station_node(self) -> int:
+        return self.topology.base_station
+
+    def delivery_ratio(self) -> float:
+        return self.truth.delivery_ratio()
+
+
+class Network:
+    """Builds and runs one scenario."""
+
+    def __init__(self, params: ScenarioParams) -> None:
+        self.params = params
+        self.rng = RngStreams(params.seed)
+        self.topology = make_grid_topology(
+            params.n_nodes,
+            self.rng,
+            spacing=params.spacing,
+            jitter=params.jitter,
+            radio_range=params.radio_range,
+        )
+        self.link = LinkModel(self.topology, self.rng, params.link, params.disturbances)
+        self.mac = LplMac(self.link, self.rng, params.mac)
+        self.routing = CtpRouting(self.topology, self.link, self.rng, params.ctp)
+        self.sim = Simulator()
+        self.truth = GroundTruth()
+        self.logs: dict[int, NodeLog] = {
+            n: NodeLog(n) for n in [*self.topology.nodes, self.topology.base_station]
+        }
+        self.bs_arrivals: list[tuple[PacketKey, float]] = []
+        #: Per-node forwarding FIFO; the transmitter serves it serially, so
+        #: degraded links (long retry storms) back queues up — the source of
+        #: bursty overflow losses (paper Fig. 5).
+        self._fifo: dict[int, deque[tuple[PacketKey, int]]] = {
+            n: deque() for n in self.topology.nodes
+        }
+        self._busy: dict[int, bool] = {n: False for n in self.topology.nodes}
+        self._dup_cache: dict[int, OrderedDict[PacketKey, None]] = {
+            n: OrderedDict() for n in self.topology.nodes
+        }
+        self._seq: dict[int, int] = {n: 0 for n in self.topology.nodes}
+        self._gen_stream = self.rng.stream("gen")
+        self._node_stream = self.rng.stream("node")
+        self._serial_stream = self.rng.stream("serial")
+        self._crash_stream = self.rng.stream("crash")
+        self._alive: dict[int, bool] = {n: True for n in self.topology.nodes}
+        self.routing.is_alive = self._alive.__getitem__
+
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> SimulationResult:
+        """Converge routing, generate traffic, run to completion."""
+        p = self.params
+        self.routing.converge(0.0)
+        self._schedule_beacons()
+        window = p.gen_sync_window if p.gen_sync_window is not None else p.gen_interval
+        for node in self.topology.nodes:
+            if node == self.topology.sink:
+                continue
+            phase = self._gen_stream.uniform(0.0, window)
+            if phase < p.duration:
+                self.sim.at(phase, self._make_generator(node, phase, 0))
+        self._schedule_crashes()
+        self.sim.run()
+        return SimulationResult(
+            params=p,
+            topology=self.topology,
+            true_logs=self.logs,
+            truth=self.truth,
+            bs_arrivals=self.bs_arrivals,
+            sim_events=self.sim.events_run,
+        )
+
+    # ------------------------------------------------------------------ #
+    # scheduling helpers
+
+    def _schedule_beacons(self) -> None:
+        interval = self.params.ctp.beacon_interval
+        t = interval
+        while t <= self.params.duration:
+            self.sim.at(t, self._make_beacon(t))
+            t += interval
+
+    def _make_beacon(self, t: float):
+        def fire() -> None:
+            before = dict(self.routing.parent)
+            self.routing.beacon_round(t)
+            # nodes log their own parent switches — real CTP deployments do,
+            # and it is exactly the packet-less log noise REFILL must skip
+            # while the route analytics consume it
+            now = self.sim.now
+            for node, parent in self.routing.parent.items():
+                if parent != before.get(node) and self._alive[node]:
+                    # info values as strings: the text codec is typeless and
+                    # round-trips must be exact
+                    self.logs[node].append(
+                        Event.make(
+                            "parent_change",
+                            node,
+                            time=now,
+                            old=str(before.get(node)),
+                            new=str(parent),
+                        )
+                    )
+        return fire
+
+    def _schedule_crashes(self) -> None:
+        """Poisson crash/repair schedule per node (sink excluded: a dead
+        sink ends the deployment rather than being a per-packet fate)."""
+        p = self.params.crash
+        if p.rate_per_day <= 0:
+            return
+        rate = p.rate_per_day / p.day_seconds
+        for node in self.topology.nodes:
+            if node == self.topology.sink:
+                continue
+            t = self._crash_stream.expovariate(rate)
+            while t < self.params.duration:
+                self.sim.at(t, self._make_crash(node))
+                recover = t + p.repair_time
+                self.sim.at(recover, self._make_repair(node))
+                t = recover + self._crash_stream.expovariate(rate)
+
+    def _make_crash(self, node: int):
+        def crash() -> None:
+            self._alive[node] = False
+            now = self.sim.now
+            # the RAM queue dies with the node; the flash log survives
+            for packet, _hops in self._fifo[node]:
+                self.truth.record_fate(packet, TrueFate(TrueCause.CRASH, node, now))
+            self._fifo[node].clear()
+        return crash
+
+    def _make_repair(self, node: int):
+        def repair() -> None:
+            self._alive[node] = True
+            self._busy[node] = False
+        return repair
+
+    def _make_generator(self, node: int, phase: float, round_no: int):
+        def fire() -> None:
+            self._generate(node)
+            interval = self.params.gen_interval
+            # anchored to the sampling epoch so phases stay clustered
+            jitter = self._gen_stream.uniform(-0.02, 0.02) * interval
+            nxt = phase + (round_no + 1) * interval + jitter
+            if self.sim.now < nxt < self.params.duration:
+                self.sim.at(nxt, self._make_generator(node, phase, round_no + 1))
+        return fire
+
+    # ------------------------------------------------------------------ #
+    # packet lifecycle
+
+    def _log(self, packet: PacketKey, event: Event) -> None:
+        self.logs[event.node].append(event)
+        self.truth.record_event(packet, event)
+
+    def _generate(self, node: int) -> None:
+        if not self._alive[node]:
+            return  # crashed: skip this sensing round
+        now = self.sim.now
+        self._seq[node] += 1
+        packet = PacketKey(node, self._seq[node])
+        self.truth.record_gen(packet, now)
+        self._log(packet, Event.make(EventType.GEN, node, packet=packet, time=now))
+        # the application slot: always accepted (see module docstring)
+        self._dup_cache_add(node, packet)
+        self._enqueue(node, packet, hops=0)
+
+    def _enqueue(self, node: int, packet: PacketKey, hops: int) -> None:
+        """Put the packet on the node's transmit FIFO; kick the transmitter."""
+        self._fifo[node].append((packet, hops))
+        if not self._busy[node]:
+            self._busy[node] = True
+            self.sim.after(self.params.node.proc_delay, lambda: self._service(node))
+
+    def _service(self, node: int) -> None:
+        """Serve the head of the node's FIFO; reschedules itself while busy."""
+        fifo = self._fifo[node]
+        if not self._alive[node] or not fifo:
+            self._busy[node] = False
+            return
+        packet, hops = fifo.popleft()
+        duration = self._transmit(node, packet, hops)
+        self.sim.after(duration, lambda: self._service(node))
+
+    def _transmit(self, node: int, packet: PacketKey, hops: int) -> float:
+        """One forwarding step; returns how long the transmitter is busy."""
+        now = self.sim.now
+        if node == self.topology.sink:
+            self._deliver_serial(packet)
+            return self.params.node.serial_time
+        parent = self.routing.next_hop(node, now)
+        if parent is None:
+            self.truth.record_fate(packet, TrueFate(TrueCause.NO_ROUTE, node, now))
+            return self.params.node.proc_delay
+        if not self._alive[parent]:
+            # the parent crashed: every attempt dies, the sender times out
+            duration = self.params.mac.max_retries * self.params.mac.attempt_time
+            done = now + duration
+            self._log(
+                packet,
+                Event.make(EventType.TRANS, node, src=node, dst=parent, packet=packet, time=now),
+            )
+            self.sim.at(done, self._make_timeout_logger(node, parent, packet, done))
+            self.truth.record_fate(packet, TrueFate(TrueCause.TIMEOUT, node, done))
+            return duration
+        outcome = self.mac.send(node, parent, now)
+        self._log(
+            packet,
+            Event.make(EventType.TRANS, node, src=node, dst=parent, packet=packet, time=now),
+        )
+        done = now + outcome.duration
+        if outcome.delivered:
+            self.sim.at(done, lambda: self._arrive(parent, node, packet, hops + 1))
+        if outcome.acked:
+            self.sim.at(done, self._make_ack_logger(node, parent, packet, done))
+        else:
+            self.sim.at(done, self._make_timeout_logger(node, parent, packet, done))
+            if not outcome.delivered:
+                self.truth.record_fate(packet, TrueFate(TrueCause.TIMEOUT, node, done))
+        return outcome.duration
+
+    def _make_ack_logger(self, node: int, parent: int, packet: PacketKey, t: float):
+        return lambda: self._log(
+            packet,
+            Event.make(EventType.ACK, node, src=node, dst=parent, packet=packet, time=t),
+        )
+
+    def _make_timeout_logger(self, node: int, parent: int, packet: PacketKey, t: float):
+        return lambda: self._log(
+            packet,
+            Event.make(EventType.TIMEOUT, node, src=node, dst=parent, packet=packet, time=t),
+        )
+
+    def _arrive(self, node: int, sender: int, packet: PacketKey, hops: int) -> None:
+        now = self.sim.now
+        if not self._alive[node]:
+            # the node died between the send decision and the arrival
+            self.truth.record_fate(packet, TrueFate(TrueCause.CRASH, node, now))
+            return
+        if hops > self.params.node.max_hops:
+            self.truth.record_fate(packet, TrueFate(TrueCause.TTL, node, now))
+            return
+        if packet in self._dup_cache[node]:
+            self._log(
+                packet,
+                Event.make(EventType.DUP, node, src=sender, dst=node, packet=packet, time=now),
+            )
+            self.truth.record_fate(packet, TrueFate(TrueCause.DUPLICATE, node, now))
+            return
+        if len(self._fifo[node]) >= self.params.node.queue_capacity:
+            self._log(
+                packet,
+                Event.make(
+                    EventType.OVERFLOW, node, src=sender, dst=node, packet=packet, time=now
+                ),
+            )
+            self.truth.record_fate(packet, TrueFate(TrueCause.OVERFLOW, node, now))
+            return
+        self._log(
+            packet,
+            Event.make(EventType.RECV, node, src=sender, dst=node, packet=packet, time=now),
+        )
+        self._dup_cache_add(node, packet)
+        if self._node_stream.random() < self.params.node.task_fail_p:
+            # silent in-node loss: the recv is logged, nothing else ever is
+            self.truth.record_fate(packet, TrueFate(TrueCause.IN_NODE, node, now))
+            return
+        self._enqueue(node, packet, hops)
+
+    def _deliver_serial(self, packet: PacketKey) -> None:
+        now = self.sim.now
+        sink = self.topology.sink
+        bs = self.topology.base_station
+        if self._serial_stream.random() >= self.params.serial.quality(now):
+            # silent RS232 drop: the sink's recv is the packet's last event
+            self.truth.record_fate(packet, TrueFate(TrueCause.SERIAL, sink, now))
+            return
+        if self.params.base_station.is_down(now):
+            self.truth.record_fate(packet, TrueFate(TrueCause.OUTAGE, bs, now))
+            return
+        # the serial write is real but no logger ever captures it; it lives
+        # only in ground truth so inferred [sink-bs trans] events score as
+        # correct rather than spurious
+        self.truth.record_event(
+            packet,
+            Event.make(EventType.TRANS, sink, src=sink, dst=bs, packet=packet, time=now),
+        )
+        self._log(
+            packet,
+            Event.make(EventType.RECV, bs, src=sink, dst=bs, packet=packet, time=now),
+        )
+        self.bs_arrivals.append((packet, now))
+        self.truth.record_fate(packet, TrueFate(TrueCause.DELIVERED, bs, now))
+
+    def _dup_cache_add(self, node: int, packet: PacketKey) -> None:
+        cache = self._dup_cache[node]
+        cache[packet] = None
+        if len(cache) > self.params.node.dup_cache_size:
+            cache.popitem(last=False)

@@ -1,0 +1,171 @@
+"""Query-response workload: flood a query down, collect responses up.
+
+The paper's negotiation pattern (Fig. 3d) composed with its data-collection
+workload: the sink floods a query over the routing tree (each node
+rebroadcasts to its children), queried nodes answer with a response packet
+routed back over CTP.  The campaign's question — *which nodes actually
+heard the query, and whose answers made it back?* — is exactly the kind of
+network-wide fact REFILL reconstructs from individual lossy logs.
+
+Per-node events:
+
+- ``query_recv`` — the query (id ``q``) arrived from the parent; recorded on
+  the hearer, with the forwarding parent as ``src``;
+- ``query_fwd`` — the node rebroadcast the query to its children (related
+  information carries the child list);
+- the response packet then produces ordinary forwarder events
+  (``gen``/``trans``/``recv``/...), handled by the standard CTP template.
+
+The engines for the query side live in
+:func:`repro.fsm.templates.query_templates`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.events.event import Event, EventType
+from repro.events.log import NodeLog
+from repro.events.packet import PacketKey
+from repro.simnet.network import Network, ScenarioParams
+from repro.simnet.scenarios import small_network
+from repro.util.rng import RngStreams
+
+
+@dataclass(frozen=True, slots=True)
+class QueryParams:
+    """One query campaign over a small network."""
+
+    scenario: ScenarioParams = field(default_factory=lambda: small_network(n_nodes=20))
+    #: Query identifier (origin = sink, seq = the query id).
+    query_id: int = 1
+    #: Per-hop probability the query broadcast reaches a child (floods
+    #: retry, so per-child reliability is high; misses still compound with
+    #: depth — a missed relay silences its whole subtree).
+    flood_reliability: float = 0.97
+    #: Probability a hearer answers at all (duty cycling, app logic).
+    answer_p: float = 0.95
+
+
+@dataclass
+class QueryResult:
+    """Ground truth + true logs of one campaign."""
+
+    network: Network
+    query: PacketKey
+    #: Nodes that actually heard the query.
+    heard: frozenset[int]
+    #: Nodes that generated a response.
+    answered: frozenset[int]
+    #: Response packet per answering node.
+    responses: dict[int, PacketKey]
+    true_logs: dict[int, NodeLog]
+
+    @property
+    def sink(self) -> int:
+        return self.network.topology.sink
+
+    @property
+    def base_station(self) -> int:
+        return self.network.topology.base_station
+
+    def delivered_answers(self) -> frozenset[int]:
+        """Answering nodes whose response reached the base station."""
+        truth = self.network.truth
+        return frozenset(
+            node
+            for node, packet in self.responses.items()
+            if packet in truth.fates and truth.fates[packet].delivered
+        )
+
+
+def run_query(params: QueryParams) -> QueryResult:
+    """Flood the query, generate responses, run the collection network.
+
+    The flood happens over a converged routing tree (children = nodes whose
+    parent is the forwarder); responses are injected as ordinary data
+    packets and travel through the full simulator (losses and all).
+    """
+    network = Network(params.scenario)
+    network.routing.converge(0.0)
+    network._schedule_beacons()
+
+    sink = network.topology.sink
+    query = PacketKey(sink, params.query_id)
+    rng = RngStreams(params.scenario.seed).spawn("query").stream("flood")
+
+    # children per node from the converged tree
+    children: dict[int, list[int]] = {n: [] for n in network.topology.nodes}
+    for node, parent in network.routing.parent.items():
+        if parent is not None:
+            children[parent].append(node)
+
+    heard: set[int] = set()
+    answered: set[int] = set()
+    responses: dict[int, PacketKey] = {}
+    t = 1.0
+
+    def flood(node: int, depth: int) -> None:
+        nonlocal t
+        kids = sorted(children[node])
+        if not kids:
+            return
+        now = 1.0 + depth * 0.5
+        network.logs[node].append(
+            Event.make(
+                "query_fwd",
+                node,
+                packet=query,
+                time=now,
+                targets=",".join(str(k) for k in kids),
+            )
+        )
+        network.truth.record_event(query, network.logs[node][-1])
+        for child in kids:
+            if rng.random() >= params.flood_reliability:
+                continue  # broadcast frame missed this child
+            heard.add(child)
+            event = Event.make(
+                "query_recv", child, src=node, dst=child, packet=query,
+                time=now + 0.1,
+            )
+            network.logs[child].append(event)
+            network.truth.record_event(query, event)
+            flood(child, depth + 1)
+
+    heard.add(sink)
+    flood(sink, 0)
+
+    # answers: injected as ordinary data packets through the live network
+    for node in sorted(heard - {sink}):
+        if rng.random() >= params.answer_p:
+            continue
+        answered.add(node)
+        network._seq[node] += 1
+        packet = PacketKey(node, network._seq[node])
+        responses[node] = packet
+        start = 2.0 + node * 0.01
+        network.sim.at(start, _make_response(network, node, packet))
+    network.sim.run()
+
+    return QueryResult(
+        network=network,
+        query=query,
+        heard=frozenset(heard),
+        answered=frozenset(answered),
+        responses=responses,
+        true_logs=network.logs,
+    )
+
+
+def _make_response(network: Network, node: int, packet: PacketKey):
+    def fire() -> None:
+        now = network.sim.now
+        network.truth.record_gen(packet, now)
+        network._log(
+            packet, Event.make(EventType.GEN, node, packet=packet, time=now)
+        )
+        network._dup_cache_add(node, packet)
+        network._enqueue(node, packet, hops=0)
+    return fire

@@ -1,0 +1,61 @@
+"""Minimal discrete-event simulation core.
+
+A binary-heap event queue with FIFO tie-breaking for equal timestamps —
+enough for the packet-granularity WSN model (the guides' advice applies:
+keep the hot loop simple; the scheduler is not the bottleneck, the per-event
+Python callbacks are).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Optional
+
+
+class Simulator:
+    """Event-driven simulation clock."""
+
+    def __init__(self) -> None:
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self.now: float = 0.0
+        self._events_run = 0
+
+    def at(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at absolute ``time`` (>= now)."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
+        heapq.heappush(self._queue, (time, next(self._counter), callback))
+
+    def after(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` after ``delay`` seconds."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self.at(self.now + delay, callback)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run events in time order until the queue drains (or ``until``).
+
+        Events scheduled exactly at ``until`` still run; later ones stay
+        queued (so a subsequent ``run`` can continue).
+        """
+        while self._queue:
+            time, _, callback = self._queue[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(self._queue)
+            self.now = time
+            self._events_run += 1
+            callback()
+        if until is not None and until > self.now:
+            self.now = until
+
+    @property
+    def events_run(self) -> int:
+        """Total callbacks executed (diagnostics/benchmarks)."""
+        return self._events_run
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)

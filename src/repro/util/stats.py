@@ -1,0 +1,43 @@
+"""Shared statistics helpers for the analysis layer."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Hashable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+
+def percentage_breakdown(counts: Mapping[Hashable, int]) -> dict[Hashable, float]:
+    """Normalize counts into percentages summing to ~100 (empty -> empty)."""
+    total = sum(counts.values())
+    if total == 0:
+        return {k: 0.0 for k in counts}
+    return {k: 100.0 * v / total for k, v in counts.items()}
+
+
+def histogram(values: Iterable[float], edges: Sequence[float]) -> list[int]:
+    """Counts of values per ``[edges[i], edges[i+1])`` bucket (vectorized)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return [0] * (len(edges) - 1)
+    counts, _ = np.histogram(arr, bins=np.asarray(edges, dtype=float))
+    return counts.astype(int).tolist()
+
+
+def time_buckets(start: float, end: float, width: float) -> list[float]:
+    """Bucket edges covering ``[start, end]`` with the given width."""
+    if width <= 0:
+        raise ValueError("bucket width must be positive")
+    if end < start:
+        raise ValueError("end must be >= start")
+    n = max(1, int(np.ceil((end - start) / width)))
+    return [start + i * width for i in range(n + 1)]
+
+
+def count_by(items: Iterable, key) -> Counter:
+    """Counter over ``key(item)``."""
+    counter: Counter = Counter()
+    for item in items:
+        counter[key(item)] += 1
+    return counter

@@ -1,0 +1,38 @@
+"""Minimal ASCII table rendering for benchmark/report output."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 1000 else f"{value:.1f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(parts: Sequence[str]) -> str:
+        return " | ".join(p.ljust(w) for p, w in zip(parts, widths))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append("-+-".join("-" * w for w in widths))
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)

@@ -1,0 +1,21 @@
+"""Dependency-free SVG rendering of the paper's figures.
+
+The benchmarks print ASCII series; this package additionally renders the
+actual pictures — the Fig. 4/5 loss scatters, the Fig. 6 stacked per-day
+composition, the Fig. 8 spatial circle map — as standalone SVG files, with
+no plotting library required.
+"""
+
+from repro.vis.svg import SvgCanvas
+from repro.vis.figures import (
+    render_scatter_svg,
+    render_spatial_svg,
+    render_stacked_days_svg,
+)
+
+__all__ = [
+    "SvgCanvas",
+    "render_scatter_svg",
+    "render_spatial_svg",
+    "render_stacked_days_svg",
+]

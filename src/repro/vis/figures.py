@@ -1,0 +1,129 @@
+"""SVG renderers for the paper's figures.
+
+Each function takes the same data series the benchmarks assert on and
+produces a standalone SVG string (see ``examples/citysee_figures.py`` and
+the ``--svg`` options of the benchmarks' emit files).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Mapping, Optional, Sequence
+
+from repro.analysis.spatial import SpatialPoint
+from repro.core.diagnosis import LossCause
+from repro.vis.svg import Extent, SvgCanvas
+
+#: Stable per-cause colors across all figures.
+CAUSE_COLORS: dict[LossCause, str] = {
+    LossCause.SERVER_OUTAGE: "#7f7f7f",
+    LossCause.RECEIVED_LOSS: "#1f77b4",
+    LossCause.ACKED_LOSS: "#ff7f0e",
+    LossCause.TIMEOUT_LOSS: "#d62728",
+    LossCause.DUP_LOSS: "#9467bd",
+    LossCause.OVERFLOW_LOSS: "#2ca02c",
+    LossCause.UNKNOWN: "#bcbd22",
+}
+
+
+def _legend(canvas: SvgCanvas, causes: Sequence[LossCause]) -> None:
+    x = canvas.width - canvas.margin - 130
+    y = canvas.margin + 8
+    for cause in causes:
+        canvas.rect_raw(x, y - 8, 10, 10, fill=CAUSE_COLORS[cause])
+        canvas.text(x + 16, y + 1, str(cause), size=11, raw=True)
+        y += 16
+
+
+def render_scatter_svg(
+    points: Sequence[tuple[float, int, LossCause]],
+    *,
+    title: str,
+    x_label: str = "time",
+    y_label: str = "node id",
+    width: int = 860,
+    height: int = 520,
+) -> str:
+    """Figs. 4/5: loss markers on (time, node) with per-cause colors."""
+    canvas = SvgCanvas(width, height)
+    if not points:
+        canvas.title(title + " (no losses)")
+        return canvas.to_svg()
+    xs = [t for t, _, _ in points]
+    ys = [n for _, n, _ in points]
+    canvas.extent = Extent(
+        min(xs), max(xs) + 1e-9 + (max(xs) - min(xs) or 1.0) * 0.02,
+        min(ys) - 1, max(ys) + 1,
+    )
+    canvas.title(title)
+    canvas.axes(x_label=x_label, y_label=y_label)
+    for t, node, cause in points:
+        canvas.circle(t, node, 2.4, fill=CAUSE_COLORS[cause], opacity=0.75)
+    _legend(canvas, sorted({c for _, _, c in points}, key=list(CAUSE_COLORS).index))
+    return canvas.to_svg()
+
+
+def render_spatial_svg(
+    points: Sequence[SpatialPoint],
+    *,
+    positions: Mapping[int, tuple[float, float]],
+    title: str = "Fig. 8 — spatial distribution of received losses",
+    width: int = 700,
+    height: int = 700,
+    max_radius: float = 28.0,
+) -> str:
+    """Fig. 8: circle radius = loss count; triangle marks the sink."""
+    canvas = SvgCanvas(width, height)
+    xs = [p[0] for p in positions.values()]
+    ys = [p[1] for p in positions.values()]
+    pad_x = (max(xs) - min(xs) or 1.0) * 0.05
+    pad_y = (max(ys) - min(ys) or 1.0) * 0.05
+    canvas.extent = Extent(min(xs) - pad_x, max(xs) + pad_x, min(ys) - pad_y, max(ys) + pad_y)
+    canvas.title(title)
+    canvas.axes(x_label="x (m)", y_label="y (m)")
+    for node, (x, y) in positions.items():
+        canvas.circle(x, y, 1.5, fill="#cccccc")
+    top = max((p.count for p in points), default=1)
+    for point in points:
+        radius = 3.0 + (point.count / top) * max_radius
+        canvas.circle(point.x, point.y, radius, fill="#1f77b4", opacity=0.45)
+    for point in points:
+        if point.is_sink:
+            canvas.triangle(point.x, point.y, 8.0, fill="#d62728")
+            canvas.text(point.x, point.y, f"  sink: {point.count}", size=12)
+    return canvas.to_svg()
+
+
+def render_stacked_days_svg(
+    days: Sequence[Mapping[LossCause, int]],
+    *,
+    title: str = "Fig. 6 — loss composition over days",
+    width: int = 900,
+    height: int = 460,
+    annotations: Optional[Mapping[int, str]] = None,
+) -> str:
+    """Fig. 6: per-day stacked bars by cause."""
+    canvas = SvgCanvas(width, height)
+    n = len(days)
+    totals = [sum(day.values()) for day in days]
+    top = max(totals) if totals else 1
+    canvas.extent = Extent(-0.5, max(n - 0.5, 0.5), 0, top * 1.08 or 1)
+    canvas.title(title)
+    canvas.axes(x_label="day", y_label="losses")
+    inner_width = canvas.width - 2 * canvas.margin
+    bar_px = max(2.0, inner_width / max(n, 1) * 0.8)
+    causes = [c for c in CAUSE_COLORS if any(day.get(c) for day in days)]
+    for index, day in enumerate(days):
+        stack = 0
+        for cause in causes:
+            count = day.get(cause, 0)
+            if not count:
+                continue
+            y_top = stack + count
+            height_px = canvas.py(stack) - canvas.py(y_top)
+            canvas.rect(index - 0.4, y_top, bar_px, height_px, fill=CAUSE_COLORS[cause])
+            stack = y_top
+        if annotations and index in annotations:
+            canvas.text(index, top * 1.04, annotations[index], size=10, anchor="middle")
+    _legend(canvas, causes)
+    return canvas.to_svg()

@@ -1,0 +1,147 @@
+"""A minimal SVG canvas (no external plotting dependency).
+
+Just enough primitives for the figure renderers: circles, rectangles,
+lines, text, and a linear data-to-pixel mapping with margins.
+"""
+
+from __future__ import annotations
+
+import html
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class Extent:
+    """Data-space bounds mapped onto the drawing area."""
+
+    x_min: float
+    x_max: float
+    y_min: float
+    y_max: float
+
+    def __post_init__(self) -> None:
+        if self.x_max <= self.x_min or self.y_max <= self.y_min:
+            raise ValueError("extent must have positive span on both axes")
+
+
+class SvgCanvas:
+    """Accumulates SVG elements and serializes to a document."""
+
+    def __init__(
+        self,
+        width: int = 800,
+        height: int = 500,
+        *,
+        extent: Optional[Extent] = None,
+        margin: int = 50,
+    ) -> None:
+        self.width = width
+        self.height = height
+        self.margin = margin
+        self.extent = extent
+        self._elements: list[str] = []
+
+    # ------------------------------------------------------------------ #
+    # coordinate mapping (y axis flipped: data up = screen up)
+
+    def px(self, x: float) -> float:
+        """Map data x to pixel x."""
+        if self.extent is None:
+            return x
+        span = self.extent.x_max - self.extent.x_min
+        inner = self.width - 2 * self.margin
+        return self.margin + (x - self.extent.x_min) / span * inner
+
+    def py(self, y: float) -> float:
+        """Map data y to pixel y (flipped)."""
+        if self.extent is None:
+            return y
+        span = self.extent.y_max - self.extent.y_min
+        inner = self.height - 2 * self.margin
+        return self.height - self.margin - (y - self.extent.y_min) / span * inner
+
+    # ------------------------------------------------------------------ #
+    # primitives (data coordinates unless suffixed _raw)
+
+    def circle(self, x: float, y: float, r: float, *, fill: str, opacity: float = 1.0) -> None:
+        """Filled circle at data coordinates."""
+        self._elements.append(
+            f'<circle cx="{self.px(x):.1f}" cy="{self.py(y):.1f}" r="{r:.1f}" '
+            f'fill="{fill}" fill-opacity="{opacity}"/>'
+        )
+
+    def rect(self, x: float, y: float, w_px: float, h_px: float, *, fill: str) -> None:
+        """Rectangle anchored at data point (x, y) growing down-right in px."""
+        self._elements.append(
+            f'<rect x="{self.px(x):.1f}" y="{self.py(y):.1f}" width="{w_px:.1f}" '
+            f'height="{h_px:.1f}" fill="{fill}"/>'
+        )
+
+    def rect_raw(self, x: float, y: float, w: float, h: float, *, fill: str) -> None:
+        """Rectangle in raw pixel coordinates."""
+        self._elements.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" height="{h:.1f}" fill="{fill}"/>'
+        )
+
+    def line(self, x1: float, y1: float, x2: float, y2: float, *, stroke: str = "#999", width: float = 1.0) -> None:
+        """Line between two data points."""
+        self._elements.append(
+            f'<line x1="{self.px(x1):.1f}" y1="{self.py(y1):.1f}" '
+            f'x2="{self.px(x2):.1f}" y2="{self.py(y2):.1f}" '
+            f'stroke="{stroke}" stroke-width="{width}"/>'
+        )
+
+    def text(self, x: float, y: float, content: str, *, size: int = 12, anchor: str = "start", raw: bool = False) -> None:
+        """Text at data (or raw pixel) coordinates, XML-escaped."""
+        sx = x if raw else self.px(x)
+        sy = y if raw else self.py(y)
+        self._elements.append(
+            f'<text x="{sx:.1f}" y="{sy:.1f}" font-size="{size}" '
+            f'font-family="sans-serif" text-anchor="{anchor}">{html.escape(content)}</text>'
+        )
+
+    def triangle(self, x: float, y: float, size: float, *, fill: str) -> None:
+        """Upward triangle marker at data coordinates."""
+        cx, cy = self.px(x), self.py(y)
+        points = f"{cx},{cy - size} {cx - size},{cy + size} {cx + size},{cy + size}"
+        self._elements.append(f'<polygon points="{points}" fill="{fill}"/>')
+
+    def axes(self, *, x_label: str = "", y_label: str = "") -> None:
+        """Plot frame with optional axis labels."""
+        m = self.margin
+        self.rect_raw(m, m, self.width - 2 * m, self.height - 2 * m, fill="none")
+        self._elements.append(
+            f'<rect x="{m}" y="{m}" width="{self.width - 2 * m}" '
+            f'height="{self.height - 2 * m}" fill="none" stroke="#333"/>'
+        )
+        if x_label:
+            self.text(self.width / 2, self.height - 12, x_label, anchor="middle", raw=True)
+        if y_label:
+            self._elements.append(
+                f'<text x="14" y="{self.height / 2:.1f}" font-size="12" '
+                f'font-family="sans-serif" text-anchor="middle" '
+                f'transform="rotate(-90 14 {self.height / 2:.1f})">{html.escape(y_label)}</text>'
+            )
+
+    def title(self, content: str) -> None:
+        """Centered title line."""
+        self.text(self.width / 2, 24, content, size=15, anchor="middle", raw=True)
+
+    # ------------------------------------------------------------------ #
+
+    def to_svg(self) -> str:
+        """Serialize to a standalone SVG document."""
+        body = "\n".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">\n'
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>\n'
+            f"{body}\n</svg>\n"
+        )
+
+    def save(self, path) -> None:
+        """Write the SVG document to ``path``."""
+        from pathlib import Path
+
+        Path(path).write_text(self.to_svg())

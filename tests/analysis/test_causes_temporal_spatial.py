@@ -1,0 +1,202 @@
+"""Unit tests for the figure analytics (causes, temporal, spatial)."""
+
+import pytest
+
+from repro.analysis.causes import (
+    attribute_server_outages,
+    cause_counts,
+    cause_shares,
+    daily_composition,
+    daily_loss_totals,
+    sink_split,
+)
+from repro.analysis.spatial import (
+    loss_share_of_top_nodes,
+    received_loss_map,
+    top_loss_node,
+)
+from repro.analysis.temporal import (
+    burstiness,
+    cause_marker_counts,
+    concentration_gini,
+    loss_scatter,
+    per_node_loss_counts,
+)
+from repro.core.diagnosis import LossCause, LossReport
+from repro.events.packet import PacketKey
+from repro.simnet.topology import make_grid_topology
+from repro.util.rng import RngStreams
+
+SINK = 5
+BS = 99
+
+
+def report(cause, position):
+    return LossReport(cause, position)
+
+
+class TestOutageAttribution:
+    def make_reports(self):
+        return {
+            PacketKey(1, 1): report(LossCause.RECEIVED_LOSS, SINK),
+            PacketKey(1, 2): report(LossCause.ACKED_LOSS, SINK),
+            PacketKey(2, 1): report(LossCause.RECEIVED_LOSS, 7),  # not sink
+            PacketKey(2, 2): report(LossCause.TIMEOUT_LOSS, SINK),  # wrong kind
+            PacketKey(3, 1): report(LossCause.DELIVERED, BS),
+        }
+
+    def test_window_and_position_filtering(self):
+        est = {
+            PacketKey(1, 1): 150.0,  # in window, at sink -> outage
+            PacketKey(1, 2): 500.0,  # outside window
+            PacketKey(2, 1): 150.0,  # in window but not at sink
+            PacketKey(2, 2): 150.0,  # in window, at sink, but timeout
+            PacketKey(3, 1): 150.0,
+        }
+        out = attribute_server_outages(
+            self.make_reports(), est, outages=[(100.0, 200.0)], sink=SINK, base_station=BS
+        )
+        assert out[PacketKey(1, 1)].cause is LossCause.SERVER_OUTAGE
+        assert out[PacketKey(1, 1)].position == BS
+        assert out[PacketKey(1, 2)].cause is LossCause.ACKED_LOSS
+        assert out[PacketKey(2, 1)].cause is LossCause.RECEIVED_LOSS
+        assert out[PacketKey(2, 2)].cause is LossCause.TIMEOUT_LOSS
+        assert out[PacketKey(3, 1)].cause is LossCause.DELIVERED
+
+    def test_no_outages_identity(self):
+        reports = self.make_reports()
+        assert attribute_server_outages(reports, {}, outages=[], sink=SINK, base_station=BS) == reports
+
+    def test_missing_estimate_not_attributed(self):
+        reports = {PacketKey(1, 1): report(LossCause.RECEIVED_LOSS, SINK)}
+        out = attribute_server_outages(
+            reports, {PacketKey(1, 1): None}, outages=[(0.0, 1e9)], sink=SINK, base_station=BS
+        )
+        assert out[PacketKey(1, 1)].cause is LossCause.RECEIVED_LOSS
+
+
+class TestCauseComposition:
+    def make_reports(self):
+        return {
+            PacketKey(1, 1): report(LossCause.RECEIVED_LOSS, SINK),
+            PacketKey(1, 2): report(LossCause.RECEIVED_LOSS, 3),
+            PacketKey(1, 3): report(LossCause.ACKED_LOSS, SINK),
+            PacketKey(1, 4): report(LossCause.TIMEOUT_LOSS, 2),
+            PacketKey(1, 5): report(LossCause.DELIVERED, BS),
+        }
+
+    def test_counts_exclude_delivered(self):
+        counts = cause_counts(self.make_reports())
+        assert sum(counts.values()) == 4
+
+    def test_shares_sum_to_100(self):
+        shares = cause_shares(self.make_reports())
+        assert sum(shares.values()) == pytest.approx(100.0)
+        assert shares[LossCause.RECEIVED_LOSS] == pytest.approx(50.0)
+
+    def test_shares_empty(self):
+        assert cause_shares({PacketKey(1, 1): report(LossCause.DELIVERED, BS)}) == {}
+
+    def test_sink_split_matches_paper_buckets(self):
+        split = sink_split(self.make_reports(), SINK)
+        assert split["received_sink"] == pytest.approx(25.0)
+        assert split["received_other"] == pytest.approx(25.0)
+        assert split["acked_sink"] == pytest.approx(25.0)
+        assert split["acked_other"] == pytest.approx(0.0)
+
+    def test_daily_composition_buckets_by_estimate(self):
+        reports = self.make_reports()
+        est = {
+            PacketKey(1, 1): 50.0,
+            PacketKey(1, 2): 150.0,
+            PacketKey(1, 3): 150.0,
+            PacketKey(1, 4): None,  # unplaceable -> dropped
+            PacketKey(1, 5): 50.0,
+        }
+        days = daily_composition(reports, est, day_seconds=100.0, n_days=2)
+        assert daily_loss_totals(days) == [1, 2]
+        assert days[1][LossCause.ACKED_LOSS] == 1
+
+
+class TestTemporal:
+    def make_points(self):
+        reports = {
+            PacketKey(1, 1): report(LossCause.TIMEOUT_LOSS, 4),
+            PacketKey(2, 1): report(LossCause.TIMEOUT_LOSS, 4),
+            PacketKey(3, 1): report(LossCause.RECEIVED_LOSS, SINK),
+            PacketKey(4, 1): report(LossCause.DELIVERED, BS),
+        }
+        est = {
+            PacketKey(1, 1): 100.0,
+            PacketKey(2, 1): 101.0,
+            PacketKey(3, 1): 900.0,
+            PacketKey(4, 1): 100.0,
+        }
+        return reports, est
+
+    def test_scatter_axes(self):
+        reports, est = self.make_points()
+        by_source = loss_scatter(reports, est, axis="source")
+        by_position = loss_scatter(reports, est, axis="position")
+        assert [(n for _, n, _ in by_source)] is not None
+        assert {n for _, n, _ in by_source} == {1, 2, 3}
+        assert {n for _, n, _ in by_position} == {4, SINK}
+        with pytest.raises(ValueError):
+            loss_scatter(reports, est, axis="bogus")
+
+    def test_scatter_excludes_delivered_and_unplaced(self):
+        reports, est = self.make_points()
+        est[PacketKey(1, 1)] = None
+        points = loss_scatter(reports, est, axis="source")
+        assert len(points) == 2
+
+    def test_gini_extremes(self):
+        assert concentration_gini([5, 5, 5, 5]) == pytest.approx(0.0)
+        concentrated = concentration_gini([0] * 99 + [100])
+        assert concentrated > 0.95
+        assert concentration_gini([]) == 0.0
+
+    def test_per_node_counts_include_zeros(self):
+        reports, est = self.make_points()
+        points = loss_scatter(reports, est, axis="position")
+        counts = per_node_loss_counts(points, all_nodes=[1, 2, 3, 4, SINK])
+        assert counts[1] == 0 and counts[4] == 2
+
+    def test_burstiness(self):
+        points = [(t, 1, LossCause.TIMEOUT_LOSS) for t in (0.0, 1.0, 2.0, 500.0)]
+        assert burstiness(points, LossCause.TIMEOUT_LOSS, window=10.0, top_k=1) == pytest.approx(0.75)
+        assert burstiness(points, LossCause.DUP_LOSS, window=10.0) == 0.0
+
+    def test_marker_counts(self):
+        reports, est = self.make_points()
+        counts = cause_marker_counts(loss_scatter(reports, est, axis="source"))
+        assert counts[LossCause.TIMEOUT_LOSS] == 2
+
+
+class TestSpatial:
+    def test_received_loss_map_and_sink_flag(self):
+        topo = make_grid_topology(9, RngStreams(0))
+        sink = topo.sink
+        other = next(n for n in topo.nodes if n != sink)
+        reports = {
+            PacketKey(1, i): report(LossCause.RECEIVED_LOSS, sink) for i in range(5)
+        }
+        reports[PacketKey(2, 1)] = report(LossCause.ACKED_LOSS, other)
+        points = received_loss_map(reports, topo)
+        assert points[0].node == sink and points[0].is_sink
+        assert points[0].count == 5
+        assert top_loss_node(points).node == sink
+        assert loss_share_of_top_nodes(points, 1) == pytest.approx(5 / 6)
+
+    def test_strict_received_only(self):
+        topo = make_grid_topology(9, RngStreams(0))
+        reports = {
+            PacketKey(1, 1): report(LossCause.ACKED_LOSS, topo.sink),
+        }
+        points = received_loss_map(reports, topo, causes=(LossCause.RECEIVED_LOSS,))
+        assert points == []
+
+    def test_empty(self):
+        topo = make_grid_topology(9, RngStreams(0))
+        assert top_loss_node(received_loss_map({}, topo)) is None
+        assert loss_share_of_top_nodes([], 3) == 0.0

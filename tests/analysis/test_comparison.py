@@ -1,0 +1,55 @@
+"""Tests for the analyzer-comparison harness."""
+
+import pytest
+
+from repro.analysis.comparison import AnalyzerScore, ComparisonResult, compare_analyzers
+from repro.analysis.pipeline import evaluate
+from repro.simnet.scenarios import small_network
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return compare_analyzers(evaluate(small_network(n_nodes=25, minutes=30)))
+
+
+class TestCompareAnalyzers:
+    def test_all_analyzers_scored(self, comparison):
+        names = {s.name for s in comparison.scores}
+        assert names == {"REFILL", "NetCheck-style", "time-correlation"}
+
+    def test_scores_bounded(self, comparison):
+        for score in comparison.scores:
+            assert 0.0 <= score.cause_accuracy <= 1.0
+            assert 0.0 <= score.position_accuracy <= 1.0
+
+    def test_refill_dominates_on_positions(self, comparison):
+        refill = comparison.by_name("REFILL")
+        for other in ("NetCheck-style", "time-correlation"):
+            assert refill.position_accuracy >= comparison.by_name(other).position_accuracy
+
+    def test_individual_logs_unmergeable(self, comparison):
+        assert comparison.wit_mergeable_fraction == 0.0
+
+    def test_unknown_name_raises(self, comparison):
+        with pytest.raises(KeyError):
+            comparison.by_name("nope")
+
+    def test_render(self, comparison):
+        text = comparison.render()
+        assert "REFILL" in text and "Wit-style" in text
+
+
+class TestDominanceHelper:
+    def make(self, refill=(0.9, 0.9), other=(0.5, 0.5)):
+        return ComparisonResult(
+            scores=[
+                AnalyzerScore("REFILL", *refill),
+                AnalyzerScore("NetCheck-style", *other),
+            ],
+            wit_mergeable_fraction=0.0,
+        )
+
+    def test_dominates(self):
+        assert self.make().refill_dominates(margin=0.2)
+        assert not self.make(refill=(0.6, 0.9)).refill_dominates(margin=0.2)
+        assert not self.make(other=(0.95, 0.1)).refill_dominates()

@@ -1,0 +1,118 @@
+"""Unit + integration tests for the §V-D implications module."""
+
+import pytest
+
+from repro.analysis.implications import (
+    Implications,
+    check_citysee_pathologies,
+    derive_implications,
+)
+from repro.core.diagnosis import LossCause, LossReport
+from repro.events.packet import PacketKey
+
+SINK = 50
+
+
+def report(cause, position):
+    return LossReport(cause, position)
+
+
+class TestDeriveImplications:
+    def make_inputs(self):
+        reports = {
+            # sink-bound in-node losses from many different sources
+            PacketKey(1, 1): report(LossCause.RECEIVED_LOSS, SINK),
+            PacketKey(2, 1): report(LossCause.ACKED_LOSS, SINK),
+            PacketKey(3, 1): report(LossCause.ACKED_LOSS, SINK),
+            PacketKey(4, 1): report(LossCause.RECEIVED_LOSS, SINK),
+            # a link loss elsewhere
+            PacketKey(5, 1): report(LossCause.TIMEOUT_LOSS, 7),
+            # an outage
+            PacketKey(6, 1): report(LossCause.SERVER_OUTAGE, 99),
+            # a delivered packet: ignored
+            PacketKey(7, 1): report(LossCause.DELIVERED, 99),
+        }
+        est = {p: 100.0 * i for i, p in enumerate(sorted(reports))}
+        nodes = list(range(1, 10)) + [SINK]
+        return reports, est, nodes
+
+    def test_quantities(self):
+        reports, est, nodes = self.make_inputs()
+        imp = derive_implications(reports, est, nodes=nodes, sink=SINK, window=250.0)
+        # positions concentrate on the sink; sources are all distinct
+        assert imp.position_gini > imp.source_gini
+        # 4 node losses : 1 link loss
+        assert imp.node_vs_link_ratio == pytest.approx(4.0)
+        # last mile: 4 sink in-node + 1 outage of 6 losses
+        assert imp.last_mile_share == pytest.approx(5 / 6)
+        # acked: 2 of 6
+        assert imp.acked_loss_share == pytest.approx(2 / 6)
+
+    def test_no_link_losses_ratio_none(self):
+        reports = {PacketKey(1, 1): report(LossCause.RECEIVED_LOSS, 3)}
+        imp = derive_implications(
+            reports, {PacketKey(1, 1): 0.0}, nodes=[1, 2, 3], sink=9, window=10.0
+        )
+        assert imp.node_vs_link_ratio is None
+
+    def test_rows_render(self):
+        reports, est, nodes = self.make_inputs()
+        imp = derive_implications(reports, est, nodes=nodes, sink=SINK, window=250.0)
+        rows = imp.rows()
+        assert len(rows) == 5
+        assert all(isinstance(k, str) and isinstance(v, str) for k, v in rows)
+
+
+class TestCityseePathologies:
+    def test_verdicts(self):
+        imp = Implications(
+            source_gini=0.1,
+            position_gini=0.9,
+            cause_cooccurrence=0.5,
+            node_vs_link_ratio=10.0,
+            last_mile_share=0.6,
+            acked_loss_share=0.4,
+        )
+        verdicts = check_citysee_pathologies(imp)
+        assert all(verdicts.values())
+
+    def test_healthy_network_fails_checks(self):
+        imp = Implications(
+            source_gini=0.3,
+            position_gini=0.35,
+            cause_cooccurrence=0.0,
+            node_vs_link_ratio=0.5,
+            last_mile_share=0.05,
+            acked_loss_share=0.02,
+        )
+        verdicts = check_citysee_pathologies(imp)
+        assert not any(
+            verdicts[k]
+            for k in (
+                "positions_concentrate_vs_sources",
+                "causes_cooccur",
+                "node_losses_dominate_link_losses",
+                "last_mile_is_significant",
+                "hardware_acks_overpromise",
+            )
+        )
+
+
+class TestEndToEnd:
+    def test_simulated_citysee_exhibits_the_pathologies(self):
+        from repro.analysis.pipeline import evaluate
+        from repro.simnet.scenarios import DAY, citysee
+
+        result = evaluate(citysee(n_nodes=80, days=3, seed=19))
+        imp = derive_implications(
+            result.reports,
+            result.est_loss_times,
+            nodes=result.sim.topology.nodes,
+            sink=result.sink,
+            window=DAY / 12,
+        )
+        verdicts = check_citysee_pathologies(imp)
+        assert verdicts["positions_concentrate_vs_sources"]
+        assert verdicts["node_losses_dominate_link_losses"]
+        assert verdicts["last_mile_is_significant"]
+        assert verdicts["hardware_acks_overpromise"]

@@ -1,0 +1,128 @@
+"""Integration tests for the evaluation pipeline and accuracy scoring."""
+
+import pytest
+
+from repro.analysis.accuracy import (
+    acceptable_causes,
+    cause_accuracy,
+    event_recovery,
+    ordering_accuracy,
+    score_run,
+)
+from repro.analysis.pipeline import default_loss_spec, evaluate, run_simulation
+from repro.core.diagnosis import LossCause
+from repro.lognet.loss import LogLossSpec
+from repro.simnet.scenarios import citysee, small_network
+from repro.simnet.truth import TrueCause, TrueFate
+
+
+@pytest.fixture(scope="module")
+def small_eval():
+    return evaluate(small_network(n_nodes=25, minutes=30))
+
+
+class TestPipeline:
+    def test_all_logged_packets_reconstructed(self, small_eval):
+        logged = set()
+        for log in small_eval.collected_logs.values():
+            logged |= log.packets()
+        assert set(small_eval.flows) == logged
+
+    def test_reports_cover_flows(self, small_eval):
+        assert set(small_eval.reports) == set(small_eval.flows)
+
+    def test_delivered_packets_diagnosed_delivered(self, small_eval):
+        truth = small_eval.sim.truth
+        wrong = [
+            p
+            for p, r in small_eval.reports.items()
+            if p in truth.fates and truth.fates[p].delivered and r.lost
+        ]
+        # a delivered packet can only look lost if the BS record itself is
+        # gone; the BS log is immune, so there are none
+        assert wrong == []
+
+    def test_simulation_cache_reuses_runs(self):
+        params = small_network(n_nodes=12, minutes=5)
+        a = run_simulation(params)
+        b = run_simulation(params)
+        assert a is b
+        c = run_simulation(params, cache=False)
+        assert c is not a
+
+    def test_lossless_spec_gives_perfect_event_recall(self):
+        params = small_network(n_nodes=16, minutes=15)
+        result = evaluate(params, loss_spec=LogLossSpec.lossless())
+        precision, recall = event_recovery(
+            result.flows, result.collected_logs, result.sim.truth
+        )
+        # nothing was lost, so nothing should be inferred
+        assert recall == 1.0
+        total_inferred = sum(len(f.inferred_events()) for f in result.flows.values())
+        # only the unloggable serial-hop trans may be inferred
+        non_serial = [
+            e
+            for f in result.flows.values()
+            for e in f.inferred_events()
+            if e.dst != result.base_station
+        ]
+        assert non_serial == []
+
+
+class TestAcceptableCauses:
+    def test_mappings(self):
+        sink = 50
+        fate = TrueFate(TrueCause.SERIAL, sink, 1.0)
+        acc = acceptable_causes(fate, sink=sink)
+        assert (LossCause.RECEIVED_LOSS, sink) in acc
+        assert (LossCause.ACKED_LOSS, sink) in acc
+        fate = TrueFate(TrueCause.OUTAGE, 99, 1.0)
+        assert acceptable_causes(fate, sink=sink) == {(LossCause.SERVER_OUTAGE, None)}
+        assert acceptable_causes(fate, sink=sink, outage_attributed=False) == {
+            (LossCause.RECEIVED_LOSS, sink),
+            (LossCause.ACKED_LOSS, sink),
+        }
+        fate = TrueFate(TrueCause.TIMEOUT, 3, 1.0)
+        assert acceptable_causes(fate, sink=sink) == {(LossCause.TIMEOUT_LOSS, 3)}
+        fate = TrueFate(TrueCause.TTL, 3, 1.0)
+        assert acceptable_causes(fate, sink=sink) == {(LossCause.UNKNOWN, None)}
+
+
+class TestAccuracy:
+    def test_small_run_quality(self, small_eval):
+        acc = score_run(
+            small_eval.flows,
+            small_eval.reports,
+            small_eval.collected_logs,
+            small_eval.sim.truth,
+            sink=small_eval.sink,
+        )
+        assert acc.coverage > 0.95
+        assert acc.cause_accuracy > 0.85
+        assert acc.event_precision > 0.85
+        assert acc.event_recall > 0.6
+        assert acc.ordering_accuracy > 0.85
+
+    def test_citysee_run_quality(self):
+        result = evaluate(citysee(n_nodes=80, days=3))
+        acc = score_run(
+            result.flows,
+            result.reports,
+            result.collected_logs,
+            result.sim.truth,
+            sink=result.sink,
+        )
+        assert acc.cause_accuracy > 0.9
+        assert acc.position_accuracy > 0.8
+        assert acc.event_precision > 0.9
+
+    def test_ordering_accuracy_perfect_on_lossless(self):
+        params = small_network(n_nodes=16, minutes=15)
+        result = evaluate(params, loss_spec=LogLossSpec.lossless())
+        assert ordering_accuracy(result.flows, result.sim.truth) > 0.99
+
+    def test_confusion_matrix_populated(self, small_eval):
+        _, _, confusion = cause_accuracy(
+            small_eval.reports, small_eval.sim.truth, sink=small_eval.sink
+        )
+        assert (TrueCause.DELIVERED, LossCause.DELIVERED) in confusion

@@ -1,0 +1,60 @@
+"""Unit tests for pipeline internals: loss-time estimation fallbacks and
+the simulation cache key."""
+
+import pytest
+
+from repro.analysis.pipeline import _cache_key, _estimate_times, run_simulation
+from repro.baselines.sink_view import SinkView
+from repro.core.diagnosis import LossCause, LossReport
+from repro.events.event import Event
+from repro.events.log import NodeLog
+from repro.events.packet import PacketKey
+from repro.simnet.scenarios import small_network
+
+
+class TestEstimateTimes:
+    def test_sink_view_preferred(self):
+        pkt = PacketKey(1, 2)
+        view = SinkView([(PacketKey(1, 1), 100.0)], gen_interval=50.0)
+        reports = {pkt: LossReport(LossCause.UNKNOWN, None)}
+        collected = {
+            1: NodeLog(1, [Event.make("gen", 1, packet=pkt, time=999.0)]),
+        }
+        est = _estimate_times(view, reports, collected)
+        # the sink-view extrapolation (150) wins over the local gen stamp
+        assert est[pkt] == pytest.approx(150.0)
+
+    def test_gen_record_fallback(self):
+        pkt = PacketKey(9, 1)  # origin 9 never delivered anything
+        view = SinkView([], gen_interval=50.0)
+        reports = {pkt: LossReport(LossCause.UNKNOWN, None)}
+        collected = {
+            9: NodeLog(9, [Event.make("gen", 9, packet=pkt, time=42.0)]),
+        }
+        est = _estimate_times(view, reports, collected)
+        assert est[pkt] == pytest.approx(42.0)
+
+    def test_no_estimate_possible(self):
+        pkt = PacketKey(9, 1)
+        view = SinkView([], gen_interval=50.0)
+        reports = {pkt: LossReport(LossCause.UNKNOWN, None)}
+        est = _estimate_times(view, reports, {})
+        assert est[pkt] is None
+
+
+class TestCacheKey:
+    def test_distinct_params_distinct_keys(self):
+        a = small_network(n_nodes=10, minutes=5)
+        b = small_network(n_nodes=11, minutes=5)
+        assert _cache_key(a) != _cache_key(b)
+        assert _cache_key(a) == _cache_key(small_network(n_nodes=10, minutes=5))
+
+    def test_disturbances_participate(self):
+        from repro.simnet.link import Disturbance
+
+        a = small_network(n_nodes=10, minutes=5)
+        b = a.with_(disturbances=(Disturbance(0.0, 1.0, 0.5),))
+        assert _cache_key(a) != _cache_key(b)
+
+    def test_keys_are_hashable(self):
+        hash(_cache_key(small_network(n_nodes=10, minutes=5)))

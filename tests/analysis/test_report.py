@@ -1,0 +1,78 @@
+"""Unit tests for ASCII report rendering."""
+
+from repro.analysis.report import (
+    CAUSE_ORDER,
+    render_cause_shares,
+    render_daily_composition,
+    render_scatter_summary,
+    render_spatial,
+)
+from repro.analysis.spatial import SpatialPoint
+from repro.core.diagnosis import LossCause
+
+
+class TestRenderCauseShares:
+    def test_orders_and_rounds(self):
+        text = render_cause_shares({
+            LossCause.ACKED_LOSS: 38.61,
+            LossCause.SERVER_OUTAGE: 22.6,
+        })
+        lines = text.splitlines()
+        assert lines[0].startswith("Loss cause shares")
+        # outage listed before acked per figure legend order
+        assert text.index("server_outage") < text.index("acked")
+        assert "38.6" in text
+
+    def test_zero_share_omitted(self):
+        text = render_cause_shares({LossCause.ACKED_LOSS: 100.0})
+        assert "timeout" not in text
+
+
+class TestRenderDaily:
+    def test_totals_column(self):
+        days = [
+            {LossCause.ACKED_LOSS: 2, LossCause.TIMEOUT_LOSS: 1},
+            {LossCause.ACKED_LOSS: 4},
+        ]
+        text = render_daily_composition(days)
+        lines = text.splitlines()
+        assert lines[1].split("|")[-1].strip() == "total"
+        assert lines[-1].split("|")[-1].strip() == "4"
+        assert lines[-2].split("|")[-1].strip() == "3"
+
+    def test_unused_causes_not_shown(self):
+        days = [{LossCause.ACKED_LOSS: 1}]
+        assert "overflow" not in render_daily_composition(days)
+
+
+class TestRenderSpatial:
+    def test_sink_marked(self):
+        points = [
+            SpatialPoint(5, 1.0, 2.0, 10, True),
+            SpatialPoint(3, 0.0, 0.0, 2, False),
+        ]
+        text = render_spatial(points)
+        assert "sink" in text
+        assert text.index("5") < text.index("3")  # sorted by count
+
+    def test_top_limit(self):
+        points = [SpatialPoint(i, 0.0, 0.0, 100 - i, False) for i in range(30)]
+        text = render_spatial(points, top=5)
+        assert len(text.splitlines()) == 3 + 5  # title + header + rule + 5
+
+
+class TestRenderScatter:
+    def test_buckets_and_empty(self):
+        points = [
+            (0.0, 1, LossCause.ACKED_LOSS),
+            (50.0, 2, LossCause.ACKED_LOSS),
+            (150.0, 3, LossCause.TIMEOUT_LOSS),
+        ]
+        text = render_scatter_summary(points, window=100.0, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "acked" in lines[1] and "timeout" in lines[1]
+        assert render_scatter_summary([], window=10.0, title="X").endswith("(no losses)")
+
+    def test_cause_order_stable(self):
+        assert CAUSE_ORDER[0] is LossCause.SERVER_OUTAGE

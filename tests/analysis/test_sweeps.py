@@ -1,0 +1,68 @@
+"""Tests for the parameter-sweep harness."""
+
+import pytest
+
+from repro.analysis.sweeps import (
+    accuracy_metrics,
+    delivery_metrics,
+    run_sweep,
+)
+from repro.lognet.loss import LogLossSpec
+from repro.simnet.network import NodeParams
+from repro.simnet.scenarios import small_network
+
+
+@pytest.fixture(scope="module")
+def task_fail_sweep():
+    base = small_network(n_nodes=16, minutes=10)
+    return run_sweep(
+        "task_fail_p",
+        base,
+        values=[0.0, 0.1],
+        vary=lambda params, p: params.with_(node=NodeParams(task_fail_p=p)),
+        metric_sets=(accuracy_metrics, delivery_metrics),
+        metrics={"lost": lambda r: sum(1 for x in r.reports.values() if x.lost)},
+    )
+
+
+class TestRunSweep:
+    def test_points_in_order(self, task_fail_sweep):
+        assert [p.value for p in task_fail_sweep.points] == [0.0, 0.1]
+
+    def test_metrics_extracted(self, task_fail_sweep):
+        point = task_fail_sweep.points[0]
+        for key in ("cause_acc", "delivery_ratio", "lost", "packets"):
+            assert key in point.metrics
+
+    def test_sweep_effect_visible(self, task_fail_sweep):
+        # 10% task failures must lower delivery vs 0%
+        series = dict(task_fail_sweep.series("delivery_ratio"))
+        assert series[0.1] < series[0.0]
+
+    def test_series(self, task_fail_sweep):
+        series = task_fail_sweep.series("packets")
+        assert len(series) == 2
+        assert all(isinstance(v, int) for _, v in series)
+
+    def test_render(self, task_fail_sweep):
+        text = task_fail_sweep.render()
+        assert "Sweep: task_fail_p" in text
+        assert "delivery_ratio" in text
+
+    def test_loss_spec_for(self):
+        base = small_network(n_nodes=12, minutes=6)
+        sweep = run_sweep(
+            "write_fail",
+            base,
+            values=[0.0, 0.5],
+            vary=lambda params, _: params,
+            loss_spec_for=lambda p: LogLossSpec(write_fail_p=p),
+        )
+        recalls = dict(sweep.series("event_recall"))
+        assert recalls[0.0] == 1.0
+        assert recalls[0.5] < 1.0
+
+    def test_empty_sweep_renders(self):
+        base = small_network(n_nodes=12, minutes=6)
+        sweep = run_sweep("nothing", base, values=[], vary=lambda p, v: p)
+        assert "(empty sweep)" in sweep.render()

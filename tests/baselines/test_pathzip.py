@@ -1,0 +1,89 @@
+"""Unit tests for the PathZip-style path-recovery baseline."""
+
+import pytest
+
+from repro.baselines.pathzip import (
+    PathZipRecord,
+    PathZipRecovery,
+    make_records,
+    path_digest,
+)
+from repro.events.packet import PacketKey
+from repro.simnet.topology import make_grid_topology
+from repro.util.rng import RngStreams
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return make_grid_topology(25, RngStreams(3), spacing=50.0, jitter=0.0)
+
+
+class TestDigest:
+    def test_order_sensitive(self):
+        assert path_digest([1, 2, 3]) != path_digest([3, 2, 1])
+
+    def test_deterministic_and_32bit(self):
+        d = path_digest([5, 9, 61])
+        assert d == path_digest([5, 9, 61])
+        assert 0 <= d < 2**32
+
+    def test_distinct_paths_distinct_digests_mostly(self):
+        digests = {path_digest([a, b]) for a in range(50) for b in range(50)}
+        assert len(digests) > 2400  # near-zero collisions at this scale
+
+
+class TestRecovery:
+    def find_true_path(self, topo, origin):
+        # BFS shortest path origin -> sink as the "true" route
+        from collections import deque
+        parent = {origin: None}
+        queue = deque([origin])
+        while queue:
+            cur = queue.popleft()
+            if cur == topo.sink:
+                break
+            for nbr in topo.neighbors(cur):
+                if nbr not in parent:
+                    parent[nbr] = cur
+                    queue.append(nbr)
+        path = [topo.sink]
+        while parent[path[-1]] is not None:
+            path.append(parent[path[-1]])
+        return list(reversed(path))
+
+    def test_recovers_true_path(self, topo):
+        origin = 1
+        path = self.find_true_path(topo, origin)
+        record = PathZipRecord(PacketKey(origin, 1), path_digest(path), len(path) - 1)
+        recovered = PathZipRecovery(topo).recover(record)
+        assert recovered == path
+
+    def test_origin_is_sink(self, topo):
+        record = PathZipRecord(
+            PacketKey(topo.sink, 1), path_digest([topo.sink]), 0
+        )
+        assert PathZipRecovery(topo).recover(record) == [topo.sink]
+
+    def test_wrong_digest_fails(self, topo):
+        origin = 1
+        path = self.find_true_path(topo, origin)
+        record = PathZipRecord(PacketKey(origin, 1), path_digest(path) ^ 0xFFFF, len(path) - 1)
+        assert PathZipRecovery(topo).recover(record) is None
+
+    def test_expansion_budget_gives_up(self, topo):
+        origin = 1
+        path = self.find_true_path(topo, origin)
+        # an absurd hop count forces a deep search that hits the budget
+        record = PathZipRecord(PacketKey(origin, 1), 12345, 20)
+        recovery = PathZipRecovery(topo, max_expansions=50)
+        assert recovery.recover(record) is None
+
+    def test_make_records(self, topo):
+        paths = {
+            PacketKey(1, 1): self.find_true_path(topo, 1),
+            PacketKey(2, 1): self.find_true_path(topo, 2),
+        }
+        records = make_records(paths)
+        assert len(records) == 2
+        recovered = PathZipRecovery(topo).recover_all(records)
+        assert recovered[PacketKey(1, 1)] == paths[PacketKey(1, 1)]

@@ -1,0 +1,63 @@
+"""Unit tests for the sink-view baseline (paper Fig. 4, §V-B1)."""
+
+import pytest
+
+from repro.baselines.sink_view import SinkView
+from repro.events.packet import PacketKey
+
+
+def pk(origin, seq):
+    return PacketKey(origin, seq)
+
+
+class TestSinkView:
+    def test_gap_detection(self):
+        arrivals = [(pk(1, 1), 10.0), (pk(1, 2), 20.0), (pk(1, 4), 40.0)]
+        view = SinkView(arrivals, gen_interval=10.0)
+        assert view.lost_packets() == [pk(1, 3)]
+
+    def test_known_max_seq_exposes_tail_losses(self):
+        arrivals = [(pk(1, 1), 10.0)]
+        blind = SinkView(arrivals, gen_interval=10.0)
+        assert blind.lost_packets() == []
+        informed = SinkView(arrivals, gen_interval=10.0, known_max_seq={1: 3})
+        assert informed.lost_packets() == [pk(1, 2), pk(1, 3)]
+
+    def test_fully_lost_origin_visible_only_with_known_seq(self):
+        view = SinkView([], gen_interval=10.0, known_max_seq={5: 2})
+        assert view.lost_packets() == [pk(5, 1), pk(5, 2)]
+
+    def test_estimate_from_previous_delivery(self):
+        arrivals = [(pk(1, 1), 100.0), (pk(1, 4), 400.0)]
+        view = SinkView(arrivals, gen_interval=100.0)
+        # paper's recipe: previous received + gap * period
+        assert view.estimate_loss_time(pk(1, 2)) == pytest.approx(200.0)
+        assert view.estimate_loss_time(pk(1, 3)) == pytest.approx(300.0)
+
+    def test_estimate_from_next_delivery_when_no_previous(self):
+        arrivals = [(pk(1, 3), 300.0)]
+        view = SinkView(arrivals, gen_interval=100.0)
+        assert view.estimate_loss_time(pk(1, 1)) == pytest.approx(100.0)
+
+    def test_estimate_none_for_unknown_origin(self):
+        view = SinkView([(pk(1, 1), 10.0)], gen_interval=10.0)
+        assert view.estimate_loss_time(pk(9, 1)) is None
+
+    def test_loss_rate(self):
+        arrivals = [(pk(1, 1), 1.0), (pk(1, 3), 3.0), (pk(2, 2), 2.0)]
+        view = SinkView(arrivals, gen_interval=1.0)
+        # origin 1: 3 generated (max seq), 2 received; origin 2: 2 generated,
+        # 1 received -> 2 lost of 5
+        assert view.loss_rate() == pytest.approx(2 / 5)
+
+    def test_loss_times_cover_all_lost(self):
+        arrivals = [(pk(1, 1), 10.0), (pk(1, 5), 50.0)]
+        view = SinkView(arrivals, gen_interval=10.0)
+        times = view.loss_times()
+        assert set(times) == {pk(1, 2), pk(1, 3), pk(1, 4)}
+        assert all(t is not None for t in times.values())
+
+    def test_delivered_packets_sorted(self):
+        arrivals = [(pk(2, 1), 5.0), (pk(1, 2), 4.0), (pk(1, 1), 3.0)]
+        view = SinkView(arrivals, gen_interval=1.0)
+        assert view.delivered_packets() == [pk(1, 1), pk(1, 2), pk(2, 1)]

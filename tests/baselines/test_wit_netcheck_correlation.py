@@ -1,0 +1,166 @@
+"""Unit tests for the Wit-style, NetCheck-style and time-correlation baselines."""
+
+import pytest
+
+from repro.baselines.netcheck import NetCheckAnalyzer
+from repro.baselines.time_correlation import TimeCorrelationDiagnosis
+from repro.baselines.wit import WitMerger
+from repro.core.diagnosis import LossCause
+from repro.events.event import Event, EventType
+from repro.events.log import NodeLog
+from repro.events.packet import PacketKey
+
+PKT = PacketKey(1, 0)
+
+
+def ev(etype, node, src=None, dst=None, t=None):
+    return Event.make(etype, node, src=src, dst=dst, packet=PKT, time=t)
+
+
+class TestWitMerger:
+    def test_individual_logs_cannot_merge(self):
+        # REFILL's setting: local logs share no common records (paper §VI)
+        logs = {
+            1: NodeLog(1, [ev("trans", 1, 1, 2), ev("ack_recvd", 1, 1, 2)]),
+            2: NodeLog(2, [ev("recv", 2, 1, 2), ev("trans", 2, 2, 3)]),
+            3: NodeLog(3, [ev("recv", 3, 2, 3)]),
+        }
+        report = WitMerger().merge(logs)
+        assert not report.merge_possible
+        assert report.isolated_nodes == [1, 2, 3]
+        assert report.mergeable_fraction(3) == 0.0
+        assert report.merged == []
+
+    def test_coincidentally_identical_local_events_are_not_anchors(self):
+        # regression: two nodes logging byte-identical *node-local* events
+        # (e.g. the same parent switch) are not a common observation
+        logs = {
+            1: NodeLog(1, [Event.make("parent_change", 1, old="5", new="6")]),
+            2: NodeLog(2, [Event.make("parent_change", 2, old="5", new="6")]),
+        }
+        report = WitMerger().merge(logs)
+        assert not report.merge_possible
+        assert report.isolated_nodes == [1, 2]
+
+    def test_sniffer_logs_do_merge(self):
+        # two sniffers overhear the same transmissions: common records exist
+        frame1 = dict(etype="sniff_trans", src=1, dst=2)
+        frame2 = dict(etype="sniff_trans", src=2, dst=3)
+        sn_a = NodeLog(10, [
+            Event.make(node=10, packet=PKT, **frame1),
+            Event.make(node=10, packet=PKT, **frame2),
+        ])
+        sn_b = NodeLog(11, [
+            Event.make(node=11, packet=PKT, **frame1),
+            Event.make(node=11, packet=PKT, **frame2),
+        ])
+        report = WitMerger().merge({10: sn_a, 11: sn_b})
+        assert report.merge_possible
+        assert report.mergeable_pairs == [(10, 11)]
+        assert report.common_counts[(10, 11)] == 2
+        assert len(report.merged) == 4
+
+    def test_anchor_merge_orders_across_logs(self):
+        a = NodeLog(10, [
+            Event.make("local_op", 10, packet=PKT, local="a0"),
+            Event.make("sniff", 10, src=1, dst=2, packet=PKT),
+            Event.make("sniff", 10, src=2, dst=3, packet=PKT),
+        ])
+        b = NodeLog(11, [
+            Event.make("sniff", 11, src=1, dst=2, packet=PKT),
+            Event.make("local_op", 11, packet=PKT, local="b1"),
+            Event.make("sniff", 11, src=2, dst=3, packet=PKT),
+        ])
+        report = WitMerger().merge({10: a, 11: b})
+        merged = report.merged
+        # b1 (after the shared anchor in log 11) must come after a0
+        positions = {(e.node, e.info): i for i, e in enumerate(merged)}
+        a0 = positions[(10, (("local", "a0"),))]
+        b1 = positions[(11, (("local", "b1"),))]
+        anchor_positions = [
+            i for i, e in enumerate(merged) if e.etype == "sniff" and e.src == 1
+        ]
+        assert a0 < min(anchor_positions)
+        assert b1 > min(anchor_positions)
+
+
+class TestNetCheck:
+    def test_no_inference_no_cross_node_recovery(self):
+        # Table II case 1: REFILL recovers [1-2 recv]/[2-3 trans]; NetCheck
+        # cannot, and blames node 1 via trans-without-ack
+        logs = {
+            1: NodeLog(1, [ev("gen", 1), ev("trans", 1, 1, 2)]),
+            3: NodeLog(3, [ev("recv", 3, 2, 3)]),
+        }
+        analyzer = NetCheckAnalyzer()
+        flows = analyzer.reconstruct(logs)
+        flow = flows[PKT]
+        assert flow.inferred_events() == []
+        report = analyzer.diagnose(flows)[PKT]
+        assert report.cause is LossCause.TIMEOUT_LOSS
+        assert report.position == 1  # wrong: the packet reached node 3
+
+    def test_unprocessable_events_dropped(self):
+        # without intra jumps an ack at IDLE is unprocessable
+        logs = {1: NodeLog(1, [ev("ack_recvd", 1, 1, 2)])}
+        flows = NetCheckAnalyzer().reconstruct(logs)
+        assert flows[PKT].entries == []
+
+    def test_timestamp_ordering_used(self):
+        logs = {
+            1: NodeLog(1, [ev("gen", 1, t=100.0), ev("trans", 1, 1, 2, t=105.0)]),
+            2: NodeLog(2, [ev("recv", 2, 1, 2, t=103.0)]),  # skewed clock!
+        }
+        flows = NetCheckAnalyzer().reconstruct(logs)
+        types = [e.etype for e in flows[PKT].events]
+        # NetCheck trusts the bogus timestamp: recv lands before trans
+        assert types.index("recv") < types.index("trans")
+
+    def test_delivery_detection(self):
+        logs = {
+            1: NodeLog(1, [ev("gen", 1), ev("trans", 1, 1, 99), ev("ack_recvd", 1, 1, 99)]),
+            99: NodeLog(99, [ev("recv", 99, 1, 99)]),
+        }
+        analyzer = NetCheckAnalyzer()
+        report = analyzer.diagnose(analyzer.reconstruct(logs), delivery_node=99)[PKT]
+        assert report.cause is LossCause.DELIVERED
+
+
+class TestTimeCorrelation:
+    def make_logs(self):
+        return {
+            2: NodeLog(2, [
+                ev("dup", 2, 1, 2, t=100.0),
+                ev("dup", 2, 1, 2, t=101.0),
+                ev("dup", 2, 1, 2, t=102.0),
+            ]),
+            3: NodeLog(3, [ev("timeout", 3, 3, 4, t=103.0)]),
+        }
+
+    def test_majority_cause_wins(self):
+        diag = TimeCorrelationDiagnosis(self.make_logs(), window=60.0)
+        reports = diag.diagnose({PacketKey(7, 1): 100.0})
+        assert reports[PacketKey(7, 1)].cause is LossCause.DUP_LOSS
+
+    def test_minority_cause_swallowed(self):
+        # the paper's §V-D2 criticism: the timeout loss at t=103 is blamed
+        # on the co-temporal duplicate burst
+        diag = TimeCorrelationDiagnosis(self.make_logs(), window=60.0)
+        reports = diag.diagnose({PacketKey(3, 9): 103.0})
+        assert reports[PacketKey(3, 9)].cause is LossCause.DUP_LOSS  # wrong
+
+    def test_no_events_in_window_unknown(self):
+        diag = TimeCorrelationDiagnosis(self.make_logs(), window=10.0)
+        reports = diag.diagnose({PacketKey(1, 5): 5000.0})
+        assert reports[PacketKey(1, 5)].cause is LossCause.UNKNOWN
+
+    def test_missing_estimate_unknown(self):
+        diag = TimeCorrelationDiagnosis(self.make_logs())
+        reports = diag.diagnose({PacketKey(1, 5): None})
+        assert reports[PacketKey(1, 5)].cause is LossCause.UNKNOWN
+
+    def test_window_bounds_respected(self):
+        diag = TimeCorrelationDiagnosis(self.make_logs(), window=1.5)
+        reports = diag.diagnose({PacketKey(1, 1): 104.0})
+        # only the timeout at 103 is within 1.5s
+        assert reports[PacketKey(1, 1)].cause is LossCause.TIMEOUT_LOSS

@@ -1,0 +1,49 @@
+"""Direct unit tests for the per-packet neighbour context."""
+
+from repro.core.context import PacketContext
+from repro.events.event import Event
+from repro.events.packet import PacketKey
+
+PKT = PacketKey(1, 0)
+
+
+def ev(etype, node, src, dst):
+    return Event.make(etype, node, src=src, dst=dst, packet=PKT)
+
+
+class TestPacketContext:
+    def test_note_learns_both_directions(self):
+        ctx = PacketContext()
+        ctx.note(ev("trans", 1, 1, 2))
+        assert ctx.downstream(1) == 2
+        assert ctx.upstream(2) == 1
+        assert ctx.upstream(1) is None
+        assert ctx.downstream(9) is None
+
+    def test_pairless_events_ignored(self):
+        ctx = PacketContext()
+        ctx.note(Event.make("gen", 5, packet=PKT))
+        assert ctx.upstream(5) is None and ctx.downstream(5) is None
+
+    def test_processed_events_overwrite(self):
+        ctx = PacketContext()
+        ctx.note(ev("trans", 2, 2, 3))
+        ctx.note(ev("trans", 2, 2, 7))  # re-route: later processed wins
+        assert ctx.downstream(2) == 7
+
+    def test_preseed_does_not_overwrite(self):
+        ctx = PacketContext()
+        ctx.note(ev("trans", 2, 2, 3))
+        ctx.preseed([ev("trans", 2, 2, 7)])
+        assert ctx.downstream(2) == 3
+
+    def test_preseed_first_seen_wins(self):
+        ctx = PacketContext()
+        ctx.preseed([ev("trans", 2, 2, 3), ev("trans", 2, 2, 7)])
+        assert ctx.downstream(2) == 3
+
+    def test_inferred_note_defers_to_real(self):
+        ctx = PacketContext()
+        ctx.note(ev("recv", 3, 2, 3))             # real: overwrite=True
+        ctx.note(ev("recv", 3, 9, 3), overwrite=False)  # inferred guess
+        assert ctx.upstream(3) == 2

@@ -1,0 +1,116 @@
+"""Direct unit tests for the engine instance (selection, visits, paths)."""
+
+import pytest
+
+from repro.core.context import PacketContext
+from repro.core.engine import EngineInstance
+from repro.events.event import Event
+from repro.events.packet import PacketKey
+from repro.fsm.templates import (
+    ACKED,
+    DROPPED_OVERFLOW,
+    IDLE,
+    RECEIVED,
+    SENT,
+    forwarder_template,
+)
+
+PKT = PacketKey(1, 0)
+
+
+@pytest.fixture()
+def engine():
+    # node 2: a forwarding node (not the origin)
+    return EngineInstance(forwarder_template(with_gen=False), 2, PKT)
+
+
+@pytest.fixture()
+def ctx():
+    ctx = PacketContext()
+    ctx.note(Event.make("trans", 1, src=1, dst=2, packet=PKT))
+    ctx.note(Event.make("trans", 2, src=2, dst=3, packet=PKT))
+    return ctx
+
+
+class TestSelection:
+    def test_normal_preferred(self, engine):
+        selection = engine.select("recv")
+        assert selection.kind == "normal"
+        assert selection.target == RECEIVED
+
+    def test_intra_fallback(self, engine):
+        selection = engine.select("ack_recvd")  # no normal edge at IDLE
+        assert selection.kind == "intra"
+        assert selection.target == ACKED
+
+    def test_unprocessable_none(self, engine):
+        assert engine.select("dup") is None  # ambiguous at IDLE
+        assert engine.select("martian") is None
+
+
+class TestVisits:
+    def test_initial_state_counts(self, engine):
+        assert engine.visit_count[IDLE] == 1
+        assert engine.visit_entry(IDLE, 1) is None
+        assert engine.visits_of((IDLE, SENT)) == 1
+
+    def test_fire_records_everything(self, engine):
+        engine.fire(RECEIVED, entry=4)
+        engine.fire(SENT, entry=7)
+        engine.fire(SENT, entry=9)
+        assert engine.state == SENT
+        assert engine.visit_count[SENT] == 2
+        assert engine.visit_entry(SENT, 1) == 7
+        assert engine.visit_entry(SENT, 2) == 9
+        assert engine.trajectory == [IDLE, RECEIVED, SENT, SENT]
+        assert engine.last_entry == 9
+
+    def test_visit_entry_of_state_sets(self, engine):
+        engine.fire(RECEIVED, entry=1)
+        engine.fire(SENT, entry=2)
+        engine.fire(ACKED, entry=3)
+        engine.fire(RECEIVED, entry=4)
+        assert engine.visits_of((RECEIVED, DROPPED_OVERFLOW)) == 2
+        assert engine.visit_entry_of((RECEIVED, DROPPED_OVERFLOW), 1) == 1
+        assert engine.visit_entry_of((RECEIVED, DROPPED_OVERFLOW), 2) == 4
+        with pytest.raises(IndexError):
+            engine.visit_entry_of((RECEIVED,), 5)
+
+    def test_visit_entry_bounds(self, engine):
+        with pytest.raises(IndexError):
+            engine.visit_entry(SENT, 1)
+
+
+class TestInferencePaths:
+    def test_path_to_forward_state(self, engine, ctx):
+        path = engine.inference_path(SENT, ctx)
+        assert [t.event for t in path] == ["recv", "trans"]
+
+    def test_positive_cycle_when_at_target(self, engine, ctx):
+        engine.fire(RECEIVED, entry=0)
+        path = engine.inference_path(RECEIVED, ctx)
+        # fresh visit of RECEIVED from RECEIVED: the dup self-loop
+        assert [t.event for t in path] == ["dup"]
+
+    def test_distance(self, engine, ctx):
+        assert engine.distance_to(SENT, ctx) == 2
+        assert engine.distance_to(IDLE, ctx) is None  # nothing re-enters IDLE
+
+    def test_nearest_of(self, engine, ctx):
+        state, distance = engine.nearest_of((RECEIVED, DROPPED_OVERFLOW), ctx)
+        assert distance == 1
+        assert state in (RECEIVED, DROPPED_OVERFLOW)
+        assert engine.nearest_of((IDLE,), ctx) == (None, None)
+
+    def test_intra_inference_path(self, engine, ctx):
+        # ack at IDLE: the lost prefix is recv + trans (the final ack edge
+        # is the observed event)
+        path = engine.intra_inference_path("ack_recvd", ACKED, ctx)
+        assert [t.event for t in path] == ["recv", "trans"]
+
+    def test_origin_edge_filter_blocks_recv(self, ctx):
+        # the origin (with_gen) can only acquire via gen on inference paths
+        engine = EngineInstance(forwarder_template(with_gen=True), 1, PKT)
+        empty = PacketContext()
+        path = engine.inference_path(RECEIVED, empty)
+        assert [t.event for t in path] == ["gen"]

@@ -1,0 +1,109 @@
+"""Unit tests for EventFlow and its happens-before machinery."""
+
+import pytest
+
+from repro.core.event_flow import EventFlow
+from repro.events.event import Event
+from repro.events.packet import PacketKey
+
+
+def ev(etype, node=1, **kw):
+    return Event.make(etype, node, **kw)
+
+
+class TestAppendAndAccessors:
+    def test_append_returns_indices(self):
+        flow = EventFlow(PacketKey(1, 0))
+        assert flow.append(ev("a"), inferred=False) == 0
+        assert flow.append(ev("b"), inferred=True, after=[0]) == 1
+        assert len(flow) == 2
+
+    def test_real_and_inferred_partition(self):
+        flow = EventFlow()
+        flow.append(ev("a"), inferred=False)
+        flow.append(ev("b"), inferred=True)
+        flow.append(ev("c"), inferred=False)
+        assert [e.etype for e in flow.real_events()] == ["a", "c"]
+        assert [e.etype for e in flow.inferred_events()] == ["b"]
+
+    def test_labels_bracket_inferred(self):
+        flow = EventFlow()
+        flow.append(Event.make("trans", 1, src=1, dst=2), inferred=False)
+        flow.append(Event.make("recv", 2, src=1, dst=2), inferred=True)
+        assert flow.labels() == ["1-2 trans", "[1-2 recv]"]
+        assert flow.format() == "1-2 trans, [1-2 recv]"
+
+    def test_last_event_and_empty(self):
+        flow = EventFlow()
+        assert flow.last_event() is None
+        flow.append(ev("a"), inferred=False)
+        assert flow.last_event().etype == "a"
+
+    def test_nodes_and_find(self):
+        flow = EventFlow()
+        flow.append(ev("a", 1), inferred=False)
+        flow.append(ev("a", 2), inferred=False)
+        flow.append(ev("b", 1), inferred=False)
+        assert flow.nodes() == {1, 2}
+        assert flow.find("a") == [0, 1]
+        assert flow.find("a", node=2) == [1]
+
+    def test_index_of(self):
+        flow = EventFlow()
+        e = ev("a", 3)
+        flow.append(e, inferred=False)
+        assert flow.index_of(e) == 0
+        with pytest.raises(ValueError):
+            flow.index_of(ev("zzz", 9))
+
+    def test_invalid_after_rejected(self):
+        flow = EventFlow()
+        with pytest.raises(ValueError):
+            flow.append(ev("a"), inferred=False, after=[0])  # self/future ref
+
+
+class TestHappensBefore:
+    def make_diamond(self):
+        # 0 -> 1 -> 3, 0 -> 2 -> 3 ; 1 and 2 unordered
+        flow = EventFlow()
+        for name in "abcd":
+            flow.append(ev(name), inferred=False)
+        flow.add_order(0, 1)
+        flow.add_order(0, 2)
+        flow.add_order(1, 3)
+        flow.add_order(2, 3)
+        return flow
+
+    def test_transitive_closure(self):
+        flow = self.make_diamond()
+        assert flow.happens_before(0, 3)
+        assert flow.happens_before(0, 1)
+        assert not flow.happens_before(3, 0)
+        assert not flow.happens_before(0, 0)
+
+    def test_undetermined_pairs(self):
+        flow = self.make_diamond()
+        assert not flow.order_determined(1, 2)
+        assert flow.order_determined(0, 3)
+
+    def test_maximal_entries(self):
+        flow = self.make_diamond()
+        assert flow.maximal_entries() == [3]
+        # an isolated entry is maximal too
+        flow.append(ev("e"), inferred=False)
+        assert flow.maximal_entries() == [3, 4]
+
+    def test_add_order_validation(self):
+        flow = EventFlow()
+        flow.append(ev("a"), inferred=False)
+        with pytest.raises(ValueError):
+            flow.add_order(0, 0)
+        with pytest.raises(ValueError):
+            flow.add_order(0, 5)
+
+    def test_visited_queries(self):
+        flow = EventFlow()
+        flow.visited_states[3] = frozenset({"IDLE", "RECEIVED"})
+        assert flow.visited(3, "RECEIVED")
+        assert not flow.visited(3, "SENT")
+        assert not flow.visited(9, "IDLE")

@@ -1,0 +1,65 @@
+"""Tests for parallel reconstruction (results must match serial exactly)."""
+
+import pytest
+
+from repro.analysis.pipeline import default_loss_spec, run_simulation
+from repro.core.parallel import ParallelRefill
+from repro.core.refill import Refill, RefillOptions
+from repro.lognet.collector import collect_logs
+from repro.simnet.scenarios import citysee, small_network
+
+
+@pytest.fixture(scope="module")
+def collected_logs():
+    params = citysee(n_nodes=60, days=1, seed=23)
+    sim = run_simulation(params)
+    return collect_logs(
+        sim.true_logs,
+        default_loss_spec(sim),
+        seed=5,
+        perfect_clocks=frozenset({sim.base_station_node}),
+    )
+
+
+class TestParallelMatchesSerial:
+    def test_identical_flows(self, collected_logs):
+        serial = Refill().reconstruct(collected_logs)
+        parallel = ParallelRefill(workers=2, min_packets=1, batch_size=50).reconstruct(
+            collected_logs
+        )
+        assert set(serial) == set(parallel)
+        for packet in serial:
+            assert serial[packet].labels() == parallel[packet].labels(), packet
+            assert serial[packet].omitted == parallel[packet].omitted
+
+    def test_small_inputs_run_serially(self, collected_logs):
+        # below min_packets no pool is spun up (and results still correct)
+        refill = ParallelRefill(workers=4, min_packets=10**9)
+        flows = refill.reconstruct(collected_logs)
+        serial = Refill().reconstruct(collected_logs)
+        assert {p: f.labels() for p, f in flows.items()} == {
+            p: f.labels() for p, f in serial.items()
+        }
+
+    def test_options_forwarded(self, collected_logs):
+        options = RefillOptions(enable_inter=False)
+        serial = Refill(options=options).reconstruct(collected_logs)
+        parallel = ParallelRefill(
+            options=options, workers=2, min_packets=1
+        ).reconstruct(collected_logs)
+        sample = sorted(serial)[:50]
+        for packet in sample:
+            # options took effect in the workers: flows match the serial
+            # inter-disabled run (intra-jump inference may remain)
+            assert serial[packet].labels() == parallel[packet].labels()
+            assert (
+                parallel[packet].inferred_events()
+                == serial[packet].inferred_events()
+            )
+
+    def test_single_worker_degrades_to_serial(self, collected_logs):
+        flows = ParallelRefill(workers=1, min_packets=1).reconstruct(collected_logs)
+        serial = Refill().reconstruct(collected_logs)
+        assert {p: f.labels() for p, f in flows.items()} == {
+            p: f.labels() for p, f in serial.items()
+        }

@@ -1,0 +1,76 @@
+"""Unit tests for the event model (paper §II, Table I)."""
+
+import pytest
+
+from repro.events.event import (
+    Event,
+    EventType,
+    RECEIVER_SIDE_EVENTS,
+    SENDER_SIDE_EVENTS,
+)
+from repro.events.packet import PacketKey
+
+
+class TestPacketKey:
+    def test_round_trip(self):
+        key = PacketKey(12, 345)
+        assert PacketKey.parse(str(key)) == key
+
+    def test_str_form(self):
+        assert str(PacketKey(1, 2)) == "p1.2"
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            PacketKey.parse("x1.2")
+        with pytest.raises(ValueError):
+            PacketKey.parse("p1-2")
+
+    def test_ordering_by_origin_then_seq(self):
+        assert PacketKey(1, 9) < PacketKey(2, 0)
+        assert PacketKey(1, 1) < PacketKey(1, 2)
+
+
+class TestEvent:
+    def test_make_freezes_info(self):
+        e = Event.make(EventType.RECV, 2, src=1, dst=2, reason="x", count=3)
+        assert e.info_dict == {"reason": "x", "count": 3}
+        assert e.info == (("count", 3), ("reason", "x"))
+
+    def test_make_accepts_enum_and_string(self):
+        assert Event.make(EventType.TRANS, 1).etype == "trans"
+        assert Event.make("trans", 1).etype == "trans"
+
+    def test_peer_from_sender_side(self):
+        e = Event.make(EventType.TRANS, 1, src=1, dst=2)
+        assert e.peer == 2
+
+    def test_peer_from_receiver_side(self):
+        e = Event.make(EventType.RECV, 2, src=1, dst=2)
+        assert e.peer == 1
+
+    def test_peer_none_for_local_events(self):
+        assert Event.make(EventType.GEN, 3).peer is None
+
+    def test_pair_label_matches_paper_notation(self):
+        assert Event.make(EventType.TRANS, 1, src=1, dst=2).pair_label() == "1-2 trans"
+        assert Event.make(EventType.ACK, 1, src=1, dst=2).pair_label() == "1-2 ack recvd"
+        assert Event.make(EventType.GEN, 5).pair_label() == "@5 gen"
+
+    def test_with_time_and_without_time(self):
+        e = Event.make(EventType.RECV, 2, src=1, dst=2, time=1.5)
+        assert e.with_time(9.0).time == 9.0
+        assert e.without_time().time is None
+        # original untouched (frozen dataclass)
+        assert e.time == 1.5
+
+    def test_events_are_hashable_and_equal_by_value(self):
+        a = Event.make(EventType.RECV, 2, src=1, dst=2, packet=PacketKey(1, 0))
+        b = Event.make(EventType.RECV, 2, src=1, dst=2, packet=PacketKey(1, 0))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_side_classification_is_disjoint_and_total_for_pair_events(self):
+        pair_events = SENDER_SIDE_EVENTS | RECEIVER_SIDE_EVENTS
+        assert not (SENDER_SIDE_EVENTS & RECEIVER_SIDE_EVENTS)
+        assert pair_events == {"trans", "ack_recvd", "timeout", "recv", "dup", "overflow"}

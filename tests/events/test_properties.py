@@ -1,0 +1,104 @@
+"""Property-based tests for the event model, codec and merging."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.events.codec import decode_event, decode_log, encode_event, encode_log
+from repro.events.event import Event
+from repro.events.log import NodeLog
+from repro.events.merge import group_by_packet, interleave_round_robin
+from repro.events.packet import PacketKey
+
+SAFE_TEXT = st.text(string.ascii_lowercase + string.digits + "_", min_size=1, max_size=12)
+
+packet_keys = st.builds(
+    PacketKey,
+    origin=st.integers(min_value=0, max_value=10_000),
+    seq=st.integers(min_value=0, max_value=10_000),
+)
+
+events = st.builds(
+    lambda etype, node, src, dst, packet, time, info: Event.make(
+        etype, node, src=src, dst=dst, packet=packet, time=time, **info
+    ),
+    etype=SAFE_TEXT,
+    node=st.integers(min_value=0, max_value=9999),
+    src=st.none() | st.integers(min_value=0, max_value=9999),
+    dst=st.none() | st.integers(min_value=0, max_value=9999),
+    packet=st.none() | packet_keys,
+    time=st.none() | st.floats(min_value=0, max_value=1e9, allow_nan=False),
+    info=st.dictionaries(
+        SAFE_TEXT.filter(lambda k: k not in ("node", "type", "src", "dst", "pkt", "t")),
+        SAFE_TEXT,
+        max_size=3,
+    ),
+)
+
+
+class TestCodecProperties:
+    @given(events)
+    def test_event_round_trip(self, event):
+        decoded = decode_event(encode_event(event))
+        assert decoded == event
+
+    @given(st.integers(min_value=0, max_value=99), st.lists(events, max_size=20))
+    def test_log_round_trip(self, node, evs):
+        log = NodeLog(node, [Event.make(e.etype, node, src=e.src, dst=e.dst,
+                                        packet=e.packet, time=e.time) for e in evs])
+        assert decode_log(node, encode_log(log)) == log
+
+
+class TestPacketKeyProperties:
+    @given(packet_keys)
+    def test_round_trip(self, key):
+        assert PacketKey.parse(str(key)) == key
+
+
+def _subsequence(haystack, needle):
+    it = iter(haystack)
+    return all(x in it for x in needle)
+
+
+class TestMergeProperties:
+    @given(
+        st.dictionaries(
+            st.integers(min_value=1, max_value=8),
+            st.lists(SAFE_TEXT, max_size=15),
+            max_size=6,
+        )
+    )
+    def test_round_robin_preserves_per_node_subsequences(self, spec):
+        logs = {
+            node: NodeLog(node, [Event.make(label, node) for label in labels])
+            for node, labels in spec.items()
+        }
+        merged = interleave_round_robin(logs)
+        assert len(merged) == sum(len(log) for log in logs.values())
+        for node, log in logs.items():
+            merged_node = [e for e in merged if e.node == node]
+            assert merged_node == list(log.events)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=5),  # node
+                packet_keys,
+                SAFE_TEXT,
+            ),
+            max_size=30,
+        )
+    )
+    def test_group_by_packet_partitions_and_preserves_order(self, records):
+        logs: dict[int, list[Event]] = {}
+        for node, packet, etype in records:
+            logs.setdefault(node, []).append(Event.make(etype, node, packet=packet))
+        node_logs = {n: NodeLog(n, evs) for n, evs in logs.items()}
+        grouped = group_by_packet(node_logs)
+        total = sum(len(evs) for groups in grouped.values() for evs in groups.values())
+        assert total == sum(len(v) for v in logs.values())
+        for packet, by_node in grouped.items():
+            for node, evs in by_node.items():
+                original = [e for e in logs[node] if e.packet == packet]
+                assert evs == original

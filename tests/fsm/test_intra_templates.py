@@ -1,0 +1,176 @@
+"""Unit tests for intra-node derivation and the FSM templates (paper §IV-B)."""
+
+import pytest
+
+from repro.events.event import Event, EventType
+from repro.events.packet import PacketKey
+from repro.fsm.graph import TransitionGraph
+from repro.fsm.intra import derive_intra_transitions
+from repro.fsm.prerequisites import Peer, PrereqRule
+from repro.fsm.templates import (
+    ACKED,
+    DROPPED_OVERFLOW,
+    DROPPED_TIMEOUT,
+    IDLE,
+    RECEIVED,
+    SENT,
+    chain_template,
+    forwarder_template,
+)
+
+
+class _Ctx:
+    """Minimal NeighborContext stub."""
+
+    def __init__(self, up=None, down=None):
+        self._up = up or {}
+        self._down = down or {}
+
+    def upstream(self, node):
+        return self._up.get(node)
+
+    def downstream(self, node):
+        return self._down.get(node)
+
+
+class TestIntraDerivation:
+    def test_unique_target_creates_jump(self):
+        g = TransitionGraph(
+            ["s0", "s1", "s2"],
+            [("s0", "s1", "a"), ("s1", "s2", "b")],
+            "s0",
+        )
+        intra = derive_intra_transitions(g)
+        # 'b' observed at s0: unique target s2 is reachable -> jump
+        assert intra[("s0", "b")].dst == "s2"
+        # no jump once past the event's sources
+        assert ("s2", "a") not in intra
+
+    def test_ambiguous_targets_produce_no_jump(self):
+        # 'e' can land on s1 or s2, both reachable from s0 -> ambiguous
+        g = TransitionGraph(
+            ["s0", "sa", "sb", "s1", "s2"],
+            [
+                ("s0", "sa", "x"),
+                ("s0", "sb", "y"),
+                ("sa", "s1", "e"),
+                ("sb", "s2", "e"),
+            ],
+            "s0",
+        )
+        intra = derive_intra_transitions(g)
+        assert ("s0", "e") not in intra
+        # from sa only s1 is reachable -> unambiguous
+        assert intra[("sa", "e")].dst == "s1"
+
+    def test_multiple_edges_same_target_still_unique(self):
+        g = TransitionGraph(
+            ["s0", "s1", "s2"],
+            [("s0", "s1", "a"), ("s1", "s2", "e"), ("s0", "s2", "e")],
+            "s0",
+        )
+        intra = derive_intra_transitions(g)
+        # distinct transitions, same target set {s2}
+        assert intra[("s0", "e")].dst == "s2"
+
+
+class TestForwarderTemplate:
+    def test_graph_shape(self):
+        t = forwarder_template()
+        g = t.graph
+        assert set(g.states) == {
+            IDLE, RECEIVED, SENT, ACKED, DROPPED_TIMEOUT, DROPPED_OVERFLOW,
+        }
+        assert g.initial == IDLE
+        # key normal edges
+        assert g.transitions_from(IDLE, "recv")[0].dst == RECEIVED
+        assert g.transitions_from(RECEIVED, "trans")[0].dst == SENT
+        assert g.transitions_from(SENT, "ack_recvd")[0].dst == ACKED
+        assert g.transitions_from(SENT, "timeout")[0].dst == DROPPED_TIMEOUT
+        assert g.transitions_from(ACKED, "recv")[0].dst == RECEIVED  # loops
+
+    def test_intra_jumps_match_paper_intuitions(self):
+        t = forwarder_template()
+        # "a sending operation implies a prior receiving operation":
+        # trans at IDLE jumps to SENT
+        assert t.intra[(IDLE, "trans")].dst == SENT
+        # ack at IDLE jumps to ACKED (Table II case 3)
+        assert t.intra[(IDLE, "ack_recvd")].dst == ACKED
+        # dup at IDLE is ambiguous (self-loops on three states) -> no jump
+        assert (IDLE, "dup") not in t.intra
+        # timeout at RECEIVED jumps over the lost trans
+        assert t.intra[(RECEIVED, "timeout")].dst == DROPPED_TIMEOUT
+
+    def test_prereq_rules(self):
+        t = forwarder_template()
+        assert t.prereq_rules("recv") == (PrereqRule(Peer.SRC, SENT),)
+        # the ack's prerequisite is PHY reception: a routing-layer receive
+        # or an overflow drop both satisfy it
+        assert t.prereq_rules("ack_recvd") == (
+            PrereqRule(Peer.DST, RECEIVED, alt_states=(DROPPED_OVERFLOW,)),
+        )
+        assert t.prereq_rules("ack_recvd")[0].states == (RECEIVED, DROPPED_OVERFLOW)
+        assert t.prereq_rules("trans") == ()
+        assert t.prereq_rules("gen") == ()
+
+    def test_initial_state_origin_variants(self):
+        pkt = PacketKey(7, 0)
+        with_gen = forwarder_template(with_gen=True)
+        assert with_gen.initial_state(7, pkt) == IDLE
+        assert with_gen.initial_state(3, pkt) == IDLE
+        nogen = forwarder_template(with_gen=False)
+        assert nogen.initial_state(7, pkt) == RECEIVED  # origin has the packet
+        assert nogen.initial_state(3, pkt) == IDLE
+
+    def test_gen_admissible_only_at_origin(self):
+        t = forwarder_template()
+        pkt = PacketKey(7, 0)
+        gen_edge = t.graph.transitions_from(IDLE, "gen")[0]
+        assert t.edge_admissible(gen_edge, 7, pkt, _Ctx())
+        assert not t.edge_admissible(gen_edge, 3, pkt, _Ctx())
+
+    def test_recv_at_origin_requires_known_upstream(self):
+        t = forwarder_template()
+        pkt = PacketKey(7, 0)
+        recv_edge = t.graph.transitions_from(IDLE, "recv")[0]
+        assert not t.edge_admissible(recv_edge, 7, pkt, _Ctx())
+        assert t.edge_admissible(recv_edge, 7, pkt, _Ctx(up={7: 3}))
+        assert t.edge_admissible(recv_edge, 2, pkt, _Ctx())
+
+    def test_realize_uses_neighbor_context(self):
+        t = forwarder_template()
+        pkt = PacketKey(1, 0)
+        ctx = _Ctx(up={2: 1}, down={2: 3})
+        recv = t.realize_event("recv", 2, pkt, ctx)
+        assert (recv.src, recv.dst, recv.node) == (1, 2, 2)
+        trans = t.realize_event("trans", 2, pkt, ctx)
+        assert (trans.src, trans.dst, trans.node) == (2, 3, 2)
+        # unknown neighbours degrade to None, not crash
+        lonely = t.realize_event("recv", 9, pkt, ctx)
+        assert lonely.src is None and lonely.dst == 9
+
+    def test_realize_gen_is_node_local(self):
+        t = forwarder_template()
+        gen = t.realize_event("gen", 4, PacketKey(4, 1), _Ctx())
+        assert gen.src is None and gen.dst is None and gen.node == 4
+
+
+class TestChainTemplate:
+    def test_linear_structure(self):
+        t = chain_template("n1", ["e1", "e2"])
+        assert t.graph.states == ("s0", "s1", "s2")
+        assert t.graph.initial == "s0"
+        assert t.graph.transitions_from("s0", "e1")[0].dst == "s1"
+        assert t.intra[("s0", "e2")].dst == "s2"
+
+    def test_prereq_rules_with_explicit_nodes(self):
+        rules = {"e2": [PrereqRule(2, "s2")]}
+        t = chain_template("n1", ["e1", "e2"], rules)
+        assert t.prereq_rules("e2") == (PrereqRule(2, "s2"),)
+        ev = Event.make("e2", 1)
+        assert t.prereq_rules("e2")[0].resolve_node(ev) == 2
+
+    def test_default_realize_is_node_local(self):
+        t = chain_template("n1", ["e1"])
+        e = t.realize_event("e1", 5, None, _Ctx())
+        assert e == Event.make("e1", 5)

@@ -1,0 +1,103 @@
+"""Property-based tests for transition graphs, reachability and intra-node
+derivation on randomly generated FSMs."""
+
+from collections import deque
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fsm.graph import Transition, TransitionGraph
+from repro.fsm.intra import derive_intra_transitions
+from repro.fsm.reachability import Reachability
+
+
+@st.composite
+def random_graphs(draw):
+    n_states = draw(st.integers(min_value=1, max_value=7))
+    states = [f"s{i}" for i in range(n_states)]
+    n_labels = draw(st.integers(min_value=1, max_value=4))
+    labels = [f"e{i}" for i in range(n_labels)]
+    possible = [(a, b, l) for a in states for b in states for l in labels]
+    edges = draw(
+        st.lists(st.sampled_from(possible), max_size=min(len(possible), 14), unique=True)
+    )
+    return TransitionGraph(states, edges, states[0])
+
+
+class TestReachabilityProperties:
+    @given(random_graphs())
+    def test_transitive(self, graph):
+        reach = Reachability(graph)
+        for a in graph.states:
+            for b in reach.reachable_set(a):
+                assert reach.reachable_set(b) <= reach.reachable_set(a) | {b} | reach.reachable_set(a)
+                for c in reach.reachable_set(b):
+                    assert reach.reachable(a, c)
+
+    @given(random_graphs())
+    def test_matches_bfs(self, graph):
+        reach = Reachability(graph)
+        for start in graph.states:
+            seen = set()
+            queue = deque(graph.successors(start))
+            seen.update(queue)
+            while queue:
+                cur = queue.popleft()
+                for nxt in graph.successors(cur):
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        queue.append(nxt)
+            assert reach.reachable_set(start) == seen
+
+    @given(random_graphs())
+    def test_shortest_path_is_valid_and_minimal(self, graph):
+        reach = Reachability(graph)
+        for a in graph.states:
+            for b in graph.states:
+                path = reach.shortest_path(a, b)
+                if a == b:
+                    assert path == []
+                    continue
+                if path is None:
+                    assert not reach.reachable(a, b)
+                    continue
+                # valid chain
+                assert path[0].src == a and path[-1].dst == b
+                for t1, t2 in zip(path, path[1:]):
+                    assert t1.dst == t2.src
+                # minimal: BFS distance equals path length
+                dist = {a: 0}
+                queue = deque([a])
+                while queue:
+                    cur = queue.popleft()
+                    for nxt in graph.successors(cur):
+                        if nxt not in dist:
+                            dist[nxt] = dist[cur] + 1
+                            queue.append(nxt)
+                assert len(path) == dist[b]
+
+
+class TestIntraDerivationProperties:
+    @given(random_graphs())
+    def test_uniqueness_condition_holds_exactly(self, graph):
+        reach = Reachability(graph)
+        derived = derive_intra_transitions(graph, reach)
+        for event in graph.events:
+            targets = list(dict.fromkeys(t.dst for t in graph.transitions_with_event(event)))
+            for state in graph.states:
+                reachable_targets = [t for t in targets if reach.reachable(state, t)]
+                if len(reachable_targets) == 1:
+                    jump = derived[(state, event)]
+                    assert jump.dst == reachable_targets[0]
+                    assert jump.src == state and jump.event == event
+                else:
+                    assert (state, event) not in derived
+
+    @given(random_graphs())
+    def test_jump_target_carries_the_event(self, graph):
+        derived = derive_intra_transitions(graph)
+        for jump in derived.values():
+            # some normal transition with this label lands on the target
+            assert any(
+                t.dst == jump.dst for t in graph.transitions_with_event(jump.event)
+            )

@@ -1,0 +1,75 @@
+"""Unit tests for template validation."""
+
+import pytest
+
+from repro.fsm.graph import TransitionGraph
+from repro.fsm.prerequisites import Peer, PrereqRule
+from repro.fsm.templates import FsmTemplate, dissemination_templates, forwarder_template
+from repro.fsm.validate import validate_role_family, validate_template
+
+
+class TestValidateTemplate:
+    def test_forwarder_is_clean(self):
+        report = validate_template(forwarder_template())
+        assert report.ok
+        # dup at IDLE is a known dead pair (uniqueness condition)
+        assert ("IDLE", "dup") in report.dead_pairs
+        # DROPPED_TIMEOUT is terminal
+        assert any("DROPPED_TIMEOUT" in w for w in report.warnings)
+
+    def test_nondeterminism_flagged(self):
+        graph = TransitionGraph(
+            ["a", "b", "c"],
+            [("a", "b", "e"), ("a", "c", "e")],
+            "a",
+        )
+        report = validate_template(FsmTemplate("bad", graph))
+        assert not report.ok
+        assert any("nondeterministic" in e for e in report.errors)
+
+    def test_unreachable_state_flagged(self):
+        graph = TransitionGraph(
+            ["a", "b", "island"],
+            [("a", "b", "e"), ("island", "b", "x")],
+            "a",
+        )
+        report = validate_template(FsmTemplate("bad", graph))
+        assert any("unreachable" in e for e in report.errors)
+
+    def test_unknown_prereq_state_warned(self):
+        graph = TransitionGraph(["a", "b"], [("a", "b", "e")], "a")
+        template = FsmTemplate(
+            "warned", graph, prereqs={"e": [PrereqRule(Peer.SRC, "NOPE")]}
+        )
+        report = validate_template(template)
+        assert report.ok  # warning, not error (multi-role wiring is legal)
+        assert any("NOPE" in w for w in report.warnings)
+
+    def test_rule_for_unknown_label_warned(self):
+        graph = TransitionGraph(["a", "b"], [("a", "b", "e")], "a")
+        template = FsmTemplate(
+            "warned", graph, prereqs={"ghost": [PrereqRule(Peer.SRC, "a")]}
+        )
+        report = validate_template(template)
+        assert any("unknown label" in w for w in report.warnings)
+
+
+class TestValidateRoleFamily:
+    def test_dissemination_family_resolves_cross_role_states(self):
+        factory = dissemination_templates(seeder=1)
+        seeder, receiver = factory(1), factory(2)
+        # alone, each warns about the other's states
+        alone = validate_template(seeder)
+        assert any("ACKED_BACK" in w for w in alone.warnings)
+        # together, the cross-role references resolve
+        family = validate_role_family([seeder, receiver])
+        assert family.ok
+        assert not any("ACKED_BACK" in w for w in family.warnings)
+
+    def test_family_propagates_errors_with_names(self):
+        bad = FsmTemplate(
+            "broken",
+            TransitionGraph(["a", "b", "x"], [("a", "b", "e")], "a"),
+        )
+        family = validate_role_family([bad])
+        assert any(e.startswith("broken:") for e in family.errors)

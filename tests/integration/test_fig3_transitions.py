@@ -1,0 +1,158 @@
+"""Paper Fig. 3 — cascading, 1-to-many, many-to-1 and mixed inter-node
+transitions.
+
+Three nodes with two-step chain FSMs:
+
+- node 1: s1 --e1--> s2 --e2--> s3
+- node 2: s4 --e3--> s5 --e4--> s6
+- node 3: s7 --e5--> s8 --e6--> s9
+
+The inter-node prerequisite wiring differs per sub-figure.  Expected flows
+and constraint sets are quoted from the figure caption.
+"""
+
+import pytest
+
+from repro.core.transition_algorithm import PacketReconstructor
+from repro.events.event import Event
+from repro.fsm.prerequisites import PrereqRule
+from repro.fsm.templates import chain_template
+
+
+def make_templates(prereqs_by_node):
+    labels = {1: ["e1", "e2"], 2: ["e3", "e4"], 3: ["e5", "e6"]}
+    first = {1: 1, 2: 4, 3: 7}  # paper numbering: s1..s3, s4..s6, s7..s9
+    templates = {
+        n: chain_template(f"n{n}", labels[n], prereqs_by_node.get(n), first_state=first[n])
+        for n in (1, 2, 3)
+    }
+    return lambda node: templates[node]
+
+
+def run(template_for, events_by_node):
+    queues = {
+        node: [Event.make(label, node) for label in labels]
+        for node, labels in events_by_node.items()
+    }
+    return PacketReconstructor(template_for).reconstruct(queues)
+
+
+class TestCascading:
+    """Fig. 3(a): e2 needs node2@s6, e4 needs node3@s9 (chained)."""
+
+    def template_for(self):
+        return make_templates({
+            1: {"e2": [PrereqRule(2, "s6")]},
+            2: {"e4": [PrereqRule(3, "s9")]},
+        })
+
+    def test_full_logs_yield_paper_flow(self):
+        flow = run(self.template_for(), {1: ["e1", "e2"], 2: ["e3", "e4"], 3: ["e5", "e6"]})
+        assert [e.etype for e in flow.events] == ["e1", "e3", "e5", "e6", "e4", "e2"]
+        assert flow.inferred_events() == []
+
+    def test_single_event_e2_recovers_everything(self):
+        # "even when there is only one event e2 on node 1 and all other
+        # events are lost, the transition algorithm can generate the correct
+        # event flow and infer lost events."
+        flow = run(self.template_for(), {1: ["e2"]})
+        assert [e.etype for e in flow.events] == ["e1", "e3", "e5", "e6", "e4", "e2"]
+        inferred = {e.etype for e in flow.inferred_events()}
+        assert inferred == {"e1", "e3", "e4", "e5", "e6"}
+        real = [e.etype for e in flow.real_events()]
+        assert real == ["e2"]
+
+
+class TestOneToMany:
+    """Fig. 3(b): e4 on node 2 requires node1@s3 AND node3@s9."""
+
+    def template_for(self):
+        return make_templates({
+            2: {"e4": [PrereqRule(1, "s3"), PrereqRule(3, "s9")]},
+        })
+
+    def test_constraints(self):
+        flow = run(self.template_for(), {1: ["e1", "e2"], 2: ["e3", "e4"], 3: ["e5", "e6"]})
+        types = [e.etype for e in flow.events]
+        # e1,e2 and e5,e6 all precede e4
+        for pre in ("e1", "e2", "e5", "e6"):
+            assert types.index(pre) < types.index("e4")
+        # happens-before confirms those orderings are determined
+        i_e2 = flow.find("e2")[0]
+        i_e6 = flow.find("e6")[0]
+        i_e4 = flow.find("e4")[0]
+        assert flow.happens_before(i_e2, i_e4)
+        assert flow.happens_before(i_e6, i_e4)
+
+    def test_e1_e5_ordering_undetermined(self):
+        # "The ordering between e1 and e5 cannot be determined."
+        flow = run(self.template_for(), {1: ["e1", "e2"], 2: ["e3", "e4"], 3: ["e5", "e6"]})
+        i_e1 = flow.find("e1")[0]
+        i_e5 = flow.find("e5")[0]
+        assert not flow.order_determined(i_e1, i_e5)
+
+    def test_lost_prerequisites_inferred_on_both_branches(self):
+        flow = run(self.template_for(), {2: ["e3", "e4"]})
+        types = [e.etype for e in flow.events]
+        assert set(types) == {"e1", "e2", "e3", "e4", "e5", "e6"}
+        inferred = {e.etype for e in flow.inferred_events()}
+        assert inferred == {"e1", "e2", "e5", "e6"}
+
+
+class TestManyToOne:
+    """Fig. 3(c): e1 (node 1) and e5 (node 3) both require node2@s5."""
+
+    def template_for(self):
+        return make_templates({
+            1: {"e1": [PrereqRule(2, "s5")]},
+            3: {"e5": [PrereqRule(2, "s5")]},
+        })
+
+    def test_e3_precedes_both_branches(self):
+        flow = run(self.template_for(), {1: ["e1", "e2"], 2: ["e3"], 3: ["e5", "e6"]})
+        types = [e.etype for e in flow.events]
+        i_e3 = flow.find("e3")[0]
+        for later in ("e1", "e2", "e5", "e6"):
+            j = flow.find(later)[0]
+            assert types.index("e3") < types.index(later)
+            assert flow.happens_before(i_e3, j)
+
+    def test_e3_inferred_when_lost(self):
+        flow = run(self.template_for(), {1: ["e1"], 3: ["e5"]})
+        types = [e.etype for e in flow.events]
+        assert types[0] == "e3"
+        assert flow.entries[0].inferred
+        # e3 is inferred exactly once even though both branches require it
+        assert types.count("e3") == 1
+
+
+class TestMixed:
+    """Fig. 3(d): e1/e5 require node2@s5; e4 requires node1@s3 and node3@s9."""
+
+    def template_for(self):
+        return make_templates({
+            1: {"e1": [PrereqRule(2, "s5")]},
+            3: {"e5": [PrereqRule(2, "s5")]},
+            2: {"e4": [PrereqRule(1, "s3"), PrereqRule(3, "s9")]},
+        })
+
+    def test_constraint_chain(self):
+        flow = run(
+            self.template_for(),
+            {1: ["e1", "e2"], 2: ["e3", "e4"], 3: ["e5", "e6"]},
+        )
+        types = [e.etype for e in flow.events]
+        assert sorted(types) == ["e1", "e2", "e3", "e4", "e5", "e6"]
+        # e3 before e1 and e5; e2 and e6 before e4 (figure caption)
+        assert types.index("e3") < types.index("e1")
+        assert types.index("e3") < types.index("e5")
+        assert types.index("e2") < types.index("e4")
+        assert types.index("e6") < types.index("e4")
+
+    def test_negotiation_with_lost_broadcast(self):
+        # node 2's broadcast (e3) is lost; responses still order correctly
+        flow = run(self.template_for(), {1: ["e1", "e2"], 2: ["e4"], 3: ["e5", "e6"]})
+        types = [e.etype for e in flow.events]
+        assert types.index("e3") < types.index("e1")
+        assert types.index("e3") < types.index("e5")
+        assert flow.entries[types.index("e3")].inferred

@@ -1,0 +1,97 @@
+"""The paper's headline prose claims, as one regression checklist.
+
+Each test quotes §V prose and asserts the corresponding measurable fact on
+a shared scaled-CitySee evaluation.  (The per-figure benchmarks assert the
+same shapes on bigger traces; this module is the fast regression net.)
+"""
+
+import pytest
+
+from repro.analysis.accuracy import score_run
+from repro.analysis.causes import cause_shares, sink_split
+from repro.analysis.pipeline import evaluate
+from repro.analysis.spatial import received_loss_map, top_loss_node
+from repro.analysis.temporal import (
+    concentration_gini,
+    loss_scatter,
+    per_node_loss_counts,
+)
+from repro.core.diagnosis import LossCause
+from repro.simnet.scenarios import citysee
+
+
+@pytest.fixture(scope="module")
+def ev():
+    return evaluate(citysee(n_nodes=100, days=4, seed=67))
+
+
+class TestSectionVB1:
+    def test_sources_spread_evenly(self, ev):
+        """'packets generated at different nodes have a similar probability
+        to get lost'"""
+        points = loss_scatter(ev.reports, ev.est_loss_times, axis="source")
+        nodes = [n for n in ev.sim.topology.nodes if n != ev.sink]
+        counts = per_node_loss_counts(points, nodes)
+        assert concentration_gini(counts) < 0.5
+
+    def test_positions_concentrated(self, ev):
+        """'the loss positions are on a small portion of nodes rather than
+        evenly distributed'"""
+        points = loss_scatter(ev.reports, ev.est_loss_times, axis="position")
+        counts = per_node_loss_counts(points, ev.sim.topology.nodes)
+        assert concentration_gini(counts) > 0.7
+
+    def test_many_received_losses_on_sink(self, ev):
+        """'there are a lot of received losses on the sink node ... many
+        packets are lost even after they have arrived at the sink node'"""
+        split = sink_split(ev.reports, ev.sink)
+        assert split["received_sink"] + split["acked_sink"] > 30
+
+
+class TestSectionVB2:
+    def test_sink_has_largest_circle(self, ev):
+        """Fig. 8: 'the sink node has a large number of received losses'"""
+        points = received_loss_map(ev.reports, ev.sim.topology)
+        assert top_loss_node(points).node == ev.sink
+
+
+class TestSectionVC:
+    def test_acked_and_received_are_top_causes(self, ev):
+        """'The two most common causes are the acked and received losses.'"""
+        shares = cause_shares(ev.reports)
+        top2 = sorted(shares, key=lambda c: -shares[c])[:3]
+        assert LossCause.ACKED_LOSS in top2
+        assert LossCause.RECEIVED_LOSS in top2
+
+    def test_acked_losses_elsewhere_are_rare(self, ev):
+        """'0.6% are lost on other nodes' (acked losses off the sink)."""
+        split = sink_split(ev.reports, ev.sink)
+        assert split["acked_other"] < 6
+
+
+class TestSectionVD3:
+    def test_link_losses_are_rare_with_30_retransmissions(self, ev):
+        """'with up to 30 retransmissions for each packet, packet losses due
+        to low link quality become very low'"""
+        shares = cause_shares(ev.reports)
+        assert shares.get(LossCause.TIMEOUT_LOSS, 0.0) < 12
+
+    def test_in_node_losses_exist_off_the_sink(self, ev):
+        """'many packets are lost even though they are successfully received
+        at some node' — the §V-D3 in-node story is network-wide."""
+        split = sink_split(ev.reports, ev.sink)
+        assert split["received_other"] > 0
+
+
+class TestReconstructionQuality:
+    def test_the_reproduction_headline(self, ev):
+        """What the paper could only assert, measured against ground truth."""
+        acc = score_run(
+            ev.flows, ev.reports, ev.collected_logs, ev.sim.truth, sink=ev.sink
+        )
+        assert acc.coverage > 0.98
+        assert acc.cause_accuracy > 0.95
+        assert acc.position_accuracy > 0.85
+        assert acc.event_precision > 0.95
+        assert acc.event_recall > 0.8
+        assert acc.ordering_accuracy > 0.9

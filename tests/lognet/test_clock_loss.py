@@ -1,0 +1,144 @@
+"""Unit tests for the lossy logging substrate."""
+
+import pytest
+
+from repro.events.event import Event, EventType
+from repro.events.log import NodeLog
+from repro.events.packet import PacketKey
+from repro.lognet.clock import LocalClock, make_clocks
+from repro.lognet.collector import collect_logs
+from repro.lognet.loss import LogLossSpec, apply_losses
+from repro.util.rng import RngStreams
+
+
+def make_log(node, n):
+    return NodeLog(node, [
+        Event.make(EventType.TRANS, node, src=node, dst=node + 1,
+                   packet=PacketKey(node, i), time=float(i))
+        for i in range(n)
+    ])
+
+
+class TestLocalClock:
+    def test_offset_and_drift(self):
+        clock = LocalClock(offset=10.0, drift=1e-4)
+        assert clock.local(0.0) == 10.0
+        assert clock.local(1000.0) == pytest.approx(1010.1)
+
+    def test_inverse(self):
+        clock = LocalClock(offset=-3.0, drift=5e-5)
+        for t in (0.0, 123.4, 1e6):
+            assert clock.true(clock.local(t)) == pytest.approx(t)
+
+    def test_make_clocks_deterministic_and_bounded(self):
+        rng1, rng2 = RngStreams(5), RngStreams(5)
+        c1 = make_clocks(range(10), rng1, max_offset=60.0, max_drift_ppm=50.0)
+        c2 = make_clocks(range(10), rng2, max_offset=60.0, max_drift_ppm=50.0)
+        assert c1 == c2
+        for clock in c1.values():
+            assert abs(clock.offset) <= 60.0
+            assert abs(clock.drift) <= 50e-6
+
+    def test_perfect_clocks(self):
+        clocks = make_clocks([1, 2], RngStreams(1), perfect={2})
+        assert clocks[2] == LocalClock(0.0, 0.0)
+        assert clocks[1] != LocalClock(0.0, 0.0)
+
+
+class TestLogLossSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogLossSpec(write_fail_p=1.5)
+        with pytest.raises(ValueError):
+            LogLossSpec(chunk_size=0)
+        with pytest.raises(ValueError):
+            LogLossSpec(crash_keep_min=2.0)
+        with pytest.raises(ValueError):
+            LogLossSpec(write_fail_overrides=((1, 2.0),))
+
+    def test_write_fail_for_override(self):
+        spec = LogLossSpec(write_fail_p=0.1, write_fail_overrides=((7, 0.9),))
+        assert spec.write_fail_for(7) == 0.9
+        assert spec.write_fail_for(8) == 0.1
+
+    def test_lossless_spec_is_identity(self):
+        logs = {1: make_log(1, 20)}
+        out = apply_losses(logs, LogLossSpec.lossless(), RngStreams(0))
+        assert out[1] == logs[1]
+
+    def test_moderate_preset_is_valid(self):
+        assert LogLossSpec.moderate().write_fail_p > 0
+
+
+class TestApplyLosses:
+    def test_write_failures_drop_records_keep_order(self):
+        logs = {1: make_log(1, 500)}
+        out = apply_losses(logs, LogLossSpec(write_fail_p=0.3), RngStreams(1))
+        kept = out[1]
+        assert 0 < len(kept) < 500
+        times = [e.time for e in kept]
+        assert times == sorted(times)  # order preserved
+
+    def test_whole_log_loss(self):
+        logs = {n: make_log(n, 10) for n in range(1, 51)}
+        out = apply_losses(logs, LogLossSpec(node_loss_p=0.5), RngStreams(2))
+        assert 0 < len(out) < 50
+
+    def test_crash_truncates_tail(self):
+        logs = {1: make_log(1, 100)}
+        out = apply_losses(logs, LogLossSpec(crash_p=1.0, crash_keep_min=0.5), RngStreams(3))
+        kept = out[1]
+        assert 50 <= len(kept) <= 100
+        # the surviving prefix is contiguous
+        assert [e.time for e in kept] == [float(i) for i in range(len(kept))]
+
+    def test_chunk_loss_removes_whole_chunks(self):
+        logs = {1: make_log(1, 64)}
+        spec = LogLossSpec(chunk_size=16, chunk_loss_p=0.5)
+        out = apply_losses(logs, spec, RngStreams(4))
+        kept_times = {int(e.time) for e in out[1]}
+        # every 16-aligned chunk is either fully present or fully absent
+        for start in range(0, 64, 16):
+            chunk = {start + i for i in range(16)}
+            assert chunk <= kept_times or not (chunk & kept_times)
+
+    def test_immune_nodes_untouched(self):
+        logs = {1: make_log(1, 50), 2: make_log(2, 50)}
+        spec = LogLossSpec(write_fail_p=1.0, immune=frozenset({2}))
+        out = apply_losses(logs, spec, RngStreams(5))
+        assert len(out[1]) == 0
+        assert len(out[2]) == 50
+
+    def test_deterministic_given_seed(self):
+        logs = {1: make_log(1, 200)}
+        spec = LogLossSpec.moderate()
+        a = apply_losses(logs, spec, RngStreams(9))
+        b = apply_losses(logs, spec, RngStreams(9))
+        assert a == b
+
+
+class TestCollectLogs:
+    def test_timestamps_become_local(self):
+        logs = {1: make_log(1, 5)}
+        collected = collect_logs(logs, LogLossSpec.lossless(), seed=11)
+        original = [e.time for e in logs[1]]
+        skewed = [e.time for e in collected[1]]
+        assert skewed != original
+        # skew is affine, so order within a node is preserved
+        assert skewed == sorted(skewed)
+
+    def test_perfect_clock_nodes_keep_true_time(self):
+        logs = {1: make_log(1, 5)}
+        collected = collect_logs(
+            logs, LogLossSpec.lossless(), seed=11, perfect_clocks=frozenset({1})
+        )
+        assert [e.time for e in collected[1]] == [e.time for e in logs[1]]
+
+    def test_collection_is_deterministic(self):
+        logs = {n: make_log(n, 30) for n in (1, 2, 3)}
+        spec = LogLossSpec.moderate()
+        a = collect_logs(logs, spec, seed=42)
+        b = collect_logs(logs, spec, seed=42)
+        assert a == b
+        c = collect_logs(logs, spec, seed=43)
+        assert a != c

@@ -1,0 +1,131 @@
+"""Property-based tests for the lossy-log substrate."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.events.event import Event
+from repro.events.log import NodeLog
+from repro.lognet.clock import LocalClock
+from repro.lognet.collector import collect_logs
+from repro.lognet.loss import LogLossSpec, apply_losses
+from repro.util.rng import RngStreams
+
+loss_specs = st.builds(
+    LogLossSpec,
+    write_fail_p=st.floats(min_value=0.0, max_value=1.0),
+    crash_p=st.floats(min_value=0.0, max_value=1.0),
+    crash_keep_min=st.floats(min_value=0.0, max_value=1.0),
+    chunk_size=st.integers(min_value=1, max_value=32),
+    chunk_loss_p=st.floats(min_value=0.0, max_value=1.0),
+    node_loss_p=st.floats(min_value=0.0, max_value=0.9),
+)
+
+
+def make_logs(sizes):
+    return {
+        node: NodeLog(node, [
+            Event.make(f"e{i}", node, time=float(i)) for i in range(size)
+        ])
+        for node, size in sizes.items()
+    }
+
+
+def is_subsequence(candidate, reference):
+    it = iter(reference)
+    return all(any(x == y for y in it) for x in candidate)
+
+
+class TestLossProperties:
+    @given(
+        st.dictionaries(
+            st.integers(min_value=1, max_value=6),
+            st.integers(min_value=0, max_value=40),
+            min_size=1,
+            max_size=5,
+        ),
+        loss_specs,
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=80)
+    def test_output_is_per_node_subsequence(self, sizes, spec, seed):
+        logs = make_logs(sizes)
+        out = apply_losses(logs, spec, RngStreams(seed))
+        assert set(out) <= set(logs)
+        for node, degraded in out.items():
+            assert is_subsequence(list(degraded), list(logs[node]))
+
+    @given(
+        st.dictionaries(
+            st.integers(min_value=1, max_value=4),
+            st.integers(min_value=0, max_value=20),
+            min_size=1,
+            max_size=3,
+        ),
+        loss_specs,
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=50)
+    def test_deterministic(self, sizes, spec, seed):
+        logs = make_logs(sizes)
+        a = apply_losses(logs, spec, RngStreams(seed))
+        b = apply_losses(logs, spec, RngStreams(seed))
+        assert a == b
+
+    @given(
+        st.dictionaries(
+            st.integers(min_value=1, max_value=4),
+            st.integers(min_value=1, max_value=20),
+            min_size=1,
+            max_size=3,
+        ),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=50)
+    def test_lossless_is_identity(self, sizes, seed):
+        logs = make_logs(sizes)
+        assert apply_losses(logs, LogLossSpec.lossless(), RngStreams(seed)) == logs
+
+
+class TestClockProperties:
+    @given(
+        st.floats(min_value=-600, max_value=600),
+        st.floats(min_value=-2e-4, max_value=2e-4),
+        st.lists(st.floats(min_value=0, max_value=1e7), min_size=2, max_size=20),
+    )
+    def test_affine_clock_preserves_order(self, offset, drift, times):
+        clock = LocalClock(offset, drift)
+        times = sorted(times)
+        skewed = [clock.local(t) for t in times]
+        assert skewed == sorted(skewed)
+
+    @given(
+        st.floats(min_value=-600, max_value=600),
+        st.floats(min_value=-2e-4, max_value=2e-4),
+        st.floats(min_value=0, max_value=1e7),
+    )
+    def test_clock_inverse(self, offset, drift, t):
+        clock = LocalClock(offset, drift)
+        assert abs(clock.true(clock.local(t)) - t) < 1e-6 * max(1.0, t)
+
+
+class TestCollectorProperties:
+    @given(
+        st.dictionaries(
+            st.integers(min_value=1, max_value=4),
+            st.integers(min_value=0, max_value=15),
+            min_size=1,
+            max_size=3,
+        ),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=40)
+    def test_collection_preserves_event_identity_modulo_time(self, sizes, seed):
+        logs = make_logs(sizes)
+        collected = collect_logs(logs, LogLossSpec.lossless(), seed)
+        for node, log in collected.items():
+            original = list(logs[node])
+            assert [e.without_time() for e in log] == [
+                e.without_time() for e in original
+            ]

@@ -1,0 +1,131 @@
+"""Tests for the runtime node-crash fault model."""
+
+import pytest
+
+from repro.analysis.pipeline import evaluate
+from repro.core.diagnosis import LossCause
+from repro.simnet.network import CrashParams
+from repro.simnet.scenarios import run_scenario, small_network
+from repro.simnet.truth import TrueCause
+
+
+def crashy_params(rate=6.0, minutes=30.0, n_nodes=25):
+    return small_network(n_nodes=n_nodes, minutes=minutes).with_(
+        crash=CrashParams(rate_per_day=rate, day_seconds=3600.0, repair_time=300.0),
+    )
+
+
+class TestCrashParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CrashParams(rate_per_day=-1)
+        with pytest.raises(ValueError):
+            CrashParams(repair_time=0)
+
+    def test_zero_rate_schedules_nothing(self):
+        baseline = run_scenario(small_network(n_nodes=15, minutes=10))
+        assert TrueCause.CRASH not in baseline.truth.loss_counts()
+
+
+class TestCrashBehavior:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_scenario(crashy_params())
+
+    def test_crash_and_timeout_losses_appear(self, result):
+        counts = result.truth.loss_counts()
+        # neighbours of dead nodes time out; queued packets die in the node
+        assert counts.get(TrueCause.TIMEOUT, 0) > 0
+
+    def test_crashed_packets_keep_their_recv_log(self, result):
+        truth = result.truth
+        for packet, fate in truth.fates.items():
+            if fate.cause is TrueCause.CRASH:
+                events_at_node = [
+                    e for e in truth.events[packet] if e.node == fate.position
+                ]
+                if events_at_node:
+                    # the flash log survived the crash: the recv is recorded
+                    assert any(e.etype in ("recv", "gen") for e in events_at_node)
+
+    def test_network_keeps_delivering(self, result):
+        # crashes degrade, not destroy: routing heals around dead nodes
+        assert result.delivery_ratio() > 0.4
+
+    def test_determinism_with_crashes(self):
+        a = run_scenario(crashy_params(minutes=10, n_nodes=15))
+        b = run_scenario(crashy_params(minutes=10, n_nodes=15))
+        assert a.truth.fates == b.truth.fates
+
+
+class TestCrashMechanics:
+    def test_queue_resident_packets_die_with_the_node(self):
+        """Drive the crash path directly: queued packets get CRASH fates."""
+        from repro.events.packet import PacketKey
+        from repro.simnet.network import Network
+
+        net = Network(crashy_params(rate=0.0, minutes=5, n_nodes=15))
+        node = next(n for n in net.topology.nodes if n != net.topology.sink)
+        p1, p2 = PacketKey(node, 1), PacketKey(node, 2)
+        net.truth.record_gen(p1, 0.0)
+        net.truth.record_gen(p2, 0.0)
+        net._fifo[node].append((p1, 0))
+        net._fifo[node].append((p2, 0))
+        net._make_crash(node)()
+        assert not net._alive[node]
+        assert len(net._fifo[node]) == 0
+        assert net.truth.fates[p1].cause is TrueCause.CRASH
+        assert net.truth.fates[p1].position == node
+        assert net.truth.fates[p2].cause is TrueCause.CRASH
+        net._make_repair(node)()
+        assert net._alive[node]
+
+    def test_send_to_dead_parent_times_out(self):
+        from repro.events.packet import PacketKey
+        from repro.simnet.network import Network
+
+        net = Network(crashy_params(rate=0.0, minutes=5, n_nodes=15))
+        net.routing.converge(0.0)
+        node = next(
+            n for n in net.topology.nodes
+            if n != net.topology.sink and net.routing.parent[n] is not None
+        )
+        parent = net.routing.parent[node]
+        net._alive[parent] = False
+        packet = PacketKey(node, 1)
+        net.truth.record_gen(packet, 0.0)
+        duration = net._transmit(node, packet, hops=0)
+        assert duration == pytest.approx(
+            net.params.mac.max_retries * net.params.mac.attempt_time
+        )
+        net.sim.run()  # flush the timeout logger
+        assert net.truth.fates[packet].cause is TrueCause.TIMEOUT
+        types = [e.etype for e in net.logs[node]]
+        assert types == ["trans", "timeout"]
+
+
+class TestCrashDiagnosis:
+    def test_refill_attributes_crash_losses_to_the_node(self):
+        result = evaluate(crashy_params(rate=4.0, minutes=40.0))
+        truth = result.sim.truth
+        crashed = [
+            p for p, f in truth.fates.items() if f.cause is TrueCause.CRASH
+        ]
+        if not crashed:
+            pytest.skip("no queue-resident crash losses in this seed")
+        hits = 0
+        scored = 0
+        for packet in crashed:
+            report = result.reports.get(packet)
+            if report is None:
+                continue
+            scored += 1
+            hits += report.cause in (
+                LossCause.RECEIVED_LOSS,
+                LossCause.ACKED_LOSS,
+                LossCause.UNKNOWN,
+            ) and (
+                report.position == truth.fates[packet].position
+                or report.cause is LossCause.UNKNOWN
+            )
+        assert scored == 0 or hits / scored > 0.7

@@ -1,0 +1,127 @@
+"""Unit tests for the MAC and CTP routing layers."""
+
+import pytest
+
+from repro.simnet.ctp import CtpParams, CtpRouting, INFINITE_ETX, MAX_LINK_ETX
+from repro.simnet.link import Disturbance, LinkModel, LinkParams
+from repro.simnet.mac import LplMac, MacOutcome, MacParams
+from repro.simnet.topology import make_grid_topology
+from repro.util.rng import RngStreams
+
+
+def make_link(n=16, disturbances=(), seed=5):
+    topo = make_grid_topology(n, RngStreams(seed), spacing=50.0, jitter=0.0)
+    return topo, LinkModel(topo, RngStreams(seed), LinkParams(), disturbances)
+
+
+class TestMacParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MacParams(max_retries=0)
+        with pytest.raises(ValueError):
+            MacParams(attempt_time=0)
+
+
+class TestLplMac:
+    def test_good_link_delivers_and_acks(self):
+        topo, link = make_link()
+        mac = LplMac(link, RngStreams(1))
+        outcomes = [mac.send(1, 2, 0.0) for _ in range(200)]
+        acked = sum(o.acked for o in outcomes)
+        assert acked >= 195  # PRR ~0.95+ with 30 retries
+        assert all(o.delivered for o in outcomes if o.acked)
+
+    def test_dead_link_times_out(self):
+        topo, link = make_link(disturbances=[Disturbance(0.0, 1e9, 0.0)])
+        mac = LplMac(link, RngStreams(2))
+        outcome = mac.send(1, 2, 10.0)
+        assert not outcome.delivered and not outcome.acked
+        assert outcome.attempts == 30
+        assert outcome.duration == pytest.approx(30 * MacParams().attempt_time)
+
+    def test_marginal_link_shows_delivered_without_ack(self):
+        topo, link = make_link(disturbances=[Disturbance(0.0, 1e9, 0.12)])
+        mac = LplMac(link, RngStreams(3))
+        outcomes = [mac.send(1, 2, 10.0) for _ in range(500)]
+        # the interesting asymmetry exists: receiver has it, sender gave up
+        assert any(o.delivered and not o.acked for o in outcomes)
+        assert any(not o.delivered for o in outcomes)
+
+    def test_duration_grows_with_attempts(self):
+        topo, link = make_link()
+        mac = LplMac(link, RngStreams(4))
+        o = mac.send(1, 2, 0.0)
+        assert o.duration == pytest.approx(o.attempts * MacParams().attempt_time)
+
+
+class TestCtpRouting:
+    def make_routing(self, n=25, disturbances=(), params=CtpParams(loop_churn_p=0.0)):
+        topo, link = make_link(n, disturbances)
+        return topo, CtpRouting(topo, link, RngStreams(7), params)
+
+    def test_initial_state(self):
+        topo, routing = self.make_routing()
+        assert routing.path_etx[topo.sink] == 0.0
+        assert all(routing.parent[n] is None for n in topo.nodes)
+
+    def test_converge_builds_tree(self):
+        topo, routing = self.make_routing()
+        routing.converge(0.0)
+        assert routing.routed_fraction() == 1.0
+        # the tree is acyclic and reaches the sink
+        for node in topo.nodes:
+            seen = set()
+            cur = node
+            while cur != topo.sink:
+                assert cur not in seen, "routing loop after convergence"
+                seen.add(cur)
+                cur = routing.parent[cur]
+                assert cur is not None
+
+    def test_path_etx_monotone_toward_sink(self):
+        topo, routing = self.make_routing()
+        routing.converge(0.0)
+        for node in topo.nodes:
+            if node == topo.sink:
+                continue
+            parent = routing.parent[node]
+            assert routing.path_etx[node] > routing.path_etx[parent]
+
+    def test_link_etx_caps(self):
+        topo, routing = self.make_routing()
+        routing.converge(0.0)
+        etx = routing.link_etx(1, 2, 0.0)
+        assert 1.0 <= etx <= MAX_LINK_ETX
+
+    def test_churn_can_create_transient_loops(self):
+        topo, routing = self.make_routing(params=CtpParams(loop_churn_p=0.5))
+        routing.converge(0.0)
+        loops = 0
+        for _ in range(20):
+            routing.beacon_round(0.0)
+            for node in topo.nodes:
+                seen = set()
+                cur = node
+                while cur is not None and cur != topo.sink and cur not in seen:
+                    seen.add(cur)
+                    cur = routing.parent[cur]
+                if cur is not None and cur != topo.sink:
+                    loops += 1
+        assert loops > 0
+
+    def test_smoothing_damps_flapping(self):
+        # a violent on/off disturbance flips instantaneous PRR; the smoothed
+        # estimator changes gradually, so parents stay stable
+        blinks = [Disturbance(float(i), float(i) + 0.5, 0.1) for i in range(0, 60, 2)]
+        topo, routing = self.make_routing(disturbances=blinks)
+        routing.converge(0.0)
+        parents_before = dict(routing.parent)
+        switches = 0
+        for i in range(20):
+            routing.beacon_round(float(i))
+            switches += sum(
+                1 for n in topo.nodes if routing.parent[n] != parents_before[n]
+            )
+            parents_before = dict(routing.parent)
+        # a few switches are fine; instantaneous ETX would flip most nodes
+        assert switches < 20 * len(topo.nodes) * 0.2

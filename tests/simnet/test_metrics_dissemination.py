@@ -1,0 +1,79 @@
+"""Unit tests for network metrics and the dissemination simulator."""
+
+import pytest
+
+from repro.simnet.dissemination import DisseminationParams, run_dissemination
+from repro.simnet.metrics import summarize
+from repro.simnet.scenarios import run_scenario, small_network
+
+
+@pytest.fixture(scope="module")
+def sim_result():
+    return run_scenario(small_network(n_nodes=20, minutes=20))
+
+
+class TestNetworkMetrics:
+    def test_summary_consistent_with_truth(self, sim_result):
+        report = summarize(sim_result)
+        assert report.packets == len(sim_result.truth.fates)
+        assert report.delivered == len(sim_result.truth.delivered_packets())
+        assert 0.0 < report.delivery_ratio <= 1.0
+        assert report.loss_counts == sim_result.truth.loss_counts()
+
+    def test_per_origin_delivery_bounded(self, sim_result):
+        report = summarize(sim_result)
+        for origin, ratio in report.per_origin_delivery.items():
+            assert 0.0 <= ratio <= 1.0
+            assert origin != sim_result.sink  # sink generates nothing
+
+    def test_hop_histogram_positive(self, sim_result):
+        report = summarize(sim_result)
+        assert sum(report.hop_histogram.values()) == report.delivered
+        assert report.mean_hops() >= 1.0
+
+    def test_forwarding_load_excludes_origin_work(self, sim_result):
+        report = summarize(sim_result)
+        # the sink relays (terminates) almost everything delivered
+        assert report.node_forwarding_load[sim_result.sink] > 0
+
+
+class TestTruePath:
+    def test_paths_start_at_origin(self, sim_result):
+        bs = sim_result.base_station_node
+        for packet in list(sim_result.truth.fates)[:50]:
+            path = sim_result.truth.true_path(packet, exclude=frozenset({bs}))
+            assert path[0] == packet.origin
+
+    def test_delivered_paths_end_at_sink(self, sim_result):
+        bs = sim_result.base_station_node
+        for packet in sim_result.truth.delivered_packets()[:50]:
+            path = sim_result.truth.true_path(packet, exclude=frozenset({bs}))
+            assert path[-1] == sim_result.sink
+
+
+class TestDisseminationSimulator:
+    def test_deterministic(self):
+        params = DisseminationParams(n_nodes=12, seed=4)
+        a = run_dissemination(params)
+        b = run_dissemination(params)
+        assert a.applied == b.applied
+        assert a.completed == b.completed
+
+    def test_completion_implies_full_coverage(self):
+        result = run_dissemination(DisseminationParams(n_nodes=16, seed=2, updates=4))
+        for update, done in result.completed.items():
+            if done:
+                assert result.applied[update] == frozenset(result.targets)
+
+    def test_adv_carries_targets_info(self):
+        result = run_dissemination(DisseminationParams(n_nodes=12, seed=1))
+        advs = [e for e in result.true_logs[result.seeder] if e.etype == "adv"]
+        assert advs
+        targets = advs[0].info_dict["targets"]
+        assert {int(t) for t in targets.split(",")} == set(result.targets)
+
+    def test_receivers_log_their_own_events_only(self):
+        result = run_dissemination(DisseminationParams(n_nodes=12, seed=1))
+        for node, log in result.true_logs.items():
+            for event in log:
+                assert event.node == node

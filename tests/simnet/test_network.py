@@ -1,0 +1,171 @@
+"""Integration tests for the network orchestrator and ground truth."""
+
+import pytest
+
+from repro.events.event import EventType
+from repro.simnet.network import Network, NodeParams, ScenarioParams
+from repro.simnet.scenarios import DAY, citysee, run_scenario, small_network
+from repro.simnet.sinkpath import BaseStationModel, SerialLink
+from repro.simnet.truth import TrueCause, TrueFate
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    return run_scenario(small_network(n_nodes=25, minutes=30))
+
+
+class TestSmallRun:
+    def test_every_packet_has_exactly_one_fate(self, small_result):
+        truth = small_result.truth
+        assert len(truth.fates) == len(truth.gen_times)
+        assert set(truth.fates) == set(truth.gen_times)
+
+    def test_delivery_ratio_sane(self, small_result):
+        assert 0.5 < small_result.delivery_ratio() <= 1.0
+
+    def test_delivered_packets_have_bs_recv(self, small_result):
+        bs = small_result.base_station_node
+        bs_log_packets = {e.packet for e in small_result.true_logs[bs]}
+        for packet in small_result.truth.delivered_packets():
+            assert packet in bs_log_packets
+
+    def test_bs_arrivals_match_delivered(self, small_result):
+        delivered = set(small_result.truth.delivered_packets())
+        arrived = {p for p, _ in small_result.bs_arrivals}
+        assert arrived == delivered
+
+    def test_true_logs_ordered_by_time_per_node(self, small_result):
+        for node, log in small_result.true_logs.items():
+            times = [e.time for e in log]
+            assert times == sorted(times), f"node {node} log out of order"
+
+    def test_gen_events_only_at_origin(self, small_result):
+        for node, log in small_result.true_logs.items():
+            for event in log:
+                if event.etype == EventType.GEN.value:
+                    assert event.packet.origin == node
+
+    def test_sender_receiver_sides_recorded_correctly(self, small_result):
+        for node, log in small_result.true_logs.items():
+            for e in log:
+                if e.etype in ("trans", "ack_recvd", "timeout"):
+                    assert e.src == node
+                elif e.etype in ("recv", "dup", "overflow"):
+                    assert e.dst == node
+
+    def test_sink_generates_no_packets(self, small_result):
+        sink = small_result.sink
+        assert all(p.origin != sink for p in small_result.truth.fates)
+
+    def test_truth_event_sequences_are_time_ordered(self, small_result):
+        for packet, events in small_result.truth.events.items():
+            times = [e.time for e in events]
+            assert times == sorted(times)
+
+
+class TestFateSemantics:
+    def test_in_node_loss_last_event_at_position_is_recv(self, small_result):
+        # the global last true event may be the sender's ack (same instant);
+        # the last event recorded *on the failing node* must be the receive
+        truth = small_result.truth
+        for packet, fate in truth.fates.items():
+            if fate.cause is TrueCause.IN_NODE:
+                at_position = [e for e in truth.events[packet] if e.node == fate.position]
+                assert at_position[-1].etype == EventType.RECV.value
+
+    def test_serial_loss_positioned_at_sink(self, small_result):
+        for fate in small_result.truth.fates.values():
+            if fate.cause is TrueCause.SERIAL:
+                assert fate.position == small_result.sink
+
+    def test_timeout_loss_last_events(self, small_result):
+        truth = small_result.truth
+        for packet, fate in truth.fates.items():
+            if fate.cause is TrueCause.TIMEOUT:
+                types = [e.etype for e in truth.events[packet]]
+                assert "timeout" in types
+
+    def test_fate_double_record_rejected(self):
+        from repro.events.packet import PacketKey
+        from repro.simnet.truth import GroundTruth
+        truth = GroundTruth()
+        truth.record_fate(PacketKey(1, 1), TrueFate(TrueCause.DELIVERED, 9, 1.0))
+        with pytest.raises(ValueError):
+            truth.record_fate(PacketKey(1, 1), TrueFate(TrueCause.TIMEOUT, 1, 2.0))
+
+
+class TestScenarioMechanisms:
+    def test_server_outage_produces_outage_losses(self):
+        params = small_network(n_nodes=16, minutes=20).with_(
+            base_station=BaseStationModel(outages=((300.0, 900.0),)),
+            serial=SerialLink(unstable_quality=1.0, fixed_quality=1.0),
+        )
+        result = run_scenario(params)
+        counts = result.truth.loss_counts()
+        assert counts.get(TrueCause.OUTAGE, 0) > 0
+        # outage fates fall inside the window
+        for fate in result.truth.fates.values():
+            if fate.cause is TrueCause.OUTAGE:
+                assert 300.0 <= fate.time < 900.0
+
+    def test_serial_fix_reduces_serial_losses(self):
+        def serial_losses(fix_time):
+            params = small_network(n_nodes=16, minutes=30).with_(
+                serial=SerialLink(unstable_quality=0.5, fix_time=fix_time),
+            )
+            result = run_scenario(params)
+            return result.truth.loss_counts().get(TrueCause.SERIAL, 0), len(result.truth.fates)
+
+        broken, n1 = serial_losses(float("inf"))
+        fixed, n2 = serial_losses(0.0)
+        assert broken / n1 > 5 * max(fixed, 1) / n2
+
+    def test_task_failures_scale_with_probability(self):
+        def in_node(p):
+            params = small_network(n_nodes=16, minutes=30).with_(
+                node=NodeParams(task_fail_p=p),
+            )
+            return run_scenario(params).truth.loss_counts().get(TrueCause.IN_NODE, 0)
+
+        assert in_node(0.0) == 0
+        assert in_node(0.2) > 10
+
+    def test_tiny_queue_overflows_under_sync_bursts(self):
+        params = small_network(n_nodes=25, minutes=30).with_(
+            node=NodeParams(queue_capacity=1),
+            gen_sync_window=1.0,
+        )
+        result = run_scenario(params)
+        assert result.truth.loss_counts().get(TrueCause.OVERFLOW, 0) > 0
+
+    def test_determinism(self):
+        a = run_scenario(small_network(n_nodes=12, minutes=10))
+        b = run_scenario(small_network(n_nodes=12, minutes=10))
+        assert a.truth.fates == b.truth.fates
+        assert {n: log.events for n, log in a.true_logs.items()} == {
+            n: log.events for n, log in b.true_logs.items()
+        }
+
+
+class TestCityseePreset:
+    def test_preset_mechanism_coverage(self):
+        # a short slice of the CitySee preset exercises every loss class
+        result = run_scenario(citysee(n_nodes=80, days=3))
+        counts = {str(k): v for k, v in result.truth.loss_counts().items()}
+        assert counts.get("serial", 0) > 0
+        assert counts.get("server_outage", 0) > 0
+        assert counts.get("in_node", 0) > 0
+        assert 0.6 < result.delivery_ratio() < 0.98
+
+    def test_snow_days_degrade_delivery(self):
+        result = run_scenario(
+            citysee(n_nodes=60, days=3, snow_days=(1,), outage_fraction=0.0)
+        )
+        by_day = [[0, 0], [0, 0], [0, 0]]  # [delivered, total] per day
+        truth = result.truth
+        for packet, t in truth.gen_times.items():
+            day = min(2, int(t // DAY))
+            by_day[day][1] += 1
+            by_day[day][0] += truth.fates[packet].delivered
+        rates = [d / t for d, t in by_day if t]
+        assert rates[1] < rates[0] and rates[1] < rates[2]

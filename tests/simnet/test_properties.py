@@ -1,0 +1,66 @@
+"""Property-based invariants of the simulator (small random configs)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.events.event import EventType
+from repro.simnet.network import Network, NodeParams
+from repro.simnet.scenarios import small_network
+
+configs = st.builds(
+    lambda n, seed, minutes, task_p, cap: small_network(
+        n_nodes=n, seed=seed, minutes=minutes
+    ).with_(node=NodeParams(task_fail_p=task_p, queue_capacity=cap)),
+    n=st.integers(min_value=6, max_value=20),
+    seed=st.integers(min_value=0, max_value=10_000),
+    minutes=st.floats(min_value=2.0, max_value=8.0),
+    task_p=st.floats(min_value=0.0, max_value=0.05),
+    cap=st.integers(min_value=2, max_value=16),
+)
+
+
+class TestSimulatorInvariants:
+    @given(configs)
+    @settings(max_examples=15, deadline=None)
+    def test_every_generated_packet_gets_exactly_one_fate(self, params):
+        result = Network(params).run()
+        truth = result.truth
+        assert set(truth.fates) == set(truth.gen_times)
+
+    @given(configs)
+    @settings(max_examples=15, deadline=None)
+    def test_per_node_logs_time_ordered(self, params):
+        result = Network(params).run()
+        for log in result.true_logs.values():
+            times = [e.time for e in log]
+            assert times == sorted(times)
+
+    @given(configs)
+    @settings(max_examples=15, deadline=None)
+    def test_event_sides_consistent(self, params):
+        result = Network(params).run()
+        for node, log in result.true_logs.items():
+            for e in log:
+                if e.etype in ("trans", "ack_recvd", "timeout"):
+                    assert e.src == node and e.dst is not None
+                elif e.etype in ("recv", "dup", "overflow"):
+                    assert e.dst == node and e.src is not None
+
+    @given(configs)
+    @settings(max_examples=10, deadline=None)
+    def test_delivered_iff_bs_logged(self, params):
+        result = Network(params).run()
+        bs = result.base_station_node
+        bs_packets = {
+            e.packet for e in result.true_logs[bs] if e.etype == EventType.RECV.value
+        }
+        delivered = set(result.truth.delivered_packets())
+        assert bs_packets == delivered
+
+    @given(configs)
+    @settings(max_examples=10, deadline=None)
+    def test_fate_times_after_generation(self, params):
+        result = Network(params).run()
+        truth = result.truth
+        for packet, fate in truth.fates.items():
+            assert fate.time >= truth.gen_times[packet]

@@ -1,0 +1,86 @@
+"""Unit tests for scenario preset construction."""
+
+import math
+
+import pytest
+
+from repro.simnet.link import Disturbance
+from repro.simnet.network import ScenarioParams
+from repro.simnet.scenarios import DAY, citysee, small_network
+
+
+class TestCityseePreset:
+    def test_durations_and_intervals(self):
+        params = citysee(n_nodes=50, days=10, packets_per_node_per_day=24)
+        assert params.duration == 10 * DAY
+        assert params.gen_interval == pytest.approx(DAY / 24)
+        assert params.gen_sync_window == 10.0
+
+    def test_snow_days_clamped_to_run_length(self):
+        short = citysee(n_nodes=50, days=3, snow_days=(8, 9))
+        global_disturbances = [
+            d for d in short.disturbances if d.center is None
+        ]
+        assert global_disturbances == []
+        long = citysee(n_nodes=50, days=12, snow_days=(8, 9))
+        snows = [d for d in long.disturbances if d.center is None]
+        assert [d.start for d in snows] == [8 * DAY, 9 * DAY]
+        # serial weather windows mirror the snow days
+        assert [w[0] for w in long.serial.weather_windows] == [8 * DAY, 9 * DAY]
+
+    def test_sink_fix_day(self):
+        fixed = citysee(n_nodes=50, days=30, sink_fix_day=23)
+        assert fixed.serial.fix_time == 23 * DAY
+        never = citysee(n_nodes=50, days=30, sink_fix_day=None)
+        assert never.serial.fix_time == float("inf")
+        beyond = citysee(n_nodes=50, days=10, sink_fix_day=23)
+        assert beyond.serial.fix_time == float("inf")
+
+    def test_outage_fraction_zero_means_no_outages(self):
+        params = citysee(n_nodes=50, days=5, outage_fraction=0.0)
+        assert params.base_station.outages == ()
+
+    def test_outage_windows_cover_requested_fraction(self):
+        params = citysee(n_nodes=50, days=10, outage_fraction=0.05)
+        total = sum(e - s for s, e in params.base_station.outages)
+        assert total >= 0.05 * params.duration
+        for start, end in params.base_station.outages:
+            assert 0 <= start < end <= params.duration + 0.2 * DAY
+
+    def test_bursts_are_regional(self):
+        params = citysee(n_nodes=50, days=5)
+        bursts = [d for d in params.disturbances if d.center is not None]
+        assert bursts
+        for burst in bursts:
+            assert burst.radius > 0
+            assert 0 < burst.factor < 1
+
+    def test_deterministic_given_seed(self):
+        assert citysee(n_nodes=50, days=5, seed=3) == citysee(n_nodes=50, days=5, seed=3)
+        assert citysee(n_nodes=50, days=5, seed=3) != citysee(n_nodes=50, days=5, seed=4)
+
+
+class TestSmallNetworkPreset:
+    def test_shape(self):
+        params = small_network(n_nodes=10, minutes=5)
+        assert params.n_nodes == 10
+        assert params.duration == 300.0
+
+    def test_with_updates_functionally(self):
+        params = small_network()
+        updated = params.with_(n_nodes=99)
+        assert updated.n_nodes == 99
+        assert params.n_nodes != 99  # original untouched
+
+
+class TestScenarioParams:
+    def test_defaults_valid(self):
+        params = ScenarioParams()
+        assert params.gen_sync_window == 30.0
+
+    def test_uniform_phase_mode(self):
+        from repro.simnet.network import Network
+
+        params = small_network(n_nodes=10, minutes=5).with_(gen_sync_window=None)
+        result = Network(params).run()
+        assert len(result.truth.fates) > 0

@@ -1,0 +1,170 @@
+"""Unit tests for the DES core, topology and link model."""
+
+import pytest
+
+from repro.simnet.link import Disturbance, LinkModel, LinkParams
+from repro.simnet.sim import Simulator
+from repro.simnet.topology import Topology, make_grid_topology
+from repro.util.rng import RngStreams
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        seen = []
+        sim.at(2.0, lambda: seen.append("b"))
+        sim.at(1.0, lambda: seen.append("a"))
+        sim.at(3.0, lambda: seen.append("c"))
+        sim.run()
+        assert seen == ["a", "b", "c"]
+        assert sim.now == 3.0
+        assert sim.events_run == 3
+
+    def test_fifo_tie_break(self):
+        sim = Simulator()
+        seen = []
+        sim.at(1.0, lambda: seen.append(1))
+        sim.at(1.0, lambda: seen.append(2))
+        sim.run()
+        assert seen == [1, 2]
+
+    def test_after_and_nested_scheduling(self):
+        sim = Simulator()
+        seen = []
+        def first():
+            seen.append(sim.now)
+            sim.after(5.0, lambda: seen.append(sim.now))
+        sim.at(1.0, first)
+        sim.run()
+        assert seen == [1.0, 6.0]
+
+    def test_run_until_keeps_later_events(self):
+        sim = Simulator()
+        seen = []
+        sim.at(1.0, lambda: seen.append("a"))
+        sim.at(10.0, lambda: seen.append("b"))
+        sim.run(until=5.0)
+        assert seen == ["a"]
+        assert sim.now == 5.0
+        assert sim.pending == 1
+        sim.run()
+        assert seen == ["a", "b"]
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.at(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.at(1.0, lambda: None)
+        with pytest.raises(ValueError):
+            sim.after(-1.0, lambda: None)
+
+
+class TestTopology:
+    def test_grid_shape_and_ids(self):
+        topo = make_grid_topology(30, RngStreams(1))
+        assert len(topo.positions) == 30
+        assert sorted(topo.positions) == list(range(1, 31))
+        assert topo.base_station == 31
+        assert topo.sink in topo.positions
+
+    def test_sink_near_centroid(self):
+        topo = make_grid_topology(49, RngStreams(2), jitter=0.0)
+        cx = sum(p[0] for p in topo.positions.values()) / 49
+        cy = sum(p[1] for p in topo.positions.values()) / 49
+        sx, sy = topo.positions[topo.sink]
+        # the sink is the node closest to the centroid
+        for node, (x, y) in topo.positions.items():
+            assert ((sx - cx) ** 2 + (sy - cy) ** 2) <= ((x - cx) ** 2 + (y - cy) ** 2) + 1e-9
+
+    def test_neighbors_symmetric_within_range(self):
+        topo = make_grid_topology(25, RngStreams(3))
+        for node in topo.nodes:
+            for nbr in topo.neighbors(node):
+                assert node in topo.neighbors(nbr)
+                assert topo.distance(node, nbr) <= topo.radio_range
+
+    def test_connected_to_sink_with_default_density(self):
+        topo = make_grid_topology(36, RngStreams(4))
+        assert topo.connected_to_sink() == set(topo.nodes)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_grid_topology(1, RngStreams(0))
+        with pytest.raises(ValueError):
+            Topology({1: (0, 0)}, sink=2, base_station=3, radio_range=10)
+
+
+class TestDisturbance:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Disturbance(5.0, 5.0, 0.5)
+        with pytest.raises(ValueError):
+            Disturbance(0.0, 1.0, 1.5)
+
+    def test_active_window(self):
+        d = Disturbance(10.0, 20.0, 0.5)
+        assert not d.active(9.9)
+        assert d.active(10.0)
+        assert d.active(19.9)
+        assert not d.active(20.0)
+
+    def test_regional_affects(self):
+        d = Disturbance(0, 1, 0.5, center=(0.0, 0.0), radius=10.0)
+        assert d.affects((3.0, 4.0))
+        assert not d.affects((30.0, 40.0))
+        globally = Disturbance(0, 1, 0.5)
+        assert globally.affects((1e9, 1e9))
+
+
+class TestLinkModel:
+    def make(self, disturbances=()):
+        topo = make_grid_topology(16, RngStreams(5), spacing=50.0, jitter=0.0, radio_range=80.0)
+        return topo, LinkModel(topo, RngStreams(5), LinkParams(), disturbances)
+
+    def test_prr_decays_with_distance(self):
+        topo, link = self.make()
+        # node 1 at (0,0); node 2 at (50,0); node 3 at (100,0) out of range
+        close = link.base_prr(1, 2)
+        assert 0.8 <= close <= 1.0
+        assert link.base_prr(1, 3) == 0.0
+
+    def test_base_prr_symmetric_and_cached(self):
+        topo, link = self.make()
+        assert link.base_prr(1, 2) == link.base_prr(2, 1)
+
+    def test_global_disturbance_scales_prr(self):
+        topo, link0 = self.make()
+        topo2, link = self.make([Disturbance(100.0, 200.0, 0.5)])
+        before = link.prr(1, 2, 50.0)
+        during = link.prr(1, 2, 150.0)
+        after = link.prr(1, 2, 250.0)
+        assert during == pytest.approx(before * 0.5)
+        assert after == pytest.approx(before)
+
+    def test_regional_disturbance_spares_far_links(self):
+        topo, link = self.make(
+            [Disturbance(0.0, 100.0, 0.1, center=(0.0, 0.0), radius=30.0)]
+        )
+        # nodes 1,2 near origin; nodes 15,16 far away (75,150)/(100+..)
+        near = link.prr(1, 2, 50.0)
+        far_nodes = [n for n in topo.nodes if topo.positions[n][1] >= 100]
+        a, b = far_nodes[0], far_nodes[1]
+        assert near < link.base_prr(1, 2)
+        assert link.prr(a, b, 50.0) == pytest.approx(link.base_prr(a, b))
+
+    def test_stacked_disturbances_multiply(self):
+        topo, link = self.make(
+            [Disturbance(0.0, 100.0, 0.5), Disturbance(50.0, 100.0, 0.5)]
+        )
+        base = link.base_prr(1, 2)
+        assert link.prr(1, 2, 25.0) == pytest.approx(base * 0.5)
+        assert link.prr(1, 2, 75.0) == pytest.approx(base * 0.25)
+
+    def test_nonmonotonic_time_queries(self):
+        # the active-window cache must handle out-of-order queries
+        topo, link = self.make([Disturbance(10.0, 20.0, 0.5)])
+        base = link.base_prr(1, 2)
+        assert link.prr(1, 2, 15.0) == pytest.approx(base * 0.5)
+        assert link.prr(1, 2, 5.0) == pytest.approx(base)
+        assert link.prr(1, 2, 15.0) == pytest.approx(base * 0.5)

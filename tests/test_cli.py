@@ -1,0 +1,86 @@
+"""End-to-end tests for the CLI (`refill` / `python -m repro`)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def log_dir(tmp_path_factory):
+    out = tmp_path_factory.mktemp("cli") / "logs"
+    code = main(["simulate", "--nodes", "20", "--days", "1", "--seed", "3",
+                 "--out", str(out)])
+    assert code == 0
+    return out
+
+
+class TestSimulate:
+    def test_writes_logs_and_metadata(self, log_dir):
+        logs = list(log_dir.glob("node_*.log"))
+        assert len(logs) >= 15  # some node logs may be lost entirely
+        meta = json.loads((log_dir / "operations.json").read_text())
+        assert meta["n_nodes"] == 20
+        assert "sink" in meta and "outages" in meta
+
+    def test_log_lines_parse(self, log_dir):
+        from repro.events.codec import decode_log
+
+        path = sorted(log_dir.glob("node_*.log"))[0]
+        node = int(path.stem.split("_")[1])
+        log = decode_log(node, path.read_text())
+        assert all(e.node == node for e in log)
+
+
+class TestAnalyze:
+    def test_analyze_prints_breakdown(self, log_dir, capsys):
+        assert main(["analyze", "--logs", str(log_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "Loss cause shares" in out
+        assert "received_sink" in out
+
+
+class TestTrace:
+    def test_trace_known_packet(self, log_dir, capsys):
+        # find a packet that exists in the logs
+        from repro.events.codec import decode_log
+
+        packet = None
+        for path in sorted(log_dir.glob("node_*.log")):
+            node = int(path.stem.split("_")[1])
+            for event in decode_log(node, path.read_text()):
+                if event.packet is not None:
+                    packet = event.packet
+                    break
+            if packet:
+                break
+        assert packet is not None
+        assert main(["trace", "--logs", str(log_dir), str(packet)]) == 0
+        out = capsys.readouterr().out
+        assert "diagnosis:" in out
+
+    def test_trace_unknown_packet(self, log_dir, capsys):
+        assert main(["trace", "--logs", str(log_dir), "p9999.9999"]) == 1
+
+
+class TestFigures:
+    def test_figures_written(self, log_dir, tmp_path):
+        out = tmp_path / "figs"
+        assert main(["figures", "--logs", str(log_dir), "--out", str(out)]) == 0
+        import xml.dom.minidom
+
+        for name in ("fig4_sink_view.svg", "fig5_loss_positions.svg"):
+            path = out / name
+            assert path.exists()
+            xml.dom.minidom.parse(str(path))
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.nodes == 100 and args.days == 5

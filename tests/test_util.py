@@ -1,0 +1,85 @@
+"""Unit tests for the shared utility helpers."""
+
+import pytest
+
+from repro.util.rng import RngStreams
+from repro.util.stats import count_by, histogram, percentage_breakdown, time_buckets
+from repro.util.tables import render_table
+
+
+class TestRngStreams:
+    def test_streams_deterministic(self):
+        a = RngStreams(7).stream("mac")
+        b = RngStreams(7).stream("mac")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_streams_independent(self):
+        rng = RngStreams(7)
+        mac = rng.stream("mac")
+        _ = [mac.random() for _ in range(100)]  # burn draws
+        links_after = rng.stream("links").random()
+        links_fresh = RngStreams(7).stream("links").random()
+        assert links_after == links_fresh
+
+    def test_different_names_different_sequences(self):
+        rng = RngStreams(7)
+        assert rng.stream("a").random() != rng.stream("b").random()
+
+    def test_stream_cached(self):
+        rng = RngStreams(7)
+        assert rng.stream("x") is rng.stream("x")
+
+    def test_spawn_independent(self):
+        parent = RngStreams(7)
+        child1 = parent.spawn("scenario")
+        child2 = RngStreams(7).spawn("scenario")
+        assert child1.stream("gen").random() == child2.stream("gen").random()
+        assert child1.stream("gen") is not parent.stream("gen")
+
+
+class TestStats:
+    def test_percentage_breakdown(self):
+        shares = percentage_breakdown({"a": 3, "b": 1})
+        assert shares["a"] == pytest.approx(75.0)
+        assert sum(shares.values()) == pytest.approx(100.0)
+        assert percentage_breakdown({"a": 0}) == {"a": 0.0}
+
+    def test_histogram(self):
+        counts = histogram([0.5, 1.5, 1.6, 2.5], [0, 1, 2, 3])
+        assert counts == [1, 2, 1]
+        assert histogram([], [0, 1]) == [0]
+
+    def test_time_buckets(self):
+        edges = time_buckets(0.0, 10.0, 2.5)
+        assert edges == [0.0, 2.5, 5.0, 7.5, 10.0]
+        with pytest.raises(ValueError):
+            time_buckets(0, 10, 0)
+        with pytest.raises(ValueError):
+            time_buckets(10, 0, 1)
+
+    def test_count_by(self):
+        counts = count_by([1, 2, 3, 4], key=lambda x: x % 2)
+        assert counts == {1: 2, 0: 2}
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        text = render_table(["col", "n"], [("x", 1), ("longer", 22)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "col" in lines[1]
+        # all rows same width
+        assert len({len(l) for l in lines[2:]}) <= 2
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [(1.23456,), (12345.6,)])
+        assert "1.235" in text
+        assert "12345.6" in text
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [(1,)])
+
+    def test_empty_rows(self):
+        text = render_table(["a"], [])
+        assert "a" in text

@@ -1,0 +1,97 @@
+"""Unit tests for the SVG figure renderers."""
+
+import xml.dom.minidom
+
+import pytest
+
+from repro.analysis.spatial import SpatialPoint
+from repro.core.diagnosis import LossCause
+from repro.vis.figures import (
+    CAUSE_COLORS,
+    render_scatter_svg,
+    render_spatial_svg,
+    render_stacked_days_svg,
+)
+from repro.vis.svg import Extent, SvgCanvas
+
+
+def parses(svg: str) -> bool:
+    xml.dom.minidom.parseString(svg)
+    return True
+
+
+class TestSvgCanvas:
+    def test_extent_validation(self):
+        with pytest.raises(ValueError):
+            Extent(0, 0, 0, 1)
+        with pytest.raises(ValueError):
+            Extent(0, 1, 5, 5)
+
+    def test_coordinate_mapping(self):
+        canvas = SvgCanvas(200, 100, extent=Extent(0, 10, 0, 10), margin=10)
+        assert canvas.px(0) == 10
+        assert canvas.px(10) == 190
+        # data y grows upward, screen y downward
+        assert canvas.py(0) == 90
+        assert canvas.py(10) == 10
+
+    def test_document_valid(self):
+        canvas = SvgCanvas(100, 100, extent=Extent(0, 1, 0, 1))
+        canvas.title("t")
+        canvas.axes(x_label="x", y_label="y")
+        canvas.circle(0.5, 0.5, 3, fill="#123456")
+        canvas.triangle(0.2, 0.2, 5, fill="red")
+        canvas.line(0, 0, 1, 1)
+        canvas.text(0.1, 0.9, "<escaped & safe>")
+        svg = canvas.to_svg()
+        assert parses(svg)
+        assert "&lt;escaped" in svg
+
+    def test_save(self, tmp_path):
+        canvas = SvgCanvas(50, 50)
+        path = tmp_path / "x.svg"
+        canvas.save(path)
+        assert path.read_text().startswith("<svg")
+
+
+class TestFigureRenderers:
+    def test_scatter(self):
+        points = [
+            (0.0, 1, LossCause.ACKED_LOSS),
+            (10.0, 5, LossCause.TIMEOUT_LOSS),
+            (20.0, 3, LossCause.RECEIVED_LOSS),
+        ]
+        svg = render_scatter_svg(points, title="T")
+        assert parses(svg)
+        for cause in (LossCause.ACKED_LOSS, LossCause.TIMEOUT_LOSS):
+            assert CAUSE_COLORS[cause] in svg
+
+    def test_scatter_empty(self):
+        svg = render_scatter_svg([], title="T")
+        assert parses(svg)
+        assert "no losses" in svg
+
+    def test_spatial_marks_sink(self):
+        positions = {1: (0.0, 0.0), 2: (10.0, 10.0), 3: (20.0, 0.0)}
+        points = [
+            SpatialPoint(2, 10.0, 10.0, 50, True),
+            SpatialPoint(1, 0.0, 0.0, 5, False),
+        ]
+        svg = render_spatial_svg(points, positions=positions)
+        assert parses(svg)
+        assert "polygon" in svg  # the sink triangle
+        assert "sink: 50" in svg
+
+    def test_stacked_days(self):
+        days = [
+            {LossCause.ACKED_LOSS: 5, LossCause.RECEIVED_LOSS: 3},
+            {LossCause.ACKED_LOSS: 8},
+            {},
+        ]
+        svg = render_stacked_days_svg(days, annotations={1: "snow"})
+        assert parses(svg)
+        assert "snow" in svg
+        assert CAUSE_COLORS[LossCause.ACKED_LOSS] in svg
+
+    def test_stacked_days_empty(self):
+        assert parses(render_stacked_days_svg([]))
