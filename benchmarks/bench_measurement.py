@@ -6,9 +6,13 @@ are compared against the simulator's true link model.
 """
 
 import math
+import time
 
 from repro.analysis.linkquality import observe_links, worst_links
-from repro.analysis.pipeline import evaluate, run_simulation
+from repro.analysis.pipeline import default_loss_spec, evaluate, run_simulation
+from repro.core.refill import Refill
+from repro.lognet.collector import collect_logs
+from repro.obs import MetricsRegistry, NullRegistry, use_registry
 from repro.simnet.network import Network
 from repro.simnet.scenarios import citysee
 from repro.util.tables import render_table
@@ -68,5 +72,68 @@ def test_link_measurement(benchmark, emit):
             ],
             title="M1 — per-link delivery measured from lossy logs vs truth "
             "(12 weakest true links with >=50 sends)",
+        ),
+    )
+
+
+# --------------------------------------------------------------------- #
+# zero-overhead guard for the observability substrate
+
+OVERHEAD_PARAMS = citysee(n_nodes=40, days=1, seed=29)
+
+#: Instrumentation budget: the fully-counting registry path must stay
+#: within 5% of the no-op registry path (plus a small absolute floor so
+#: sub-second timings don't flake on scheduler noise).
+OVERHEAD_RATIO = 1.05
+OVERHEAD_FLOOR_S = 0.02
+
+
+def test_instrumentation_overhead(emit):
+    """The instrumented serial engine vs the registry-disabled run.
+
+    Interleaved best-of-5 on the same collected store; min-of-N is the
+    standard low-noise estimator for CPU-bound loops.
+    """
+    sim = run_simulation(OVERHEAD_PARAMS)
+    collected = collect_logs(
+        sim.true_logs,
+        default_loss_spec(sim),
+        seed=5,
+        perfect_clocks=frozenset({sim.base_station_node}),
+    )
+
+    def run_once() -> float:
+        start = time.perf_counter()
+        Refill().reconstruct(collected)
+        return time.perf_counter() - start
+
+    with use_registry(NullRegistry()):
+        run_once()  # warmup: caches, template construction
+
+    timings = {"null": [], "real": []}
+    for _ in range(5):
+        with use_registry(NullRegistry()):
+            timings["null"].append(run_once())
+        with use_registry(MetricsRegistry()):
+            timings["real"].append(run_once())
+
+    best_null = min(timings["null"])
+    best_real = min(timings["real"])
+    budget = best_null * OVERHEAD_RATIO + OVERHEAD_FLOOR_S
+    assert best_real <= budget, (
+        f"instrumentation overhead too high: real={best_real:.4f}s "
+        f"null={best_null:.4f}s budget={budget:.4f}s"
+    )
+    emit(
+        "measurement_overhead",
+        render_table(
+            ["path", "best_s", "runs"],
+            [
+                ("null registry", round(best_null, 4), len(timings["null"])),
+                ("metrics registry", round(best_real, 4), len(timings["real"])),
+                ("overhead", round(best_real - best_null, 4), "-"),
+            ],
+            title="observability overhead — serial reconstruct, best of 5 "
+            f"(budget: {OVERHEAD_RATIO:.0%} + {OVERHEAD_FLOOR_S}s)",
         ),
     )

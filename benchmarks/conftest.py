@@ -12,13 +12,34 @@ the files are the convenient place to read the reproduced figures).
 from __future__ import annotations
 
 import pathlib
+import re
 
 import pytest
 
 from repro.analysis.pipeline import evaluate
+from repro.obs import MetricsRegistry, use_registry
 from repro.simnet.scenarios import citysee
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
+METRICS_DIR = OUT_DIR / "metrics"
+
+
+@pytest.fixture(autouse=True)
+def bench_metrics(request):
+    """Every bench run records into its own registry; the snapshot lands
+    next to the timing output (``benchmarks/out/metrics/<test>.metrics.json``).
+
+    This is the per-stage cost accounting future perf PRs report against:
+    the counters say how much work a figure's pipeline did, the span
+    histograms say where its wall-time went.
+    """
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        yield registry
+    METRICS_DIR.mkdir(parents=True, exist_ok=True)
+    name = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.name)
+    path = METRICS_DIR / f"{name}.metrics.json"
+    path.write_text(registry.snapshot().to_json_str() + "\n")
 
 #: Scaled CitySee used by Figs. 6 and 9 (30 days, snow on 8-9, sink fixed
 #: after day 23, server outages).

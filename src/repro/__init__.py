@@ -13,7 +13,9 @@ Individual and Lossy Logs* (ICPP 2015). The package contains:
   ground truth (substitute for the paper's physical deployment),
 - :mod:`repro.baselines` — sink-view, time-correlation, Wit-style and
   NetCheck-style comparison analyzers,
-- :mod:`repro.analysis` — figure/table analytics and accuracy scoring.
+- :mod:`repro.analysis` — figure/table analytics and accuracy scoring,
+- :mod:`repro.obs` — observability: metrics registry, spans, structured
+  logging (see ``docs/OBSERVABILITY.md``).
 
 Quickstart::
 

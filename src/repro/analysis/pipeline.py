@@ -21,6 +21,10 @@ from repro.lognet.collector import collect_logs
 from repro.lognet.loss import LogLossSpec
 from repro.simnet.network import Network, ScenarioParams, SimulationResult
 from repro.analysis.causes import attribute_server_outages
+from repro.obs.spans import span
+from repro.obs.structlog import get_logger
+
+_log = get_logger("repro.pipeline")
 
 #: The sink drops most of its own log writes under forwarding load — the
 #: source of the paper's acked-vs-received split at the sink (Figs. 6/9).
@@ -80,28 +84,39 @@ def evaluate(
     trace across figures, like the paper's single deployment dataset).
     """
     if sim is None:
-        sim = run_simulation(params)
+        with span("pipeline.simulate"):
+            sim = run_simulation(params)
     spec = loss_spec if loss_spec is not None else default_loss_spec(sim)
-    collected = collect_logs(
-        sim.true_logs,
-        spec,
-        collection_seed,
-        perfect_clocks=frozenset({sim.base_station_node}),
-    )
+    with span("pipeline.collect"):
+        collected = collect_logs(
+            sim.true_logs,
+            spec,
+            collection_seed,
+            perfect_clocks=frozenset({sim.base_station_node}),
+        )
     refill = Refill(options=refill_options)
-    flows = refill.reconstruct(collected)
-    raw_reports = {
-        packet: classify_flow(flow, delivery_node=sim.base_station_node)
-        for packet, flow in flows.items()
-    }
+    with span("pipeline.reconstruct"):
+        flows = refill.reconstruct(collected)
+    with span("pipeline.diagnose"):
+        raw_reports = {
+            packet: classify_flow(flow, delivery_node=sim.base_station_node)
+            for packet, flow in flows.items()
+        }
     sink_view = SinkView(sim.bs_arrivals, params.gen_interval)
-    est_times = _estimate_times(sink_view, raw_reports, collected)
-    reports = attribute_server_outages(
-        raw_reports,
-        est_times,
-        outages=sim.params.base_station.outages,
-        sink=sim.sink,
-        base_station=sim.base_station_node,
+    with span("pipeline.attribute"):
+        est_times = _estimate_times(sink_view, raw_reports, collected)
+        reports = attribute_server_outages(
+            raw_reports,
+            est_times,
+            outages=sim.params.base_station.outages,
+            sink=sim.sink,
+            base_station=sim.base_station_node,
+        )
+    _log.debug(
+        "pipeline.evaluated",
+        nodes=len(collected),
+        packets=len(flows),
+        lost=sum(1 for r in reports.values() if r.lost),
     )
     return EvalResult(
         sim=sim,

@@ -7,12 +7,21 @@ Three subcommands mirror the deployment workflow:
 - ``refill analyze`` — reconstruct event flows from a log directory and
   print the loss diagnosis;
 - ``refill trace`` — print one packet's reconstructed event flow.
+
+Progress narration goes to stderr through the structured logger
+(:mod:`repro.obs.structlog`): ``-v`` raises it to debug, ``-q`` silences
+everything below errors, ``--log-json`` switches to JSON lines.  Analysis
+results on stdout are unaffected by the verbosity flags.
+
+``refill analyze`` additionally exposes the observability substrate:
+``--metrics-out metrics.json`` dumps the run's
+:class:`~repro.obs.registry.MetricsSnapshot` and ``--profile`` prints a
+per-stage wall-time table (see ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import pathlib
 import sys
 from typing import Optional
@@ -27,19 +36,34 @@ from repro.events.packet import PacketKey
 from repro.events.store import StoreMetadata, load_store, save_store
 from repro.lognet.collector import collect_logs
 from repro.analysis.pipeline import default_loss_spec
+from repro.obs import (
+    DEBUG,
+    ERROR,
+    INFO,
+    MetricsRegistry,
+    MetricsSnapshot,
+    configure_logging,
+    get_logger,
+    span,
+    use_registry,
+)
 from repro.simnet.scenarios import citysee, run_scenario
+
+log = get_logger("refill.cli")
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     params = citysee(n_nodes=args.nodes, days=args.days, seed=args.seed)
-    print(f"simulating {args.nodes} nodes for {args.days} scaled days ...", file=sys.stderr)
-    sim = run_scenario(params)
-    collected = collect_logs(
-        sim.true_logs,
-        default_loss_spec(sim),
-        args.seed + 1,
-        perfect_clocks=frozenset({sim.base_station_node}),
-    )
+    log.info("simulate.start", nodes=args.nodes, days=args.days, seed=args.seed)
+    with span("simulate.run"):
+        sim = run_scenario(params)
+    with span("simulate.collect"):
+        collected = collect_logs(
+            sim.true_logs,
+            default_loss_spec(sim),
+            args.seed + 1,
+            perfect_clocks=frozenset({sim.base_station_node}),
+        )
     metadata = StoreMetadata(
         sink=sim.sink,
         base_station=sim.base_station_node,
@@ -47,50 +71,94 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         outages=params.base_station.outages,
         extra={"n_nodes": args.nodes, "days": args.days, "seed": args.seed},
     )
-    out = save_store(args.out, collected, metadata)
-    total = sum(len(log) for log in collected.values())
-    print(
-        f"wrote {len(collected)} node logs ({total} events) and operations.json to {out}",
-        file=sys.stderr,
-    )
+    with span("simulate.write"):
+        out = save_store(args.out, collected, metadata)
+    total = sum(len(log_) for log_ in collected.values())
+    log.info("simulate.wrote", node_logs=len(collected), events=total, out=str(out))
     return 0
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    store = load_store(args.logs)
-    if store.corrupt_lines:
-        skipped = sum(store.corrupt_lines.values())
-        print(f"skipped {skipped} undecodable log lines", file=sys.stderr)
-    logs, meta = store.logs, store.metadata
-    print(f"reconstructing from {len(logs)} node logs ...", file=sys.stderr)
-    flows, reports, _est = _diagnose_store(store)
-    lost = sum(1 for r in reports.values() if r.lost)
-    print(f"{len(flows)} packets reconstructed, {lost} diagnosed as lost\n")
-    print(render_cause_shares(cause_shares(reports)))
-    split = sink_split(reports, meta.sink)
-    print()
-    for key, value in split.items():
-        print(f"  {key:<16} {value:5.1f}%")
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        with span("analyze"):
+            with span("analyze.load"):
+                store = load_store(args.logs)
+            log.debug(
+                "analyze.store-loaded",
+                logs=args.logs,
+                node_logs=len(store.logs),
+                corrupt_lines=sum(store.corrupt_lines.values()),
+            )
+            for node, bad in sorted(store.corrupt_lines.items()):
+                registry.counter("codec.corrupt_lines", node=node).inc(bad)
+            if store.corrupt_lines:
+                log.warning(
+                    "analyze.corrupt-lines",
+                    skipped=sum(store.corrupt_lines.values()),
+                    nodes=len(store.corrupt_lines),
+                )
+            registry.counter("analyze.events.parsed").inc(store.total_events)
+            logs, meta = store.logs, store.metadata
+            log.info(
+                "analyze.reconstructing",
+                node_logs=len(logs),
+                events=store.total_events,
+            )
+            flows, reports, _est = _diagnose_store(store)
+        lost = sum(1 for r in reports.values() if r.lost)
+        print(f"{len(flows)} packets reconstructed, {lost} diagnosed as lost\n")
+        print(render_cause_shares(cause_shares(reports)))
+        split = sink_split(reports, meta.sink)
+        print()
+        for key, value in split.items():
+            print(f"  {key:<16} {value:5.1f}%")
+    if args.metrics_out:
+        snapshot = registry.snapshot()
+        pathlib.Path(args.metrics_out).write_text(snapshot.to_json_str() + "\n")
+        log.info("analyze.metrics-written", path=args.metrics_out)
+    if args.profile:
+        print(_render_profile(registry.snapshot()), file=sys.stderr)
     return 0
 
 
 def _diagnose_store(store):
     """Shared reconstruct + diagnose over a loaded store."""
     logs, meta = store.logs, store.metadata
-    flows = Refill().reconstruct(logs)
+    with span("analyze.reconstruct"):
+        flows = Refill().reconstruct(logs)
     bs = meta.base_station
-    reports = {p: classify_flow(f, delivery_node=bs) for p, f in flows.items()}
-    bs_arrivals = [
-        (e.packet, e.time)
-        for e in logs.get(bs, [])
-        if e.etype == "recv" and e.packet is not None
-    ]
-    sink_view = SinkView(bs_arrivals, meta.gen_interval)
-    est = {p: sink_view.estimate_loss_time(p) for p in reports}
-    reports = attribute_server_outages(
-        reports, est, outages=meta.outages, sink=meta.sink, base_station=bs
-    )
+    with span("analyze.diagnose"):
+        reports = {p: classify_flow(f, delivery_node=bs) for p, f in flows.items()}
+        bs_arrivals = [
+            (e.packet, e.time)
+            for e in logs.get(bs, [])
+            if e.etype == "recv" and e.packet is not None
+        ]
+        sink_view = SinkView(bs_arrivals, meta.gen_interval)
+        est = {p: sink_view.estimate_loss_time(p) for p in reports}
+        reports = attribute_server_outages(
+            reports, est, outages=meta.outages, sink=meta.sink, base_station=bs
+        )
     return flows, reports, est
+
+
+def _render_profile(snapshot: MetricsSnapshot) -> str:
+    """Per-stage wall-time table from the run's span histograms."""
+    rows = [
+        f"{'stage':<28} {'calls':>8} {'total_s':>9} {'p50_ms':>9} "
+        f"{'p95_ms':>9} {'max_ms':>9}"
+    ]
+    for name in sorted(snapshot.histograms):
+        if not name.startswith("span."):
+            continue
+        h = snapshot.histograms[name]
+        ms = lambda v: f"{v * 1000.0:9.2f}" if v is not None else f"{'-':>9}"
+        rows.append(
+            f"{name[len('span.'):]:<28} {h.count:>8} {h.total:9.3f} "
+            f"{ms(h.p50)} {ms(h.p95)} {ms(h.max)}"
+        )
+    return "\n".join(rows)
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
@@ -98,7 +166,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     from repro.vis.figures import render_scatter_svg
 
     store = load_store(args.logs)
-    print("reconstructing ...", file=sys.stderr)
+    log.info("figures.reconstructing", node_logs=len(store.logs))
     _flows, reports, est = _diagnose_store(store)
     out = pathlib.Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
@@ -118,7 +186,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
             y_label="loss position (node id)",
         )
     )
-    print(f"wrote fig4/fig5 SVGs to {out}", file=sys.stderr)
+    log.info("figures.wrote", what="fig4/fig5 SVGs", out=str(out))
     return 0
 
 
@@ -128,7 +196,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     flows = Refill().reconstruct(store.logs)
     flow = flows.get(packet)
     if flow is None:
-        print(f"packet {packet} does not appear in any collected log", file=sys.stderr)
+        log.error("trace.packet-not-found", packet=str(packet))
         return 1
     report = classify_flow(flow, delivery_node=store.metadata.base_station)
     trace = trace_packet(flow)
@@ -140,26 +208,60 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="debug-level progress narration on stderr",
+    )
+    common.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="errors only on stderr (stdout results unaffected)",
+    )
+    common.add_argument(
+        "--log-json", action="store_true",
+        help="emit stderr narration as JSON lines instead of key=value",
+    )
+
     parser = argparse.ArgumentParser(prog="refill", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_sim = sub.add_parser("simulate", help="simulate a CitySee-like network, write logs")
+    p_sim = sub.add_parser(
+        "simulate", parents=[common],
+        help="simulate a CitySee-like network, write logs",
+    )
     p_sim.add_argument("--nodes", type=int, default=100)
     p_sim.add_argument("--days", type=int, default=5)
     p_sim.add_argument("--seed", type=int, default=7)
     p_sim.add_argument("--out", default="citysee-logs")
     p_sim.set_defaults(fn=_cmd_simulate)
 
-    p_an = sub.add_parser("analyze", help="reconstruct + diagnose a log directory")
+    p_an = sub.add_parser(
+        "analyze", parents=[common],
+        help="reconstruct + diagnose a log directory",
+    )
     p_an.add_argument("--logs", default="citysee-logs")
+    p_an.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write the run's metrics snapshot as JSON",
+    )
+    p_an.add_argument(
+        "--profile", action="store_true",
+        help="print a per-stage wall-time table to stderr",
+    )
     p_an.set_defaults(fn=_cmd_analyze)
 
-    p_tr = sub.add_parser("trace", help="print one packet's reconstructed flow")
+    p_tr = sub.add_parser(
+        "trace", parents=[common],
+        help="print one packet's reconstructed flow",
+    )
     p_tr.add_argument("--logs", default="citysee-logs")
     p_tr.add_argument("packet", help="packet key, e.g. p17.3")
     p_tr.set_defaults(fn=_cmd_trace)
 
-    p_fig = sub.add_parser("figures", help="render loss-scatter figures as SVG")
+    p_fig = sub.add_parser(
+        "figures", parents=[common],
+        help="render loss-scatter figures as SVG",
+    )
     p_fig.add_argument("--logs", default="citysee-logs")
     p_fig.add_argument("--out", default="figures")
     p_fig.set_defaults(fn=_cmd_figures)
@@ -168,6 +270,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[list[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    level = INFO
+    if getattr(args, "verbose", False):
+        level = DEBUG
+    if getattr(args, "quiet", False):
+        level = ERROR
+    configure_logging(level, json_lines=getattr(args, "log_json", False))
     return args.fn(args)
 
 

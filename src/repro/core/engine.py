@@ -15,12 +15,18 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Protocol
 
 from repro.events.packet import PacketKey
 from repro.fsm.graph import Transition
 from repro.fsm.reachability import EdgeFilter
 from repro.fsm.templates import FsmTemplate, NeighborContext
+
+
+class CounterLike(Protocol):
+    """Anything with ``inc`` — a real or null obs counter."""
+
+    def inc(self, n: int = 1) -> None: ...
 
 
 @dataclass(frozen=True, slots=True)
@@ -36,10 +42,20 @@ class Selection:
 class EngineInstance:
     """FSM state of one node for one packet."""
 
-    def __init__(self, template: FsmTemplate, node: int, packet: Optional[PacketKey]) -> None:
+    def __init__(
+        self,
+        template: FsmTemplate,
+        node: int,
+        packet: Optional[PacketKey],
+        *,
+        fire_counter: Optional["CounterLike"] = None,
+    ) -> None:
         self.template = template
         self.node = node
         self.packet = packet
+        #: Observability hook: incremented on every fired transition
+        #: (``engine.fires``).  ``None`` keeps standalone engines metric-free.
+        self.fire_counter = fire_counter
         self.state: str = template.initial_state(node, packet)
         self.visited: set[str] = {self.state}
         self.trajectory: list[str] = [self.state]
@@ -73,6 +89,8 @@ class EngineInstance:
 
     def fire(self, target: str, entry: Optional[int]) -> None:
         """Move to ``target``; ``entry`` is the flow index of the cause."""
+        if self.fire_counter is not None:
+            self.fire_counter.inc()
         self.state = target
         self.visited.add(target)
         self.trajectory.append(target)

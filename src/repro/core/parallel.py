@@ -26,6 +26,8 @@ from repro.events.log import NodeLog
 from repro.events.merge import group_by_packet
 from repro.events.packet import PacketKey
 from repro.fsm.templates import FsmTemplate, forwarder_template
+from repro.obs.registry import MetricsRegistry, get_registry, use_registry
+from repro.obs.spans import span
 
 #: A zero-argument, *module-level* (hence picklable-by-reference) function
 #: returning the FSM template — each worker calls it once.
@@ -44,13 +46,20 @@ def _init_worker(factory: TemplateFactory, options: ReconstructorOptions) -> Non
 
 def _reconstruct_batch(
     batch: Sequence[tuple[PacketKey, dict[int, list[Event]]]]
-) -> list[tuple[PacketKey, EventFlow]]:
+) -> tuple[list[tuple[PacketKey, EventFlow]], MetricsRegistry]:
+    """One batch in one worker; metrics land in a private per-batch registry.
+
+    The registry rides back with the flows (it pickles cleanly — plain
+    dicts, no locks) and the parent folds it into its own, so counter
+    totals match a serial run over the same store exactly.
+    """
     assert _worker_template is not None, "worker not initialized"
     out = []
-    for packet, events_by_node in batch:
-        reconstructor = PacketReconstructor(_worker_template, packet, _worker_options)
-        out.append((packet, reconstructor.reconstruct(events_by_node)))
-    return out
+    with use_registry(MetricsRegistry()) as registry:
+        for packet, events_by_node in batch:
+            reconstructor = PacketReconstructor(_worker_template, packet, _worker_options)
+            out.append((packet, reconstructor.reconstruct(events_by_node)))
+    return out, registry
 
 
 class ParallelRefill:
@@ -86,25 +95,29 @@ class ParallelRefill:
 
     def reconstruct(self, logs: Mapping[int, NodeLog]) -> dict[PacketKey, EventFlow]:
         """Event flow of every packet, sharded over worker processes."""
-        grouped = group_by_packet(logs)
-        items = sorted(grouped.items())
-        if len(items) < self.min_packets or self.workers <= 1:
-            refill = Refill(self.template_factory(), self.options)
-            return {
-                packet: refill.reconstruct_packet(packet, events)
-                for packet, events in items
-            }
-        batches = [
-            items[i : i + self.batch_size]
-            for i in range(0, len(items), self.batch_size)
-        ]
-        flows: dict[PacketKey, EventFlow] = {}
-        reconstructor_options = self.options.reconstructor_options()
-        with ProcessPoolExecutor(
-            max_workers=self.workers,
-            initializer=_init_worker,
-            initargs=(self.template_factory, reconstructor_options),
-        ) as pool:
-            for result in pool.map(_reconstruct_batch, batches):
-                flows.update(result)
-        return flows
+        with span("reconstruct"):
+            with span("reconstruct.merge"):
+                grouped = group_by_packet(logs)
+            items = sorted(grouped.items())
+            if len(items) < self.min_packets or self.workers <= 1:
+                refill = Refill(self.template_factory(), self.options)
+                return {
+                    packet: refill.reconstruct_packet(packet, events)
+                    for packet, events in items
+                }
+            batches = [
+                items[i : i + self.batch_size]
+                for i in range(0, len(items), self.batch_size)
+            ]
+            flows: dict[PacketKey, EventFlow] = {}
+            parent_registry = get_registry()
+            reconstructor_options = self.options.reconstructor_options()
+            with ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_worker,
+                initargs=(self.template_factory, reconstructor_options),
+            ) as pool:
+                for result, worker_registry in pool.map(_reconstruct_batch, batches):
+                    flows.update(result)
+                    parent_registry.merge(worker_registry)
+            return flows

@@ -23,6 +23,7 @@ from repro.core.transition_algorithm import (
     TemplateFor,
 )
 from repro.fsm.templates import FsmTemplate, forwarder_template
+from repro.obs.spans import span
 
 
 @dataclass(frozen=True)
@@ -64,11 +65,13 @@ class Refill:
 
     def reconstruct(self, logs: Mapping[int, NodeLog]) -> dict[PacketKey, EventFlow]:
         """Event flow of every packet mentioned anywhere in ``logs``."""
-        grouped = group_by_packet(logs)
-        flows: dict[PacketKey, EventFlow] = {}
-        for packet in sorted(grouped):
-            flows[packet] = self.reconstruct_packet(packet, grouped[packet])
-        return flows
+        with span("reconstruct"):
+            with span("reconstruct.merge"):
+                grouped = group_by_packet(logs)
+            flows: dict[PacketKey, EventFlow] = {}
+            for packet in sorted(grouped):
+                flows[packet] = self.reconstruct_packet(packet, grouped[packet])
+            return flows
 
     def reconstruct_packet(
         self, packet: Optional[PacketKey], events_by_node: Mapping[int, Sequence[Event]]

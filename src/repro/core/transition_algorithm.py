@@ -35,9 +35,57 @@ from repro.core.context import PacketContext
 from repro.core.engine import EngineInstance
 from repro.core.event_flow import EventFlow
 from repro.fsm.templates import FsmTemplate
+from repro.obs.registry import MetricsRegistry, get_registry
+from repro.obs.spans import span
 
 #: Maps a node id to the FSM template its engine runs.
 TemplateFor = Callable[[int], FsmTemplate]
+
+
+class ReconCounters:
+    """Counters the reconstructor increments, bound once per packet.
+
+    Names are catalogued in ``docs/OBSERVABILITY.md``.  Binding resolves
+    each registry lookup up front so the hot loop pays one attribute access
+    and one integer add per increment (or a no-op under a
+    :class:`~repro.obs.registry.NullRegistry`).
+    """
+
+    __slots__ = (
+        "packets",
+        "events_logged",
+        "events_inferred",
+        "events_omitted",
+        "trans_normal",
+        "trans_intra",
+        "trans_inter",
+        "prereq_drives",
+        "prereq_unmet",
+        "anomalies",
+        "engine_fires",
+    )
+
+    @classmethod
+    def for_registry(cls, registry: MetricsRegistry) -> "ReconCounters":
+        """Memoized per registry: binding happens once, not per packet."""
+        bound = registry.bind_cache.get(cls)
+        if bound is None:
+            bound = registry.bind_cache[cls] = cls(registry)
+        return bound  # type: ignore[return-value]
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        counter = registry.counter
+        self.packets = counter("refill.packets")
+        self.events_logged = counter("refill.events.logged")
+        self.events_inferred = counter("refill.events.inferred")
+        self.events_omitted = counter("refill.events.omitted")
+        self.trans_normal = counter("refill.transitions.normal")
+        self.trans_intra = counter("refill.transitions.intra")
+        self.trans_inter = counter("refill.transitions.inter")
+        self.prereq_drives = counter("refill.prereq.drives")
+        self.prereq_unmet = counter("refill.prereq.unmet")
+        self.anomalies = counter("refill.anomalies")
+        self.engine_fires = counter("engine.fires")
 
 
 @dataclass(frozen=True, slots=True)
@@ -83,8 +131,13 @@ class PacketReconstructor:
 
     def reconstruct(self, events_by_node: Mapping[int, Sequence[Event]]) -> EventFlow:
         """Run the transition algorithm over per-node ordered event lists."""
+        with span("reconstruct.packet"):
+            return self._reconstruct(events_by_node)
+
+    def _reconstruct(self, events_by_node: Mapping[int, Sequence[Event]]) -> EventFlow:
         self.flow = EventFlow(self.packet)
         self.ctx = PacketContext()
+        self.metrics = ReconCounters.for_registry(get_registry())
         self.engines: dict[int, EngineInstance] = {}
         self.queues: dict[int, deque[Event]] = {
             node: deque(events) for node, events in sorted(events_by_node.items())
@@ -116,6 +169,14 @@ class PacketReconstructor:
         for node, engine in sorted(self.engines.items()):
             self.flow.final_states[node] = engine.state
             self.flow.visited_states[node] = frozenset(engine.visited)
+
+        m = self.metrics
+        m.packets.inc()
+        inferred = sum(1 for entry in self.flow.entries if entry.inferred)
+        m.events_inferred.inc(inferred)
+        m.events_logged.inc(len(self.flow.entries) - inferred)
+        m.events_omitted.inc(len(self.flow.omitted))
+        m.anomalies.inc(len(self.flow.anomalies))
         return self.flow
 
     # ------------------------------------------------------------------ #
@@ -131,7 +192,10 @@ class PacketReconstructor:
     def _engine(self, node: int) -> EngineInstance:
         engine = self.engines.get(node)
         if engine is None:
-            engine = EngineInstance(self._template_for(node), node, self.packet)
+            engine = EngineInstance(
+                self._template_for(node), node, self.packet,
+                fire_counter=self.metrics.engine_fires,
+            )
             self.engines[node] = engine
         return engine
 
@@ -180,7 +244,10 @@ class PacketReconstructor:
                 target = selection.target
                 prefix = []
                 if selection.kind == "intra":
+                    self.metrics.trans_intra.inc()
                     prefix = engine.intra_inference_path(label, target, self.ctx) or []
+                else:
+                    self.metrics.trans_normal.inc()
 
             # Step 2: inferred prerequisite events on the skipped normal path.
             for edge in prefix:
@@ -241,6 +308,7 @@ class PacketReconstructor:
         demand_key = (consumer, label, peer, states)
         self._demands[demand_key] += 1
         demand = self._demands[demand_key]
+        self.metrics.trans_inter.inc()
         engine = self._engine(peer)
         if engine.visits_of(states) < demand:
             self._drive(
@@ -249,6 +317,7 @@ class PacketReconstructor:
             )
         if engine.visits_of(states) >= demand:
             return engine.visit_entry_of(states, demand)
+        self.metrics.prereq_unmet.inc()
         self.flow.anomalies.append(
             f"prerequisite {states!r} (visit {demand}) unmet on node {peer}"
         )
@@ -267,6 +336,7 @@ class PacketReconstructor:
         if key in self._driving:
             self.flow.anomalies.append(f"prerequisite cycle at node {node} -> {states}")
             return
+        self.metrics.prereq_drives.inc()
         self._driving.add(key)
         try:
             engine = self._engine(node)

@@ -12,7 +12,12 @@ from typing import Mapping, Optional
 from repro.events.log import NodeLog
 from repro.lognet.clock import LocalClock, make_clocks
 from repro.lognet.loss import LogLossSpec, apply_losses
+from repro.obs.registry import get_registry
+from repro.obs.spans import span
+from repro.obs.structlog import get_logger
 from repro.util.rng import RngStreams
+
+_log = get_logger("repro.collector")
 
 
 def collect_logs(
@@ -37,18 +42,29 @@ def collect_logs(
         Nodes with exact clocks (the PC base station), used only when
         ``clocks`` is generated here.
     """
-    rng = RngStreams(seed)
-    if clocks is None:
-        clocks = make_clocks(true_logs.keys(), rng, perfect=perfect_clocks)
-    lossy = apply_losses(true_logs, spec, rng)
-    collected: dict[int, NodeLog] = {}
-    for node, log in lossy.items():
-        clock = clocks.get(node, LocalClock(0.0, 0.0))
-        collected[node] = NodeLog(
-            node,
-            (
-                e.with_time(clock.local(e.time)) if e.time is not None else e
-                for e in log
-            ),
+    with span("collect.logs"):
+        rng = RngStreams(seed)
+        if clocks is None:
+            clocks = make_clocks(true_logs.keys(), rng, perfect=perfect_clocks)
+        lossy = apply_losses(true_logs, spec, rng)
+        collected: dict[int, NodeLog] = {}
+        for node, log in lossy.items():
+            clock = clocks.get(node, LocalClock(0.0, 0.0))
+            collected[node] = NodeLog(
+                node,
+                (
+                    e.with_time(clock.local(e.time)) if e.time is not None else e
+                    for e in log
+                ),
+            )
+        registry = get_registry()
+        true_total = sum(len(log) for log in true_logs.values())
+        kept_total = sum(len(log) for log in collected.values())
+        registry.counter("collect.nodes").inc(len(collected))
+        registry.counter("collect.events").inc(kept_total)
+        registry.counter("collect.events.lost").inc(true_total - kept_total)
+        _log.debug(
+            "logs.collected", nodes=len(collected), events=kept_total,
+            lost=true_total - kept_total,
         )
-    return collected
+        return collected

@@ -1,0 +1,362 @@
+"""Dependency-free metrics registry: counters, gauges, histograms.
+
+The registry is the measurement substrate for the whole pipeline.  Design
+constraints, in order:
+
+1. **Hot-path cheap.**  Instrument handles (:class:`Counter`,
+   :class:`Histogram`) are bound once and incremented with a plain
+   attribute update — no dict lookup, no lock, no string formatting per
+   event.  A :class:`NullRegistry` provides no-op handles with the same
+   interface so instrumented code needs no ``if enabled`` branches; the
+   zero-overhead guard in ``benchmarks/bench_measurement.py`` keeps the
+   real registry within 5% of the no-op path.
+2. **Mergeable.**  ``core/parallel.py`` workers collect into private
+   registries and the parent folds them back with :meth:`MetricsRegistry.merge`
+   — counters add, gauges keep the incoming value, histogram samples
+   concatenate (up to the sample cap; count/sum/min/max stay exact).
+3. **Deterministic snapshots.**  :meth:`MetricsRegistry.snapshot` returns a
+   :class:`MetricsSnapshot` whose JSON form has sorted keys and a stable
+   ``name{label=value,...}`` flat-key scheme, so two runs over the same
+   store diff cleanly.
+
+The *active* registry is context-local (:func:`get_registry` /
+:func:`use_registry`), defaulting to a process-wide enabled registry.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Optional
+
+#: Sorted ``(key, value)`` pairs — the canonical form of a label set.
+LabelKey = tuple[tuple[str, str], ...]
+
+#: Histograms keep at most this many raw samples for quantile estimation;
+#: count/sum/min/max remain exact past the cap (first-N retention keeps the
+#: registry deterministic — no reservoir RNG).
+HISTOGRAM_SAMPLE_CAP = 4096
+
+
+def _label_key(labels: Mapping[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _flat_name(name: str, key: LabelKey) -> str:
+    if not key:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in key)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonically increasing integer."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({_flat_name(self.name, self.labels)}={self.value})"
+
+
+class Gauge:
+    """Last-write-wins float."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        self.value += float(delta)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({_flat_name(self.name, self.labels)}={self.value})"
+
+
+@dataclass(frozen=True)
+class HistogramSummary:
+    """Serializable digest of one histogram."""
+
+    count: int
+    total: float
+    min: Optional[float]
+    max: Optional[float]
+    p50: Optional[float]
+    p95: Optional[float]
+
+    def to_json(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.p50,
+            "p95": self.p95,
+        }
+
+
+class Histogram:
+    """Streaming value distribution with nearest-rank quantiles."""
+
+    __slots__ = ("name", "labels", "count", "total", "min", "max", "_samples")
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._samples: list[float] = []
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if len(self._samples) < HISTOGRAM_SAMPLE_CAP:
+            self._samples.append(value)
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Nearest-rank quantile over the retained samples, ``0 <= q <= 1``.
+
+        ``None`` with no samples; the single sample with one.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        rank = max(1, math.ceil(q * len(ordered)))
+        return ordered[rank - 1]
+
+    def merge_from(self, other: "Histogram") -> None:
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+        room = HISTOGRAM_SAMPLE_CAP - len(self._samples)
+        if room > 0:
+            self._samples.extend(other._samples[:room])
+
+    def summary(self) -> HistogramSummary:
+        return HistogramSummary(
+            count=self.count,
+            total=self.total,
+            min=self.min,
+            max=self.max,
+            p50=self.quantile(0.5),
+            p95=self.quantile(0.95),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({_flat_name(self.name, self.labels)} n={self.count})"
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Point-in-time copy of a registry, ready for JSON serialization.
+
+    Keys are flat ``name`` or ``name{label=value,...}`` strings with labels
+    sorted, so the JSON form is byte-stable across runs that took the same
+    measurements.
+    """
+
+    counters: dict[str, int]
+    gauges: dict[str, float]
+    histograms: dict[str, HistogramSummary]
+
+    def to_json(self) -> dict:
+        return {
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+            "histograms": {
+                k: self.histograms[k].to_json() for k in sorted(self.histograms)
+            },
+        }
+
+    def to_json_str(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_json(), indent=indent, sort_keys=True)
+
+
+class MetricsRegistry:
+    """Creates and memoizes instruments; the mutable metrics store.
+
+    Not thread-safe by design (the pipeline parallelizes across processes,
+    not threads); keeping instruments lock-free is what makes them cheap and
+    the registry picklable for the worker-merge protocol.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple[str, LabelKey], Counter] = {}
+        self._gauges: dict[tuple[str, LabelKey], Gauge] = {}
+        self._histograms: dict[tuple[str, LabelKey], Histogram] = {}
+        #: Hot-path callers memoize pre-bound instrument bundles here (see
+        #: ``ReconCounters.for_registry``); dropped by :meth:`clear` so
+        #: stale handles can't detach from future snapshots.
+        self.bind_cache: dict[object, object] = {}
+
+    # ------------------------------------------------------------------ #
+    # instrument factories (memoized per name+labels)
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        key = (name, _label_key(labels) if labels else ())
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter(*key)
+        return instrument
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        key = (name, _label_key(labels) if labels else ())
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge(*key)
+        return instrument
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        key = (name, _label_key(labels) if labels else ())
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(*key)
+        return instrument
+
+    # ------------------------------------------------------------------ #
+
+    def counters(self) -> Iterator[Counter]:
+        return iter(self._counters.values())
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other`` into this registry (worker -> parent)."""
+        for (name, key), counter in other._counters.items():
+            self.counter(name, **dict(key)).inc(counter.value)
+        for (name, key), gauge in other._gauges.items():
+            self.gauge(name, **dict(key)).set(gauge.value)
+        for (name, key), histogram in other._histograms.items():
+            self.histogram(name, **dict(key)).merge_from(histogram)
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self.bind_cache.clear()
+
+    def snapshot(self) -> MetricsSnapshot:
+        return MetricsSnapshot(
+            counters={
+                _flat_name(name, key): c.value
+                for (name, key), c in self._counters.items()
+            },
+            gauges={
+                _flat_name(name, key): g.value
+                for (name, key), g in self._gauges.items()
+            },
+            histograms={
+                _flat_name(name, key): h.summary()
+                for (name, key), h in self._histograms.items()
+            },
+        )
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, delta: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class NullRegistry(MetricsRegistry):
+    """The registry-disabled path: every instrument is a shared no-op.
+
+    Instrumented code runs unchanged; nothing is recorded and
+    :meth:`snapshot` is empty.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._null_counter = _NullCounter("null")
+        self._null_gauge = _NullGauge("null")
+        self._null_histogram = _NullHistogram("null")
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self._null_counter
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self._null_gauge
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        return self._null_histogram
+
+    def merge(self, other: MetricsRegistry) -> None:
+        pass
+
+
+# --------------------------------------------------------------------- #
+# the active registry (context-local, enabled by default)
+
+_DEFAULT_REGISTRY = MetricsRegistry()
+
+_ACTIVE: ContextVar[MetricsRegistry] = ContextVar(
+    "repro_obs_registry", default=_DEFAULT_REGISTRY
+)
+
+
+def get_registry() -> MetricsRegistry:
+    """The registry instrumented code records into right now."""
+    return _ACTIVE.get()
+
+
+def set_registry(registry: MetricsRegistry) -> None:
+    """Replace the active registry for the current context."""
+    _ACTIVE.set(registry)
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry):
+    """Scope the active registry to a ``with`` block (restores on exit)."""
+    token = _ACTIVE.set(registry)
+    try:
+        yield registry
+    finally:
+        _ACTIVE.reset(token)

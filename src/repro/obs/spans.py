@@ -1,0 +1,88 @@
+"""Spans: wall-time measurement of pipeline stages, with nesting.
+
+A span brackets one unit of work::
+
+    with span("reconstruct.packet"):
+        ...
+
+On exit the duration (seconds) lands in the active registry's
+``span.<name>`` histogram — p50/p95/max per stage come for free.  Spans
+nest: a context-local *current span* tracks the enclosing one, so
+:func:`current_span` answers "what stage am I inside?" and
+:attr:`Span.path` renders the full ``outer/inner`` chain (used by the
+``--profile`` drill-down and the docs' hierarchy diagram; the histogram key
+stays the plain name so one stage's cost is one series regardless of
+caller).
+
+Timing is skipped entirely when the active registry is a
+:class:`~repro.obs.registry.NullRegistry` — the no-op path costs two
+contextvar operations and nothing else.
+"""
+
+from __future__ import annotations
+
+import time
+from contextvars import ContextVar
+from typing import Optional
+
+from repro.obs.registry import MetricsRegistry, get_registry
+
+_CURRENT: ContextVar[Optional["Span"]] = ContextVar("repro_obs_span", default=None)
+
+
+class Span:
+    """One timed stage.  Use as a context manager; re-entry is not supported."""
+
+    __slots__ = ("name", "labels", "parent", "duration", "_registry", "_start", "_token")
+
+    def __init__(
+        self,
+        name: str,
+        registry: Optional[MetricsRegistry] = None,
+        **labels: object,
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.parent: Optional[Span] = None
+        #: Seconds; set on exit (None while the span is open).
+        self.duration: Optional[float] = None
+        self._registry = registry
+        self._start = 0.0
+        self._token = None
+
+    @property
+    def path(self) -> str:
+        """Slash-joined chain of enclosing span names, outermost first."""
+        if self.parent is None:
+            return self.name
+        return f"{self.parent.path}/{self.name}"
+
+    def __enter__(self) -> "Span":
+        if self._registry is None:
+            self._registry = get_registry()
+        self.parent = _CURRENT.get()
+        self._token = _CURRENT.set(self)
+        if self._registry.enabled:
+            self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        _CURRENT.reset(self._token)
+        if self._registry.enabled:
+            self.duration = time.perf_counter() - self._start
+            self._registry.histogram(f"span.{self.name}", **self.labels).observe(
+                self.duration
+            )
+        return False  # never swallow exceptions
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.path!r})"
+
+
+#: The idiomatic spelling: ``with span("stage"): ...``.
+span = Span
+
+
+def current_span() -> Optional[Span]:
+    """The innermost open span in this context, or ``None``."""
+    return _CURRENT.get()

@@ -1,0 +1,141 @@
+"""Structured, level-gated logging to stderr.
+
+Replaces the CLI's ad-hoc ``print(..., file=sys.stderr)`` narration with
+machine-parseable lines.  Two output formats, selected globally:
+
+- ``kv`` (default): ``level=info logger=refill.cli event=reconstructing nodes=20``
+- ``json``: one JSON object per line, same fields.
+
+Loggers are cheap named handles (:func:`get_logger`); ``bind(**fields)``
+returns a child carrying context fields on every line.  Gating happens at
+call time against a single process-wide config (:func:`configure_logging`),
+so the CLI's ``-v``/``-q`` flags flip one integer.  The stream is resolved
+at emit time (``sys.stderr`` unless overridden) so pytest capture and
+stderr redirection both see the output.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import IO, Optional
+
+DEBUG = 10
+INFO = 20
+WARNING = 30
+ERROR = 40
+
+_LEVEL_NAMES = {DEBUG: "debug", INFO: "info", WARNING: "warning", ERROR: "error"}
+_NAME_LEVELS = {name: level for level, name in _LEVEL_NAMES.items()}
+
+
+@dataclass
+class LogConfig:
+    """Process-wide logging configuration."""
+
+    level: int = INFO
+    json_lines: bool = False
+    #: ``None`` -> resolve ``sys.stderr`` at emit time.
+    stream: Optional[IO[str]] = None
+    #: Prefix each line with ``ts=<epoch>`` (off by default: CLI progress
+    #: narration reads better without it, and tests stay deterministic).
+    timestamps: bool = False
+
+
+_CONFIG = LogConfig()
+
+
+def configure_logging(
+    level: int | str | None = None,
+    *,
+    json_lines: Optional[bool] = None,
+    stream: Optional[IO[str]] = None,
+    timestamps: Optional[bool] = None,
+) -> LogConfig:
+    """Update the global config; unspecified fields are left alone."""
+    if level is not None:
+        if isinstance(level, str):
+            try:
+                level = _NAME_LEVELS[level.lower()]
+            except KeyError:
+                raise ValueError(f"unknown log level {level!r}") from None
+        _CONFIG.level = level
+    if json_lines is not None:
+        _CONFIG.json_lines = json_lines
+    if stream is not None:
+        _CONFIG.stream = stream
+    if timestamps is not None:
+        _CONFIG.timestamps = timestamps
+    return _CONFIG
+
+
+def reset_logging() -> None:
+    """Restore defaults (tests)."""
+    global _CONFIG
+    _CONFIG.level = INFO
+    _CONFIG.json_lines = False
+    _CONFIG.stream = None
+    _CONFIG.timestamps = False
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    text = str(value)
+    if text == "" or any(c in text for c in ' ="'):
+        return json.dumps(text)
+    return text
+
+
+class StructLogger:
+    """A named logger with optional bound context fields."""
+
+    __slots__ = ("name", "fields")
+
+    def __init__(self, name: str, fields: Optional[dict] = None) -> None:
+        self.name = name
+        self.fields = fields or {}
+
+    def bind(self, **fields: object) -> "StructLogger":
+        """Child logger that adds ``fields`` to every line."""
+        return StructLogger(self.name, {**self.fields, **fields})
+
+    # ------------------------------------------------------------------ #
+
+    def log(self, level: int, event: str, **fields: object) -> None:
+        if level < _CONFIG.level:
+            return
+        record: dict[str, object] = {
+            "level": _LEVEL_NAMES.get(level, str(level)),
+            "logger": self.name,
+            "event": event,
+        }
+        if _CONFIG.timestamps:
+            record = {"ts": round(time.time(), 3), **record}
+        record.update(self.fields)
+        record.update(fields)
+        stream = _CONFIG.stream if _CONFIG.stream is not None else sys.stderr
+        if _CONFIG.json_lines:
+            line = json.dumps(record)
+        else:
+            line = " ".join(f"{k}={_format_value(v)}" for k, v in record.items())
+        print(line, file=stream)
+
+    def debug(self, event: str, **fields: object) -> None:
+        self.log(DEBUG, event, **fields)
+
+    def info(self, event: str, **fields: object) -> None:
+        self.log(INFO, event, **fields)
+
+    def warning(self, event: str, **fields: object) -> None:
+        self.log(WARNING, event, **fields)
+
+    def error(self, event: str, **fields: object) -> None:
+        self.log(ERROR, event, **fields)
+
+
+def get_logger(name: str) -> StructLogger:
+    """Named logger handle (no global logger table; handles are cheap)."""
+    return StructLogger(name)

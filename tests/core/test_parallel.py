@@ -6,6 +6,7 @@ from repro.analysis.pipeline import default_loss_spec, run_simulation
 from repro.core.parallel import ParallelRefill
 from repro.core.refill import Refill, RefillOptions
 from repro.lognet.collector import collect_logs
+from repro.obs import MetricsRegistry, use_registry
 from repro.simnet.scenarios import citysee, small_network
 
 
@@ -63,3 +64,29 @@ class TestParallelMatchesSerial:
         assert {p: f.labels() for p, f in flows.items()} == {
             p: f.labels() for p, f in serial.items()
         }
+
+
+class TestWorkerMetricsMerge:
+    def test_parallel_counters_equal_serial(self, collected_logs):
+        """Worker registries merged back == one serial registry, counter for
+        counter — the pool must not lose or double-count work."""
+        with use_registry(MetricsRegistry()) as serial_reg:
+            Refill().reconstruct(collected_logs)
+        with use_registry(MetricsRegistry()) as parallel_reg:
+            ParallelRefill(workers=2, min_packets=1, batch_size=50).reconstruct(
+                collected_logs
+            )
+        serial = serial_reg.snapshot().counters
+        parallel = parallel_reg.snapshot().counters
+        assert serial == parallel
+        # and the run actually counted something
+        assert serial["refill.packets"] == len(Refill().reconstruct(collected_logs))
+        assert serial["refill.events.logged"] > 0
+
+    def test_span_observations_cover_every_packet(self, collected_logs):
+        with use_registry(MetricsRegistry()) as reg:
+            flows = ParallelRefill(
+                workers=2, min_packets=1, batch_size=50
+            ).reconstruct(collected_logs)
+        per_packet = reg.snapshot().histograms["span.reconstruct.packet"]
+        assert per_packet.count == len(flows)

@@ -1,0 +1,190 @@
+"""Tests for the metrics registry: instruments, quantiles, merge, snapshots."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.obs.registry import (
+    HISTOGRAM_SAMPLE_CAP,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    use_registry,
+)
+
+
+class TestCounters:
+    def test_inc_default_and_n(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x")
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+
+    def test_memoized_per_name_and_labels(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.counter("x", node=1) is reg.counter("x", node=1)
+        assert reg.counter("x", node=1) is not reg.counter("x", node=2)
+        assert reg.counter("x", node=1) is not reg.counter("x")
+
+    def test_label_order_is_canonical(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x", a=1, b=2) is reg.counter("x", b=2, a=1)
+
+
+class TestHistogramQuantiles:
+    def test_empty_histogram(self):
+        h = MetricsRegistry().histogram("h")
+        assert h.quantile(0.5) is None
+        s = h.summary()
+        assert s.count == 0 and s.min is None and s.max is None
+        assert s.p50 is None and s.p95 is None
+
+    def test_single_sample_is_every_quantile(self):
+        h = MetricsRegistry().histogram("h")
+        h.observe(3.5)
+        assert h.quantile(0.0) == 3.5
+        assert h.quantile(0.5) == 3.5
+        assert h.quantile(0.95) == 3.5
+        assert h.quantile(1.0) == 3.5
+        s = h.summary()
+        assert s.count == 1 and s.min == s.max == s.p50 == s.p95 == 3.5
+
+    def test_nearest_rank_many_samples(self):
+        h = MetricsRegistry().histogram("h")
+        for v in range(1, 101):  # 1..100
+            h.observe(float(v))
+        assert h.quantile(0.5) == 50.0
+        assert h.quantile(0.95) == 95.0
+        assert h.quantile(1.0) == 100.0
+        assert h.summary().max == 100.0
+
+    def test_quantile_out_of_range_rejected(self):
+        h = MetricsRegistry().histogram("h")
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_sample_cap_keeps_exact_aggregates(self):
+        h = MetricsRegistry().histogram("h")
+        n = HISTOGRAM_SAMPLE_CAP + 100
+        for v in range(n):
+            h.observe(float(v))
+        assert h.count == n
+        assert h.total == sum(range(n))
+        assert h.max == float(n - 1)  # exact even though the sample is capped
+        assert len(h._samples) == HISTOGRAM_SAMPLE_CAP
+
+
+class TestMerge:
+    def test_counters_add_and_histograms_concatenate(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(2)
+        b.counter("c").inc(3)
+        b.counter("only_b", node=7).inc(1)
+        a.histogram("h").observe(1.0)
+        b.histogram("h").observe(9.0)
+        b.gauge("g").set(5.0)
+        a.merge(b)
+        assert a.counter("c").value == 5
+        assert a.counter("only_b", node=7).value == 1
+        h = a.histogram("h")
+        assert h.count == 2 and h.min == 1.0 and h.max == 9.0
+        assert a.gauge("g").value == 5.0
+
+    def test_merge_is_associative_over_counters(self):
+        parts = []
+        for inc in (1, 2, 3):
+            reg = MetricsRegistry()
+            reg.counter("c").inc(inc)
+            parts.append(reg)
+        left = MetricsRegistry()
+        for p in parts:
+            left.merge(p)
+        right = MetricsRegistry()
+        tail = MetricsRegistry()
+        tail.merge(parts[1])
+        tail.merge(parts[2])
+        right.merge(parts[0])
+        right.merge(tail)
+        assert left.counter("c").value == right.counter("c").value == 6
+
+    def test_registry_pickles_for_worker_transport(self):
+        reg = MetricsRegistry()
+        reg.counter("c", node=3).inc(4)
+        reg.histogram("h").observe(1.5)
+        clone = pickle.loads(pickle.dumps(reg))
+        assert clone.counter("c", node=3).value == 4
+        assert clone.histogram("h").count == 1
+
+
+class TestSnapshot:
+    def test_flat_names_and_values(self):
+        reg = MetricsRegistry()
+        reg.counter("events", kind="recv").inc(7)
+        reg.gauge("depth").set(2.0)
+        reg.histogram("lat").observe(0.25)
+        snap = reg.snapshot()
+        assert snap.counters == {"events{kind=recv}": 7}
+        assert snap.gauges == {"depth": 2.0}
+        assert snap.histograms["lat"].count == 1
+
+    def test_json_is_deterministic(self):
+        def build():
+            reg = MetricsRegistry()
+            reg.counter("b").inc(1)
+            reg.counter("a", z=1, a=2).inc(2)
+            reg.histogram("h").observe(1.0)
+            return reg.snapshot().to_json_str()
+
+        text = build()
+        assert text == build()
+        data = json.loads(text)
+        assert list(data["counters"]) == sorted(data["counters"])
+
+    def test_clear_resets_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.bind_cache["k"] = object()
+        reg.clear()
+        assert reg.snapshot().counters == {}
+        assert reg.bind_cache == {}
+
+
+class TestNullRegistry:
+    def test_records_nothing(self):
+        reg = NullRegistry()
+        reg.counter("c", node=1).inc(5)
+        reg.gauge("g").set(3.0)
+        reg.histogram("h").observe(1.0)
+        snap = reg.snapshot()
+        assert snap.counters == {} and snap.gauges == {} and snap.histograms == {}
+        assert not reg.enabled
+
+    def test_merge_is_noop(self):
+        reg = NullRegistry()
+        other = MetricsRegistry()
+        other.counter("c").inc(9)
+        reg.merge(other)
+        assert reg.snapshot().counters == {}
+
+
+class TestActiveRegistry:
+    def test_default_is_enabled(self):
+        assert get_registry().enabled
+
+    def test_use_registry_scopes_and_restores(self):
+        outer = get_registry()
+        inner = MetricsRegistry()
+        with use_registry(inner) as reg:
+            assert reg is inner
+            assert get_registry() is inner
+        assert get_registry() is outer
+
+    def test_use_registry_restores_on_exception(self):
+        outer = get_registry()
+        with pytest.raises(RuntimeError):
+            with use_registry(MetricsRegistry()):
+                raise RuntimeError("boom")
+        assert get_registry() is outer

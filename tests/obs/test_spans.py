@@ -1,0 +1,96 @@
+"""Tests for spans: timing, nesting, exception safety, null path."""
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry, NullRegistry, use_registry
+from repro.obs.spans import current_span, span
+
+
+class TestTiming:
+    def test_duration_lands_in_histogram(self):
+        with use_registry(MetricsRegistry()) as reg:
+            with span("stage"):
+                pass
+            h = reg.histogram("span.stage")
+            assert h.count == 1
+            assert h.min is not None and h.min >= 0.0
+
+    def test_explicit_registry_overrides_active(self):
+        explicit = MetricsRegistry()
+        with use_registry(MetricsRegistry()) as ambient:
+            with span("stage", registry=explicit):
+                pass
+        assert explicit.histogram("span.stage").count == 1
+        assert ambient.snapshot().histograms == {}
+
+    def test_duration_attribute_set_on_exit(self):
+        with use_registry(MetricsRegistry()):
+            with span("stage") as s:
+                assert s.duration is None
+            assert s.duration is not None and s.duration >= 0.0
+
+    def test_labels_reach_the_histogram(self):
+        with use_registry(MetricsRegistry()) as reg:
+            with span("stage", shard=3):
+                pass
+            assert reg.snapshot().histograms["span.stage{shard=3}"].count == 1
+
+
+class TestNesting:
+    def test_current_span_tracks_innermost(self):
+        with use_registry(MetricsRegistry()):
+            assert current_span() is None
+            with span("outer") as outer:
+                assert current_span() is outer
+                with span("inner") as inner:
+                    assert current_span() is inner
+                    assert inner.parent is outer
+                assert current_span() is outer
+            assert current_span() is None
+
+    def test_path_joins_the_chain(self):
+        with use_registry(MetricsRegistry()):
+            with span("a"):
+                with span("b"):
+                    with span("c") as c:
+                        assert c.path == "a/b/c"
+
+    def test_histogram_key_is_the_plain_name(self):
+        # one stage = one series, regardless of what encloses it
+        with use_registry(MetricsRegistry()) as reg:
+            with span("outer"):
+                with span("inner"):
+                    pass
+            with span("inner"):
+                pass
+            assert reg.histogram("span.inner").count == 2
+
+
+class TestExceptionSafety:
+    def test_span_closes_on_raise(self):
+        with use_registry(MetricsRegistry()) as reg:
+            with pytest.raises(ValueError):
+                with span("stage"):
+                    raise ValueError("boom")
+            # the context-local stack unwound and the duration was recorded
+            assert current_span() is None
+            assert reg.histogram("span.stage").count == 1
+
+    def test_nested_raise_unwinds_to_outer(self):
+        with use_registry(MetricsRegistry()):
+            with span("outer") as outer:
+                with pytest.raises(ValueError):
+                    with span("inner"):
+                        raise ValueError("boom")
+                assert current_span() is outer
+
+
+class TestNullPath:
+    def test_null_registry_records_nothing_but_still_nests(self):
+        with use_registry(NullRegistry()) as reg:
+            with span("outer") as outer:
+                with span("inner") as inner:
+                    assert current_span() is inner
+                    assert inner.parent is outer
+            assert outer.duration is None  # timing skipped entirely
+        assert reg.snapshot().histograms == {}

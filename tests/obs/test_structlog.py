@@ -1,0 +1,111 @@
+"""Tests for the structured logger: formats, gating, binding."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.structlog import (
+    DEBUG,
+    ERROR,
+    INFO,
+    configure_logging,
+    get_logger,
+    reset_logging,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_config():
+    reset_logging()
+    yield
+    reset_logging()
+
+
+def capture():
+    stream = io.StringIO()
+    configure_logging(stream=stream)
+    return stream
+
+
+class TestKvFormat:
+    def test_basic_line(self):
+        stream = capture()
+        get_logger("t").info("hello", n=3)
+        assert stream.getvalue() == "level=info logger=t event=hello n=3\n"
+
+    def test_values_with_spaces_are_quoted(self):
+        stream = capture()
+        get_logger("t").info("msg", path="a b")
+        assert 'path="a b"' in stream.getvalue()
+
+    def test_floats_are_compact(self):
+        stream = capture()
+        get_logger("t").info("msg", ratio=0.3333333333)
+        assert "ratio=0.333333" in stream.getvalue()
+
+
+class TestJsonFormat:
+    def test_one_object_per_line(self):
+        stream = capture()
+        configure_logging(json_lines=True)
+        log = get_logger("t")
+        log.info("first", a=1)
+        log.warning("second")
+        lines = stream.getvalue().splitlines()
+        assert [json.loads(l)["event"] for l in lines] == ["first", "second"]
+        assert json.loads(lines[0]) == {
+            "level": "info", "logger": "t", "event": "first", "a": 1,
+        }
+
+
+class TestGating:
+    def test_default_level_is_info(self):
+        stream = capture()
+        log = get_logger("t")
+        log.debug("hidden")
+        log.info("shown")
+        assert "hidden" not in stream.getvalue()
+        assert "shown" in stream.getvalue()
+
+    def test_error_level_silences_info(self):
+        stream = capture()
+        configure_logging(ERROR)
+        log = get_logger("t")
+        log.info("hidden")
+        log.warning("hidden-too")
+        log.error("shown")
+        assert stream.getvalue().count("\n") == 1
+        assert "event=shown" in stream.getvalue()
+
+    def test_level_by_name(self):
+        stream = capture()
+        configure_logging("debug")
+        get_logger("t").debug("shown")
+        assert "shown" in stream.getvalue()
+        with pytest.raises(ValueError):
+            configure_logging("loud")
+
+
+class TestBinding:
+    def test_bound_fields_on_every_line(self):
+        stream = capture()
+        log = get_logger("t").bind(run=7)
+        log.info("a")
+        log.info("b", extra=1)
+        lines = stream.getvalue().splitlines()
+        assert all("run=7" in line for line in lines)
+        assert "extra=1" in lines[1]
+
+    def test_call_fields_override_bound(self):
+        stream = capture()
+        log = get_logger("t").bind(node=1)
+        log.info("a", node=2)
+        assert "node=2" in stream.getvalue()
+        assert "node=1" not in stream.getvalue()
+
+    def test_timestamps_opt_in(self):
+        stream = capture()
+        configure_logging(timestamps=True)
+        get_logger("t").info("a")
+        assert stream.getvalue().startswith("ts=")

@@ -40,6 +40,68 @@ class TestAnalyze:
         assert "Loss cause shares" in out
         assert "received_sink" in out
 
+    def test_metrics_out_has_required_counters(self, log_dir, tmp_path):
+        metrics = tmp_path / "metrics.json"
+        assert main(["analyze", "--logs", str(log_dir),
+                     "--metrics-out", str(metrics)]) == 0
+        snap = json.loads(metrics.read_text())
+        counters = snap["counters"]
+        assert counters["analyze.events.parsed"] > 0
+        assert counters["refill.packets"] > 0
+        assert counters["refill.events.logged"] > 0
+        assert "refill.events.inferred" in counters
+        assert "refill.transitions.intra" in counters
+        assert "refill.transitions.inter" in counters
+        # per-stage wall-time histograms
+        for stage in ("span.analyze.load", "span.analyze.reconstruct",
+                      "span.analyze.diagnose", "span.reconstruct.packet"):
+            assert snap["histograms"][stage]["count"] >= 1
+
+    def test_corrupt_lines_surface_per_node(self, log_dir, tmp_path):
+        import shutil
+
+        corrupted = tmp_path / "corrupted-logs"
+        shutil.copytree(log_dir, corrupted)
+        victim = sorted(corrupted.glob("node_*.log"))[0]
+        node = int(victim.stem.split("_")[1])
+        with victim.open("a") as fh:
+            fh.write("@@ totally not an event @@\nanother bad line\n")
+        metrics = tmp_path / "metrics.json"
+        assert main(["analyze", "--logs", str(corrupted),
+                     "--metrics-out", str(metrics)]) == 0
+        counters = json.loads(metrics.read_text())["counters"]
+        assert counters[f"codec.corrupt_lines{{node={node}}}"] == 2
+
+    def test_profile_prints_stage_table(self, log_dir, capsys):
+        assert main(["analyze", "--logs", str(log_dir), "--profile"]) == 0
+        err = capsys.readouterr().err
+        assert "stage" in err and "p95_ms" in err
+        assert "analyze.reconstruct" in err
+
+
+class TestVerbosityFlags:
+    def test_default_narrates_on_stderr(self, log_dir, capsys):
+        assert main(["analyze", "--logs", str(log_dir)]) == 0
+        err = capsys.readouterr().err
+        assert "event=analyze.reconstructing" in err
+
+    def test_quiet_silences_narration(self, log_dir, capsys):
+        assert main(["analyze", "-q", "--logs", str(log_dir)]) == 0
+        captured = capsys.readouterr()
+        assert captured.err == ""
+        assert "Loss cause shares" in captured.out  # stdout unaffected
+
+    def test_verbose_enables_debug(self, log_dir, capsys):
+        assert main(["analyze", "-v", "--logs", str(log_dir)]) == 0
+        assert "level=debug" in capsys.readouterr().err
+
+    def test_log_json_lines(self, log_dir, capsys):
+        assert main(["analyze", "--log-json", "--logs", str(log_dir)]) == 0
+        err_lines = capsys.readouterr().err.splitlines()
+        assert err_lines
+        records = [json.loads(line) for line in err_lines]
+        assert any(r["event"] == "analyze.reconstructing" for r in records)
+
 
 class TestTrace:
     def test_trace_known_packet(self, log_dir, capsys):
