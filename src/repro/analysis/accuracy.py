@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Mapping, Optional, Sequence
+from typing import Mapping, Optional
 
 from repro.core.diagnosis import LossCause, LossReport
 from repro.core.event_flow import EventFlow

@@ -8,7 +8,6 @@ comparison the paper argues qualitatively in §III/§V-D/§VI.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Optional
 
 from repro.analysis.accuracy import cause_accuracy
 from repro.analysis.pipeline import EvalResult

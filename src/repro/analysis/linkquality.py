@@ -13,8 +13,6 @@ simulator's true link model in the tests and measurement benchmark.
 
 from __future__ import annotations
 
-import math
-from collections import defaultdict
 from dataclasses import dataclass
 from typing import Mapping, Optional
 

@@ -8,10 +8,11 @@ the same scenario from re-simulating.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, Optional
 
 from repro.baselines.sink_view import SinkView
+from repro.check.runner import preflight_check
 from repro.core.diagnosis import LossReport, classify_flow
 from repro.core.event_flow import EventFlow
 from repro.core.refill import Refill, RefillOptions
@@ -77,12 +78,22 @@ def evaluate(
     loss_spec: Optional[LogLossSpec] = None,
     refill_options: RefillOptions = RefillOptions(),
     sim: Optional[SimulationResult] = None,
+    preflight: bool = True,
 ) -> EvalResult:
     """Run the whole pipeline for one scenario.
 
     Pass ``sim`` to reuse an existing simulation (the benchmarks share one
     trace across figures, like the paper's single deployment dataset).
+
+    ``preflight`` (on by default, mirroring the CLI's ``--no-check``) runs
+    the static analyzer over the inference template before reconstruction
+    and raises :class:`~repro.check.runner.PreflightError` on model errors
+    — a broken FSM silently corrupts every reconstructed flow, so the
+    pipeline refuses to start from one.
     """
+    refill = Refill(options=refill_options)
+    if preflight:
+        preflight_check(refill.template)
     if sim is None:
         with span("pipeline.simulate"):
             sim = run_simulation(params)
@@ -94,7 +105,6 @@ def evaluate(
             collection_seed,
             perfect_clocks=frozenset({sim.base_station_node}),
         )
-    refill = Refill(options=refill_options)
     with span("pipeline.reconstruct"):
         flows = refill.reconstruct(collected)
     with span("pipeline.diagnose"):

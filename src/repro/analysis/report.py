@@ -6,7 +6,7 @@ helpers keep the formatting consistent.
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Sequence
+from typing import Mapping, Sequence
 
 from repro.core.diagnosis import LossCause
 from repro.analysis.spatial import SpatialPoint

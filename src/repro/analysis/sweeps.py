@@ -8,10 +8,10 @@ runs) are three lines instead of a bespoke script.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Optional, Sequence
 
-from repro.analysis.accuracy import AccuracyReport, score_run
+from repro.analysis.accuracy import score_run
 from repro.analysis.pipeline import EvalResult, evaluate
 from repro.lognet.loss import LogLossSpec
 from repro.simnet.network import ScenarioParams

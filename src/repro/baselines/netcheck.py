@@ -19,7 +19,7 @@ from typing import Mapping, Optional
 from repro.core.diagnosis import LossCause, LossReport
 from repro.core.event_flow import EventFlow
 from repro.core.refill import Refill, RefillOptions
-from repro.events.event import Event, EventType
+from repro.events.event import EventType
 from repro.events.log import NodeLog
 from repro.events.packet import PacketKey
 from repro.fsm.templates import FsmTemplate, forwarder_template

@@ -12,8 +12,7 @@ The sink view knows *whose* packets were lost and roughly *when* — but not
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Mapping, Optional, Sequence
+from typing import Iterable, Mapping, Optional
 
 from repro.events.packet import PacketKey
 

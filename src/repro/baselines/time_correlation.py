@@ -17,7 +17,6 @@ Clock skew on the logs adds noise on top.
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass
 from typing import Mapping, Optional
 
 from repro.core.diagnosis import LossCause, LossReport

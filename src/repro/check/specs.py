@@ -1,0 +1,86 @@
+"""Named deployment specs for the ``refill check`` CLI.
+
+``refill check --spec NAME`` resolves here: the built-in names cover the
+workloads this repository ships, and the ``module:callable`` form loads a
+custom spec — the callable (or plain attribute) must produce a
+:class:`~repro.check.crossfsm.DeploymentSpec`.  CI fixtures use the dynamic
+form to check seeded-defect deployments that live outside the package.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable
+
+from repro.check.crossfsm import DeploymentSpec
+from repro.fsm.templates import (
+    dissemination_templates,
+    forwarder_template,
+    query_templates,
+)
+
+
+# Route-churn telemetry the simulator logs for the analysis layer; it does
+# not drive the forwarder FSM and must not trip the corpus vocabulary lint.
+_CTP_AUX_LABELS = frozenset({"parent_change"})
+
+
+def _ctp_spec() -> DeploymentSpec:
+    return DeploymentSpec(
+        roles={"forwarder": forwarder_template()}, aux_labels=_CTP_AUX_LABELS
+    )
+
+
+def _ctp_nogen_spec() -> DeploymentSpec:
+    return DeploymentSpec(
+        roles={"forwarder": forwarder_template(with_gen=False)},
+        aux_labels=_CTP_AUX_LABELS,
+    )
+
+
+def _dissemination_spec() -> DeploymentSpec:
+    template_for = dissemination_templates(seeder=0)
+    return DeploymentSpec(
+        roles={"seeder": template_for(0), "receiver": template_for(1)},
+        node_roles={0: "seeder"},
+    )
+
+
+def _query_spec() -> DeploymentSpec:
+    template_for = query_templates(origin=0)
+    return DeploymentSpec(roles={"node": template_for(0)})
+
+
+BUILTIN_SPECS: dict[str, Callable[[], DeploymentSpec]] = {
+    "ctp": _ctp_spec,
+    "ctp-nogen": _ctp_nogen_spec,
+    "dissemination": _dissemination_spec,
+    "query-flood": _query_spec,
+}
+
+
+def load_spec(ref: str) -> DeploymentSpec:
+    """Resolve ``ref`` to a :class:`DeploymentSpec`.
+
+    ``ref`` is a built-in name (see :data:`BUILTIN_SPECS`) or a
+    ``module:attribute`` reference; the attribute may be the spec itself or
+    a zero-argument callable returning one.
+    """
+    if ref in BUILTIN_SPECS:
+        return BUILTIN_SPECS[ref]()
+    if ":" not in ref:
+        known = ", ".join(sorted(BUILTIN_SPECS))
+        raise ValueError(
+            f"unknown spec {ref!r}; built-ins: {known} "
+            "(or use the module:attribute form)"
+        )
+    module_name, _, attr = ref.partition(":")
+    module = importlib.import_module(module_name)
+    try:
+        obj = getattr(module, attr)
+    except AttributeError as exc:
+        raise ValueError(f"module {module_name!r} has no attribute {attr!r}") from exc
+    spec = obj() if callable(obj) else obj
+    if not isinstance(spec, DeploymentSpec):
+        raise ValueError(f"{ref!r} did not produce a DeploymentSpec")
+    return spec

@@ -1,11 +1,15 @@
 """Command-line interface: ``refill`` (or ``python -m repro``).
 
-Three subcommands mirror the deployment workflow:
+The subcommands mirror the deployment workflow:
 
 - ``refill simulate`` — run a scaled CitySee scenario, write the collected
   (lossy, clock-skewed) per-node logs as text files plus an operations log;
+- ``refill check`` — static-analyze a deployment (FSM templates and/or a
+  log corpus) *before* any reconstruction runs; exit 1 on error findings
+  (see ``docs/STATIC_ANALYSIS.md`` for the rule catalogue);
 - ``refill analyze`` — reconstruct event flows from a log directory and
-  print the loss diagnosis;
+  print the loss diagnosis (a pre-flight check gates the run; skip it with
+  ``--no-check``);
 - ``refill trace`` — print one packet's reconstructed event flow.
 
 Progress narration goes to stderr through the structured logger
@@ -29,6 +33,8 @@ from typing import Optional
 from repro.analysis.causes import attribute_server_outages, cause_shares, sink_split
 from repro.analysis.report import render_cause_shares
 from repro.baselines.sink_view import SinkView
+from repro.check import load_spec, run_check
+from repro.check.runner import model_errors
 from repro.core.diagnosis import classify_flow
 from repro.core.refill import Refill
 from repro.core.tracing import trace_packet
@@ -78,9 +84,56 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    try:
+        spec = load_spec(args.spec)
+    except (ValueError, ImportError) as exc:
+        log.error("check.bad-spec", spec=args.spec, error=str(exc))
+        return 2
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        report = run_check(spec, args.logs, max_per_rule=args.max_per_rule)
+    if args.json:
+        print(report.to_json_str())
+    else:
+        print(report.render_text())
+    code = report.exit_code(strict=args.strict)
+    log.info(
+        "check.done",
+        errors=len(report.errors),
+        warnings=len(report.warnings),
+        infos=len(report.infos),
+        exit_code=code,
+    )
+    return code
+
+
+def _preflight_analyze(args: argparse.Namespace) -> bool:
+    """Pre-flight gate for ``refill analyze``: abort on *model* errors.
+
+    Corpus findings never block — field data is dirty by assumption and the
+    store loader tolerates it — but a broken template would silently
+    corrupt every reconstructed flow, so those fail fast.
+    """
+    with span("analyze.preflight"):
+        report = run_check(load_spec("ctp"), args.logs)
+    errors = model_errors(report)
+    corpus_errors = len(report.errors) - len(errors)
+    if corpus_errors:
+        log.warning("analyze.preflight.corpus-findings", errors=corpus_errors)
+    if errors:
+        for finding in errors:
+            log.error("analyze.preflight.model-error", finding=finding.format())
+        return False
+    return True
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     registry = MetricsRegistry()
     with use_registry(registry):
+        if not args.no_check and not _preflight_analyze(args):
+            log.error("analyze.preflight-failed", hint="rerun with --no-check to force")
+            return 1
         with span("analyze"):
             with span("analyze.load"):
                 store = load_store(args.logs)
@@ -149,11 +202,13 @@ def _render_profile(snapshot: MetricsSnapshot) -> str:
         f"{'stage':<28} {'calls':>8} {'total_s':>9} {'p50_ms':>9} "
         f"{'p95_ms':>9} {'max_ms':>9}"
     ]
+    def ms(v):
+        return f"{v * 1000.0:9.2f}" if v is not None else f"{'-':>9}"
+
     for name in sorted(snapshot.histograms):
         if not name.startswith("span."):
             continue
         h = snapshot.histograms[name]
-        ms = lambda v: f"{v * 1000.0:9.2f}" if v is not None else f"{'-':>9}"
         rows.append(
             f"{name[len('span.'):]:<28} {h.count:>8} {h.total:9.3f} "
             f"{ms(h.p50)} {ms(h.p95)} {ms(h.max)}"
@@ -235,11 +290,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--out", default="citysee-logs")
     p_sim.set_defaults(fn=_cmd_simulate)
 
+    p_chk = sub.add_parser(
+        "check", parents=[common],
+        help="static-analyze a deployment's templates and log corpus",
+    )
+    p_chk.add_argument(
+        "--logs", default=None, metavar="DIR",
+        help="log store to lint (omit to check templates only)",
+    )
+    p_chk.add_argument(
+        "--spec", default="ctp",
+        help="deployment spec: a built-in name (ctp, ctp-nogen, "
+             "dissemination, query-flood) or module:attribute",
+    )
+    p_chk.add_argument(
+        "--json", action="store_true",
+        help="emit the findings report as JSON on stdout",
+    )
+    p_chk.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero on warnings too, not just errors",
+    )
+    p_chk.add_argument(
+        "--max-per-rule", type=int, default=8, metavar="N",
+        help="cap findings per (rule, file) pair; 0 disables the cap",
+    )
+    p_chk.set_defaults(fn=_cmd_check)
+
     p_an = sub.add_parser(
         "analyze", parents=[common],
         help="reconstruct + diagnose a log directory",
     )
     p_an.add_argument("--logs", default="citysee-logs")
+    p_an.add_argument(
+        "--no-check", action="store_true",
+        help="skip the pre-flight static analysis gate",
+    )
     p_an.add_argument(
         "--metrics-out", default=None, metavar="FILE",
         help="write the run's metrics snapshot as JSON",

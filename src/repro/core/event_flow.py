@@ -10,7 +10,7 @@ callers can distinguish determined from incidental orderings (paper Fig. 3b:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional
 
 from repro.events.event import Event

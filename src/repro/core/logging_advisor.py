@@ -21,10 +21,9 @@ truth.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Mapping
 
 from repro.events.event import EventType
-from repro.fsm.prerequisites import PrereqRule
 from repro.fsm.templates import FsmTemplate
 
 #: Labels whose presence anchors a loss cause (§V-B classification).
@@ -139,13 +138,15 @@ def full_plan(template: FsmTemplate) -> LoggingPlan:
 def advised_plan(template: FsmTemplate) -> LoggingPlan:
     """Log everything except labels the advisor marks droppable."""
     advice = advise(template)
-    logged = frozenset(l for l, a in advice.items() if not a.droppable)
+    logged = frozenset(label for label, a in advice.items() if not a.droppable)
     return LoggingPlan("advised", logged)
 
 
 def minimal_diagnostic_plan(template: FsmTemplate) -> LoggingPlan:
     """Log only the diagnosis anchors (aggressive energy saving)."""
-    logged = frozenset(l for l in template.graph.events if l in DIAGNOSTIC_LABELS)
+    logged = frozenset(
+        label for label in template.graph.events if label in DIAGNOSTIC_LABELS
+    )
     return LoggingPlan("diagnostic-only", logged)
 
 

@@ -12,11 +12,11 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Mapping, Optional, Sequence
+from typing import Mapping, Optional
 
 from repro.core.event_flow import EventFlow
 from repro.core.tracing import trace_packet
-from repro.events.event import Event, EventType
+from repro.events.event import EventType
 from repro.events.packet import PacketKey
 
 

@@ -8,8 +8,8 @@ per packet and exposes diagnosis over the resulting flows.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Mapping, Optional, Sequence
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
 
 from repro.events.event import Event
 from repro.events.log import NodeLog

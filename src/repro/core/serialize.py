@@ -9,10 +9,10 @@ dicts.
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Optional
+from typing import Any, Mapping
 
 from repro.core.diagnosis import LossCause, LossReport
-from repro.core.event_flow import EventFlow, FlowEntry
+from repro.core.event_flow import EventFlow
 from repro.events.event import Event
 from repro.events.packet import PacketKey
 

@@ -12,13 +12,41 @@ event's ``info`` mapping.
 
 from __future__ import annotations
 
-from typing import Any, Iterable
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Union
 
 from repro.events.event import Event
 from repro.events.log import NodeLog
 from repro.events.packet import PacketKey
 
 _RESERVED = ("node", "type", "src", "dst", "pkt", "t")
+
+
+@dataclass(frozen=True, slots=True)
+class DecodeIssue:
+    """One line that failed tolerant decoding."""
+
+    lineno: int
+    line: str
+    error: str
+
+
+def scan_log_text(text: str) -> Iterator[tuple[int, Union[Event, DecodeIssue]]]:
+    """Tolerantly decode ``text`` line by line.
+
+    Yields ``(lineno, Event)`` for lines that parse and
+    ``(lineno, DecodeIssue)`` for lines that do not (1-based line numbers;
+    blank lines are skipped).  This is the shared scanner behind both the
+    tolerant store loader and the ``refill check`` corpus lint, so the two
+    always agree on what counts as a corrupt line.
+    """
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            yield lineno, decode_event(line)
+        except ValueError as exc:
+            yield lineno, DecodeIssue(lineno, line, str(exc))
 
 
 def _format_value(value: Any) -> str:

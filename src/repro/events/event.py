@@ -10,7 +10,7 @@ times so analyses and ground-truth scoring can use them.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any, Mapping, Optional
 
 from repro.events.packet import PacketKey

@@ -8,8 +8,8 @@ must recover the global ordering (paper §II, §III "Unsynchronized events").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Optional
+from dataclasses import dataclass
+from typing import Iterable, Iterator
 
 from repro.events.event import Event
 from repro.events.packet import PacketKey

@@ -9,7 +9,7 @@ algorithm later recovers the true cross-node ordering.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Iterable, Mapping, Sequence
+from typing import Mapping
 
 from repro.events.event import Event
 from repro.events.log import NodeLog

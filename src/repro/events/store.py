@@ -15,9 +15,9 @@ from __future__ import annotations
 import json
 import pathlib
 from dataclasses import dataclass, field
-from typing import Mapping, Optional
+from typing import Mapping
 
-from repro.events.codec import decode_event, encode_log
+from repro.events.codec import DecodeIssue, encode_log, scan_log_text
 from repro.events.event import Event
 from repro.events.log import NodeLog
 
@@ -98,19 +98,20 @@ def load_store(directory, *, strict: bool = False) -> LoadedStore:
         node = int(file.stem.split("_")[1])
         events: list[Event] = []
         bad = 0
-        for line in file.read_text().splitlines():
-            if not line.strip():
-                continue
-            try:
-                event = decode_event(line)
-                if event.node != node:
-                    raise ValueError(f"event node {event.node} in file of node {node}")
-            except ValueError:
+        for _lineno, decoded in scan_log_text(file.read_text()):
+            if isinstance(decoded, DecodeIssue):
                 if strict:
-                    raise
+                    raise ValueError(decoded.error)
                 bad += 1
                 continue
-            events.append(event)
+            if decoded.node != node:
+                if strict:
+                    raise ValueError(
+                        f"event node {decoded.node} in file of node {node}"
+                    )
+                bad += 1
+                continue
+            events.append(decoded)
         logs[node] = NodeLog(node, events)
         if bad:
             corrupt[node] = bad

@@ -9,7 +9,7 @@ transition per label.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Mapping, Optional, Sequence
+from typing import Iterable
 
 
 @dataclass(frozen=True, slots=True)

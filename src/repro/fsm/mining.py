@@ -14,7 +14,7 @@ logs — tested round-trip against the hand-written forwarder FSM.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Iterable, Mapping, Optional, Sequence
+from typing import Iterable, Sequence
 
 from repro.fsm.graph import Transition, TransitionGraph
 

@@ -9,7 +9,7 @@ jump and to drive an engine to an inter-node prerequisite state.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional
 
 from repro.fsm.graph import Transition, TransitionGraph
 
@@ -83,6 +83,38 @@ class Reachability:
                 visited.add(t.dst)
                 queue.append(t.dst)
         return None
+
+    def shortest_path_stats(
+        self,
+        src: str,
+        edge_filter: Optional[EdgeFilter] = None,
+    ) -> tuple[dict[str, int], dict[str, int]]:
+        """BFS distances and *shortest-path counts* from ``src``.
+
+        Returns ``(dist, count)`` where ``dist[s]`` is the length of the
+        shortest normal-transition sequence ``src ⇝ s`` and ``count[s]`` how
+        many distinct shortest sequences achieve it (``dist[src] == 0``,
+        ``count[src] == 1``).  Unreachable states are absent from both maps.
+        Used by the static analyzer to flag ambiguous jump derivations:
+        ``count > 1`` means :meth:`shortest_path` picked among several
+        equally short inferred-event sequences by declaration order alone.
+        """
+        dist: dict[str, int] = {src: 0}
+        count: dict[str, int] = {src: 1}
+        queue: deque[str] = deque([src])
+        while queue:
+            state = queue.popleft()
+            for t in self.graph.outgoing(state):
+                if edge_filter is not None and not edge_filter(t):
+                    continue
+                nxt = t.dst
+                if nxt not in dist:
+                    dist[nxt] = dist[state] + 1
+                    count[nxt] = count[state]
+                    queue.append(nxt)
+                elif dist[nxt] == dist[state] + 1:
+                    count[nxt] += count[state]
+        return dist, count
 
     @staticmethod
     def _unwind(parent: dict[str, Transition], src: str, dst: str) -> list[Transition]:

@@ -75,6 +75,16 @@ class FsmTemplate:
 
     # ------------------------------------------------------------------ #
 
+    @property
+    def has_admissibility(self) -> bool:
+        """Whether the template restricts which edges may be inferred.
+
+        Static analyses use this to soften ambiguity findings: a tie among
+        shortest inferred paths may be resolved at inference time by the
+        admissibility predicate (e.g. ``gen`` only at the packet's origin).
+        """
+        return self._admissible is not None
+
     def initial_state(self, node: int, packet: Optional[PacketKey]) -> str:
         """Start state of ``node``'s engine for ``packet``."""
         if self._initial_for is not None:

@@ -11,7 +11,6 @@ reads timestamps — does not.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
 
 from repro.util.rng import RngStreams
 

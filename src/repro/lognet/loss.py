@@ -9,7 +9,7 @@ tail, then collection drops chunks or whole logs in transit.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping
 
 from repro.events.log import NodeLog

@@ -19,7 +19,7 @@ from __future__ import annotations
 import json
 import sys
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import IO, Optional
 
 DEBUG = 10

@@ -11,8 +11,7 @@ who actually received what.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from dataclasses import dataclass
 
 from repro.events.event import Event
 from repro.events.log import NodeLog

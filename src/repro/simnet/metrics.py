@@ -8,8 +8,7 @@ CitySee-style deployment dashboard would show.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
-from typing import Mapping
+from dataclasses import dataclass
 
 from repro.simnet.network import SimulationResult
 from repro.simnet.truth import TrueCause

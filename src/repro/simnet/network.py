@@ -18,7 +18,7 @@ clients have a dedicated send slot).
 from __future__ import annotations
 
 from collections import OrderedDict, deque
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.events.event import Event, EventType

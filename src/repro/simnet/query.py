@@ -23,7 +23,6 @@ The engines for the query side live in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.events.event import Event, EventType
 from repro.events.log import NodeLog

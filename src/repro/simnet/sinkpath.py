@@ -11,7 +11,6 @@ operations log the analysis layer consults.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
 
 from repro.util.rng import RngStreams
 

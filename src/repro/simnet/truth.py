@@ -9,7 +9,7 @@ that score REFILL's reconstruction.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.events.event import Event

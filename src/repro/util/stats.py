@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 from collections import Counter
-from typing import Hashable, Iterable, Mapping, Sequence
+from typing import Callable, Hashable, Iterable, Mapping, Sequence, TypeVar
+
+T = TypeVar("T")
 
 import numpy as np
 
@@ -35,7 +37,7 @@ def time_buckets(start: float, end: float, width: float) -> list[float]:
     return [start + i * width for i in range(n + 1)]
 
 
-def count_by(items: Iterable, key) -> Counter:
+def count_by(items: Iterable[T], key: Callable[[T], Hashable]) -> Counter:
     """Counter over ``key(item)``."""
     counter: Counter = Counter()
     for item in items:

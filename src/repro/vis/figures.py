@@ -7,7 +7,6 @@ the ``--svg`` options of the benchmarks' emit files).
 
 from __future__ import annotations
 
-from collections import Counter
 from typing import Mapping, Optional, Sequence
 
 from repro.analysis.spatial import SpatialPoint

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import html
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional
 
 
 @dataclass(frozen=True, slots=True)

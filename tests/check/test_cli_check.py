@@ -1,0 +1,84 @@
+"""End-to-end tests for `refill check` and the analyze pre-flight gate."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import main
+
+FIXTURES = pathlib.Path(__file__).resolve().parent.parent / "fixtures"
+DEFECTIVE_STORE = FIXTURES / "defective-deployment"
+DEFECTIVE_SPEC = "tests.fixtures.defective_spec:build_spec"
+
+
+@pytest.fixture(scope="module")
+def clean_store(tmp_path_factory):
+    out = tmp_path_factory.mktemp("check-cli") / "logs"
+    assert main(["simulate", "--nodes", "15", "--days", "1", "--seed", "5",
+                 "--out", str(out)]) == 0
+    return out
+
+
+class TestCheckCommand:
+    def test_defective_deployment_fails_with_expected_codes(self, capsys):
+        code = main(["check", "--logs", str(DEFECTIVE_STORE),
+                     "--spec", DEFECTIVE_SPEC, "--json"])
+        assert code == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["ok"] is False
+        reported = set(data["by_code"])
+        # the three planted defect families from the ISSUE
+        assert "XF002" in reported   # prerequisite cycle
+        assert "XF003" in reported   # nondeterministic (ambiguous) template
+        assert "LC001" in reported   # corrupt log shard
+        # plus the explicit-node resolver gap and corpus integrity rules
+        assert "XF005" in reported
+        assert {"LC002", "LC004", "LC005"} <= reported
+
+    def test_clean_deployment_passes(self, clean_store, capsys):
+        assert main(["check", "--logs", str(clean_store)]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_templates_only_check_needs_no_logs(self, capsys):
+        assert main(["check", "--spec", "dissemination"]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_strict_promotes_warnings(self, capsys):
+        # the defective spec alone (no corpus) has errors; a clean spec
+        # with warnings flips only under --strict
+        assert main(["check", "--spec", "ctp"]) == 0
+        assert main(["check", "--spec", "ctp", "--strict"]) == 1
+
+    def test_unknown_spec_is_usage_error(self, capsys):
+        assert main(["check", "--spec", "no-such-spec"]) == 2
+
+    def test_json_report_is_deterministic(self, capsys):
+        main(["check", "--logs", str(DEFECTIVE_STORE), "--spec", DEFECTIVE_SPEC,
+              "--json"])
+        first = capsys.readouterr().out
+        main(["check", "--logs", str(DEFECTIVE_STORE), "--spec", DEFECTIVE_SPEC,
+              "--json"])
+        assert capsys.readouterr().out == first
+
+
+class TestAnalyzePreflight:
+    def test_analyze_runs_with_gate_on_clean_store(self, clean_store, capsys):
+        assert main(["analyze", "--logs", str(clean_store)]) == 0
+        assert "Loss cause shares" in capsys.readouterr().out
+
+    def test_no_check_skips_gate(self, clean_store, capsys):
+        assert main(["analyze", "--logs", str(clean_store), "--no-check"]) == 0
+        assert "Loss cause shares" in capsys.readouterr().out
+
+    def test_corpus_errors_do_not_block_analysis(self, clean_store, tmp_path, capsys):
+        """Field data is dirty by assumption: the gate only stops on model errors."""
+        import shutil
+
+        dirty = tmp_path / "dirty"
+        shutil.copytree(clean_store, dirty)
+        first = sorted(dirty.glob("node_*.log"))[0]
+        first.write_text(first.read_text() + "@@@ corrupt tail @@@\n")
+        assert main(["analyze", "--logs", str(dirty)]) == 0
+        assert "Loss cause shares" in capsys.readouterr().out

@@ -1,0 +1,129 @@
+"""Unit tests for the shared findings engine."""
+
+import json
+
+import pytest
+
+from repro.check.findings import (
+    CheckReport,
+    Finding,
+    RULES,
+    Severity,
+    cap_per_rule,
+    error,
+    info,
+    warning,
+)
+
+
+class TestFinding:
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError):
+            Finding(Severity.ERROR, "ZZ999", "nowhere", "nope")
+
+    def test_every_code_constructs(self):
+        for code in RULES:
+            f = Finding(Severity.INFO, code, "loc", "msg")
+            assert f.code == code
+
+    def test_sort_key_orders_errors_first(self):
+        findings = [
+            info("TP005", "b", "i"),
+            error("LC001", "a", "e"),
+            warning("LC003", "a", "w"),
+        ]
+        ordered = sorted(findings, key=lambda f: f.sort_key)
+        assert [f.severity for f in ordered] == [
+            Severity.ERROR,
+            Severity.WARNING,
+            Severity.INFO,
+        ]
+
+    def test_format_and_json_roundtrip_fields(self):
+        f = error("LC001", "node_0001.log:3", "bad line")
+        assert "LC001" in f.format() and "node_0001.log:3" in f.format()
+        as_json = f.to_json()
+        assert as_json == {
+            "severity": "error",
+            "code": "LC001",
+            "location": "node_0001.log:3",
+            "message": "bad line",
+        }
+
+
+class TestCheckReport:
+    def _report(self):
+        report = CheckReport()
+        report.extend(
+            [
+                warning("LC003", "a.log:1", "unknown label"),
+                error("LC001", "a.log:2", "corrupt"),
+                info("TP005", "template 'x'", "dead pair"),
+            ]
+        )
+        return report
+
+    def test_severity_buckets_and_ok(self):
+        report = self._report()
+        assert len(report.errors) == 1
+        assert len(report.warnings) == 1
+        assert len(report.infos) == 1
+        assert not report.ok
+
+    def test_exit_codes(self):
+        report = self._report()
+        assert report.exit_code() == 1
+        clean = CheckReport(findings=[warning("LC003", "a", "w")])
+        assert clean.exit_code() == 0
+        assert clean.exit_code(strict=True) == 1
+        assert CheckReport().exit_code(strict=True) == 0
+
+    def test_render_text_is_deterministic_and_sorted(self):
+        report = self._report()
+        text = report.render_text()
+        assert text == report.render_text()
+        lines = text.splitlines()
+        assert lines[0].startswith("error")
+        assert lines[-1].startswith("1 error(s), 1 warning(s), 1 info")
+
+    def test_json_report_parses_and_counts(self):
+        report = self._report()
+        report.stats["lines"] = 3
+        data = json.loads(report.to_json_str())
+        assert data["ok"] is False
+        assert data["counts"] == {"error": 1, "warning": 1, "info": 1}
+        assert data["by_code"] == {"LC001": 1, "LC003": 1, "TP005": 1}
+        assert data["stats"]["lines"] == 3
+        assert len(data["findings"]) == 3
+
+
+class TestCapPerRule:
+    def test_caps_per_code_and_file_with_summary(self):
+        findings = [error("LC001", f"a.log:{i}", "x") for i in range(1, 12)]
+        findings += [error("LC001", "b.log:1", "x")]
+        capped = cap_per_rule(findings, 8)
+        a_kept = [f for f in capped if f.location.startswith("a.log") and f.code == "LC001"]
+        assert len(a_kept) == 8
+        summaries = [f for f in capped if f.code == "LC007"]
+        assert len(summaries) == 1
+        assert summaries[0].location == "a.log"
+        assert "3 additional LC001" in summaries[0].message
+        # the other file keeps its own budget
+        assert any(f.location == "b.log:1" for f in capped)
+
+    def test_zero_disables_cap(self):
+        findings = [error("LC001", f"a.log:{i}", "x") for i in range(20)]
+        assert len(cap_per_rule(findings, 0)) == 20
+
+
+class TestRuleCatalogue:
+    def test_every_rule_code_is_documented(self):
+        import pathlib
+
+        doc = (
+            pathlib.Path(__file__).resolve().parents[2]
+            / "docs"
+            / "STATIC_ANALYSIS.md"
+        ).read_text()
+        missing = [code for code in RULES if f"#### {code}" not in doc]
+        assert not missing, f"undocumented rule codes: {missing}"

@@ -1,0 +1,109 @@
+"""Malformed-log handling: tolerant decode and the LC* lint must agree.
+
+The paper's premise is that field logs are individually lossy and dirty;
+the codec therefore has to survive truncated flash pages, half-written
+lines and garbage without giving up on the rest of the shard.
+"""
+
+import pytest
+
+from repro.check import check_corpus
+from repro.events.codec import (
+    DecodeIssue,
+    decode_event,
+    encode_event,
+    scan_log_text,
+)
+from repro.events.event import Event
+from repro.events.packet import PacketKey
+
+
+def sample_event():
+    return Event.make(
+        "send", 4, src=4, dst=2, packet=PacketKey(4, 7), time=12.5, retries="1"
+    )
+
+
+class TestTruncatedLines:
+    def test_truncated_typed_value_raises(self):
+        line = encode_event(sample_event())
+        with pytest.raises(ValueError):
+            decode_event(line[: line.index(" t=") + 3])
+
+    def test_truncated_info_value_is_tolerated(self):
+        # Unknown keys carry free-form strings, so an empty value is legal.
+        event = decode_event("node=4 type=send retries=")
+        assert dict(event.info) == {"retries": ""}
+
+    def test_truncated_mid_key_raises(self):
+        with pytest.raises(ValueError):
+            decode_event("node=4 typ")
+
+    def test_truncation_before_required_fields_raises(self):
+        with pytest.raises(ValueError):
+            decode_event("node=4")
+
+    def test_scan_survives_truncation_and_keeps_the_rest(self):
+        good = encode_event(sample_event())
+        text = f"{good}\nnode=4 typ\n{good}\n"
+        decoded = list(scan_log_text(text))
+        assert [lineno for lineno, _ in decoded] == [1, 2, 3]
+        assert isinstance(decoded[0][1], Event)
+        assert isinstance(decoded[1][1], DecodeIssue)
+        assert isinstance(decoded[2][1], Event)
+        assert decoded[1][1].line == "node=4 typ"
+
+
+class TestReorderedFields:
+    def test_field_order_is_irrelevant(self):
+        """On-mote writers may flush fields in any order; decode is by key."""
+        event = sample_event()
+        tokens = encode_event(event).split()
+        reordered = " ".join(reversed(tokens))
+        assert decode_event(reordered) == event
+
+    def test_duplicate_field_is_rejected(self):
+        with pytest.raises(ValueError):
+            decode_event("node=4 node=4 type=send")
+
+
+class TestGarbageLines:
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "@@@@ flash page reset @@@@",
+            "\x00\x01\x02",
+            "pkt=p1.2",  # valid token, but no node/type
+            "node=x type=send",  # non-integer node
+            "node=4 type=send t=yesterday",
+            "node=4 type=send pkt=garbage",
+        ],
+    )
+    def test_garbage_raises_value_error(self, line):
+        with pytest.raises(ValueError):
+            decode_event(line)
+
+    def test_scan_reports_issue_with_reason(self):
+        issues = [
+            item for _, item in scan_log_text("@@@\n") if isinstance(item, DecodeIssue)
+        ]
+        assert len(issues) == 1
+        assert issues[0].error
+
+
+class TestLintAgreement:
+    def test_malformed_lines_surface_as_lc001(self, tmp_path):
+        good = encode_event(sample_event()).replace("node=4", "node=1")
+        (tmp_path / "operations.json").write_text(
+            '{"sink": 1, "base_station": 1, "gen_interval": 60.0}'
+        )
+        (tmp_path / "node_0001.log").write_text(
+            f"{good}\nnode=1 typ\n@@@\n{good.replace('pkt=p4.7', 'pkt=p4.8')}\n"
+        )
+        findings, stats = check_corpus(tmp_path, None)
+        lc001 = [f for f in findings if f.code == "LC001"]
+        assert {f.location for f in lc001} == {
+            "node_0001.log:2",
+            "node_0001.log:3",
+        }
+        assert stats == {"files": 1, "lines": 4, "events": 2, "corrupt": 2}

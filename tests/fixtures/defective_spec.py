@@ -1,0 +1,53 @@
+"""Seeded-defect deployment spec for the `refill check` smoke tests.
+
+Three planted model defects, exercised by CI and tests/check/:
+
+- an inter-node prerequisite *cycle* between nodes 1 and 2 (`XF002`):
+  node 1's ``a1`` needs node 2 at ``s4`` (reached only via ``b1``), while
+  node 2's ``b1`` needs node 1 at ``s1`` (reached only via ``a1``);
+- an *ambiguous* template on node 3 (`XF003`): the ``c_fin`` jump from
+  ``x0`` has two equally short inferred prefixes (via ``x1a`` or ``x1b``)
+  and no admissibility predicate to break the tie;
+- an explicit-node rule naming a state its peer's template lacks (`XF005`).
+
+The companion store at ``tests/fixtures/defective-deployment/`` plants the
+corpus defects (corrupt shard, node-id mismatch, off-origin gen, ...).
+"""
+
+from repro.check import DeploymentSpec
+from repro.fsm.graph import TransitionGraph
+from repro.fsm.prerequisites import PrereqRule
+from repro.fsm.templates import FsmTemplate, chain_template
+
+
+def build_spec() -> DeploymentSpec:
+    role_a = chain_template(
+        "role-a",
+        ["a1", "a2"],
+        prereqs={"a1": [PrereqRule(2, "s4")]},
+        first_state=0,
+    )
+    role_b = chain_template(
+        "role-b",
+        ["b1", "b2"],
+        prereqs={"b1": [PrereqRule(1, "s1")]},
+        first_state=3,
+    )
+    role_c = FsmTemplate(
+        "role-c",
+        TransitionGraph(
+            ["x0", "x1a", "x1b", "x2"],
+            [
+                ("x0", "x1a", "c_left"),
+                ("x0", "x1b", "c_right"),
+                ("x1a", "x2", "c_fin"),
+                ("x1b", "x2", "c_fin"),
+            ],
+            "x0",
+        ),
+        prereqs={"c_fin": [PrereqRule(3, "NOWHERE")]},
+    )
+    return DeploymentSpec(
+        roles={"role-a": role_a, "role-b": role_b, "role-c": role_c},
+        node_roles={1: "role-a", 2: "role-b", 3: "role-c"},
+    )

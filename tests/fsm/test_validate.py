@@ -2,9 +2,10 @@
 
 import pytest
 
+from repro.check.findings import Severity
 from repro.fsm.graph import TransitionGraph
 from repro.fsm.prerequisites import Peer, PrereqRule
-from repro.fsm.templates import FsmTemplate, dissemination_templates, forwarder_template
+from repro.fsm.templates import FsmTemplate, chain_template, dissemination_templates, forwarder_template
 from repro.fsm.validate import validate_role_family, validate_template
 
 
@@ -73,3 +74,67 @@ class TestValidateRoleFamily:
         )
         family = validate_role_family([bad])
         assert any(e.startswith("broken:") for e in family.errors)
+
+
+class TestFindingEmission:
+    """Reports now re-emit their diagnostics through the shared Finding model."""
+
+    def test_per_template_lint_carries_tp_codes(self):
+        graph = TransitionGraph(
+            ["a", "b", "c"],
+            [("a", "b", "e"), ("a", "c", "e")],
+            "a",
+        )
+        report = validate_template(FsmTemplate("bad", graph))
+        tp001 = [f for f in report.findings if f.code == "TP001"]
+        assert tp001 and tp001[0].severity is Severity.ERROR
+        assert tp001[0].location == "template 'bad'"
+
+    def test_findings_mirror_legacy_string_lists(self):
+        report = validate_template(forwarder_template())
+        assert len(report.errors) == len(
+            [f for f in report.findings if f.severity is Severity.ERROR]
+        )
+        assert len(report.warnings) == len(
+            [f for f in report.findings if f.severity is Severity.WARNING]
+        )
+
+
+class TestExplicitNodeResolution:
+    """The old punt: explicit-node rules were never checked against the peer."""
+
+    def _templates(self, peer_states):
+        a = chain_template(
+            "role-a", ["a1"],
+            prereqs={"a1": [PrereqRule(7, "PEER_STATE")]}, first_state=0,
+        )
+        b = FsmTemplate(
+            "role-b",
+            TransitionGraph(
+                peer_states,
+                [(peer_states[0], peer_states[1], "b1")],
+                peer_states[0],
+            ),
+        )
+        return a, b
+
+    def test_explicit_rule_state_missing_from_peer_is_error(self):
+        a, b = self._templates(["x", "y"])
+        family = validate_role_family([a, b], node_templates={7: b})
+        assert not family.ok
+        xf005 = [f for f in family.findings if f.code == "XF005"]
+        assert xf005 and all(f.severity is Severity.ERROR for f in xf005)
+        assert any("PEER_STATE" in f.message and "node 7" in f.message
+                   for f in xf005)
+
+    def test_explicit_rule_state_present_on_peer_resolves(self):
+        a, b = self._templates(["PEER_STATE", "y"])
+        family = validate_role_family([a, b], node_templates={7: b})
+        assert family.ok
+        assert not [f for f in family.findings if f.code == "XF005"]
+
+    def test_unmapped_node_falls_back_to_family_wide_search(self):
+        # without a node->template mapping the state may live on any role
+        a, b = self._templates(["PEER_STATE", "y"])
+        family = validate_role_family([a, b])
+        assert family.ok
