@@ -1,0 +1,125 @@
+"""S2 — execution backends: throughput and peak memory per strategy.
+
+The session layer promises backend-independent *results*; this benchmark
+records the backend-dependent *costs*: packets/second per backend and the
+peak working set of full-materialization vs streaming reconstruction.  The
+streaming row demonstrates the bounded-batch path end to end: groups are
+materialized at most ``batch_size`` at a time (asserted), at the price of
+re-scanning the corpus once per key window.
+"""
+
+import resource
+import time
+import tracemalloc
+
+from repro.analysis.pipeline import default_loss_spec, run_simulation
+from repro.core.backends import ProcessPoolBackend, SerialBackend
+from repro.core.session import ReconstructionSession
+from repro.events.merge import iter_packet_groups
+from repro.lognet.collector import collect_logs
+from repro.simnet.scenarios import citysee
+from repro.util.tables import render_table
+
+
+def prepare(n_nodes=120, days=1, seed=51):
+    params = citysee(n_nodes=n_nodes, days=days, seed=seed)
+    sim = run_simulation(params)
+    logs = collect_logs(
+        sim.true_logs,
+        default_loss_spec(sim),
+        seed=5,
+        perfect_clocks=frozenset({sim.base_station_node}),
+    )
+    return logs
+
+
+def timed(fn):
+    """(result, wall seconds, python peak bytes) for one call."""
+    tracemalloc.start()
+    start = time.perf_counter()
+    result = fn()
+    elapsed = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return result, elapsed, peak
+
+
+def test_backend_throughput(emit):
+    logs = prepare()
+    runs = {
+        "serial": lambda: ReconstructionSession(
+            backend=SerialBackend()
+        ).reconstruct(logs),
+        "process(2)": lambda: ReconstructionSession(
+            backend=ProcessPoolBackend(workers=2, min_packets=1), batch_size=100
+        ).reconstruct(logs),
+        "serial+stream": lambda: ReconstructionSession(
+            backend=SerialBackend(), stream=True, batch_size=64
+        ).reconstruct(logs),
+    }
+    rows = []
+    baseline = None
+    for name, fn in runs.items():
+        flows, elapsed, peak = timed(fn)
+        if baseline is None:
+            baseline = {p: f.labels() for p, f in flows.items()}
+        else:  # cost table only makes sense over identical work
+            assert {p: f.labels() for p, f in flows.items()} == baseline, name
+        rows.append(
+            (
+                name,
+                len(flows),
+                f"{elapsed:.3f}",
+                f"{len(flows) / elapsed:.0f}",
+                f"{peak / 1e6:.1f}",
+            )
+        )
+    rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024
+    table = render_table(
+        ["backend", "packets", "wall_s", "pkt_per_s", "py_peak_MB"], rows
+    )
+    emit("bench_backends", table + f"\nprocess ru_maxrss {rss_mb:.0f} MB")
+
+
+def test_streaming_bounds_group_materialization():
+    """The streaming path must never hold more than batch_size groups."""
+    logs = prepare(n_nodes=60)
+    batch_size = 32
+    peak_groups = 0
+    total = 0
+    for batch in iter_packet_groups(logs, batch_size=batch_size):
+        peak_groups = max(peak_groups, len(batch))
+        total += len(batch)
+    assert peak_groups <= batch_size
+    assert total > batch_size  # the corpus genuinely exceeded one window
+
+
+def test_streaming_peak_memory_below_full_grouping(emit):
+    """Bounded batching keeps the grouping working set well under the
+    one-pass full grouping on the same corpus."""
+    from repro.events.merge import group_by_packet
+
+    logs = prepare(n_nodes=120, days=2)
+
+    def full():
+        return len(group_by_packet(logs))
+
+    def streamed():
+        count = 0
+        for batch in iter_packet_groups(logs, batch_size=32):
+            count += len(batch)
+        return count
+
+    n_full, t_full, peak_full = timed(full)
+    n_stream, t_stream, peak_stream = timed(streamed)
+    assert n_full == n_stream
+    table = render_table(
+        ["grouping", "packets", "wall_s", "py_peak_MB"],
+        [
+            ("one-pass", n_full, f"{t_full:.3f}", f"{peak_full / 1e6:.2f}"),
+            ("streamed(32)", n_stream, f"{t_stream:.3f}", f"{peak_stream / 1e6:.2f}"),
+        ],
+    )
+    emit("bench_backends_memory", table)
+    # the point of the exercise: bounded batches need less live memory
+    assert peak_stream < peak_full

@@ -19,10 +19,14 @@ Individual and Lossy Logs* (ICPP 2015). The package contains:
 
 Quickstart::
 
-    from repro import Refill
-    refill = Refill()
-    flows = refill.reconstruct(logs)   # logs: per-node NodeLog objects
-    report = refill.diagnose(flows)
+    from repro import ReconstructionSession
+    session = ReconstructionSession()
+    flows = session.reconstruct(logs)  # logs: per-node NodeLog objects
+    reports = session.diagnose(flows)
+
+(``Refill`` remains as a thin compatibility shim over a session; see
+``docs/API.md`` for the migration note and ``docs/ARCHITECTURE.md`` for
+the backend model.)
 """
 
 from repro.events.event import Event, EventType
@@ -30,6 +34,8 @@ from repro.events.packet import PacketKey
 from repro.events.log import LogRecord, NodeLog
 from repro.core.event_flow import EventFlow, FlowEntry
 from repro.core.refill import Refill, RefillOptions
+from repro.core.session import ReconstructionSession, SessionResult
+from repro.core.backends import make_backend
 from repro.core.diagnosis import LossCause, LossReport, classify_flow
 from repro.fsm.templates import forwarder_template
 
@@ -45,6 +51,9 @@ __all__ = [
     "FlowEntry",
     "Refill",
     "RefillOptions",
+    "ReconstructionSession",
+    "SessionResult",
+    "make_backend",
     "LossCause",
     "LossReport",
     "classify_flow",

@@ -12,10 +12,10 @@ from dataclasses import dataclass
 from typing import Mapping, Optional
 
 from repro.baselines.sink_view import SinkView
-from repro.check.runner import preflight_check
-from repro.core.diagnosis import LossReport, classify_flow
+from repro.core.backends import ExecutionBackend, make_backend
+from repro.core.diagnosis import LossReport
 from repro.core.event_flow import EventFlow
-from repro.core.refill import Refill, RefillOptions
+from repro.core.session import ReconstructionSession, RefillOptions
 from repro.events.log import NodeLog
 from repro.events.packet import PacketKey
 from repro.lognet.collector import collect_logs
@@ -79,6 +79,7 @@ def evaluate(
     refill_options: RefillOptions = RefillOptions(),
     sim: Optional[SimulationResult] = None,
     preflight: bool = True,
+    backend: ExecutionBackend | str | None = None,
 ) -> EvalResult:
     """Run the whole pipeline for one scenario.
 
@@ -90,13 +91,21 @@ def evaluate(
     and raises :class:`~repro.check.runner.PreflightError` on model errors
     — a broken FSM silently corrupts every reconstructed flow, so the
     pipeline refuses to start from one.
+
+    ``backend`` selects the execution strategy for the reconstruction
+    session — an :class:`~repro.core.backends.ExecutionBackend` instance or
+    a registry name (``"serial"`` | ``"process"`` | ``"incremental"``);
+    the default is serial.  Results are backend-independent by contract.
     """
-    refill = Refill(options=refill_options)
-    if preflight:
-        preflight_check(refill.template)
+    if isinstance(backend, str):
+        backend = make_backend(backend)
+    session = ReconstructionSession(options=refill_options, backend=backend)
+    if preflight:  # fail fast on a broken model, before paying for simulation
+        session.preflight()
     if sim is None:
         with span("pipeline.simulate"):
             sim = run_simulation(params)
+    session.delivery_node = sim.base_station_node
     spec = loss_spec if loss_spec is not None else default_loss_spec(sim)
     with span("pipeline.collect"):
         collected = collect_logs(
@@ -106,12 +115,9 @@ def evaluate(
             perfect_clocks=frozenset({sim.base_station_node}),
         )
     with span("pipeline.reconstruct"):
-        flows = refill.reconstruct(collected)
+        flows = session.reconstruct(collected)
     with span("pipeline.diagnose"):
-        raw_reports = {
-            packet: classify_flow(flow, delivery_node=sim.base_station_node)
-            for packet, flow in flows.items()
-        }
+        raw_reports = session.diagnose(flows)
     sink_view = SinkView(sim.bs_arrivals, params.gen_interval)
     with span("pipeline.attribute"):
         est_times = _estimate_times(sink_view, raw_reports, collected)

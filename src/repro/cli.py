@@ -35,11 +35,12 @@ from repro.analysis.report import render_cause_shares
 from repro.baselines.sink_view import SinkView
 from repro.check import load_spec, run_check
 from repro.check.runner import model_errors
-from repro.core.diagnosis import classify_flow
-from repro.core.refill import Refill
+from repro.core.backends import BACKENDS, make_backend
+from repro.core.session import ReconstructionSession
 from repro.core.tracing import trace_packet
+from repro.events.log import NodeLog
 from repro.events.packet import PacketKey
-from repro.events.store import StoreMetadata, load_store, save_store
+from repro.events.store import ShardedStore, StoreMetadata, load_store, save_store
 from repro.lognet.collector import collect_logs
 from repro.analysis.pipeline import default_loss_spec
 from repro.obs import (
@@ -135,30 +136,49 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             log.error("analyze.preflight-failed", hint="rerun with --no-check to force")
             return 1
         with span("analyze"):
-            with span("analyze.load"):
-                store = load_store(args.logs)
-            log.debug(
-                "analyze.store-loaded",
-                logs=args.logs,
-                node_logs=len(store.logs),
-                corrupt_lines=sum(store.corrupt_lines.values()),
-            )
-            for node, bad in sorted(store.corrupt_lines.items()):
-                registry.counter("codec.corrupt_lines", node=node).inc(bad)
-            if store.corrupt_lines:
-                log.warning(
-                    "analyze.corrupt-lines",
-                    skipped=sum(store.corrupt_lines.values()),
-                    nodes=len(store.corrupt_lines),
+            if args.stream:
+                # shard-at-a-time: the corpus never has to fit in memory
+                sharded = ShardedStore(args.logs)
+                meta = sharded.metadata
+                log.info(
+                    "analyze.reconstructing",
+                    node_logs=len(sharded.nodes()),
+                    backend=args.backend,
+                    stream=True,
                 )
-            registry.counter("analyze.events.parsed").inc(store.total_events)
-            logs, meta = store.logs, store.metadata
-            log.info(
-                "analyze.reconstructing",
-                node_logs=len(logs),
-                events=store.total_events,
-            )
-            flows, reports, _est = _diagnose_store(store)
+                flows, reports, _est = _diagnose_store(
+                    sharded,
+                    backend_name=args.backend,
+                    workers=args.workers,
+                    batch_size=args.batch_size,
+                    stream=True,
+                )
+                corrupt_lines = sharded.corrupt_lines
+            else:
+                with span("analyze.load"):
+                    loaded = load_store(args.logs)
+                log.debug(
+                    "analyze.store-loaded",
+                    logs=args.logs,
+                    node_logs=len(loaded.logs),
+                    corrupt_lines=sum(loaded.corrupt_lines.values()),
+                )
+                registry.counter("analyze.events.parsed").inc(loaded.total_events)
+                meta = loaded.metadata
+                log.info(
+                    "analyze.reconstructing",
+                    node_logs=len(loaded.logs),
+                    events=loaded.total_events,
+                    backend=args.backend,
+                )
+                flows, reports, _est = _diagnose_store(
+                    loaded,
+                    backend_name=args.backend,
+                    workers=args.workers,
+                    batch_size=args.batch_size,
+                )
+                corrupt_lines = loaded.corrupt_lines
+            _report_corrupt_lines(registry, corrupt_lines)
         lost = sum(1 for r in reports.values() if r.lost)
         print(f"{len(flows)} packets reconstructed, {lost} diagnosed as lost\n")
         print(render_cause_shares(cause_shares(reports)))
@@ -175,17 +195,53 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
-def _diagnose_store(store):
-    """Shared reconstruct + diagnose over a loaded store."""
-    logs, meta = store.logs, store.metadata
-    with span("analyze.reconstruct"):
-        flows = Refill().reconstruct(logs)
+def _report_corrupt_lines(registry: MetricsRegistry, corrupt_lines) -> None:
+    for node, bad in sorted(corrupt_lines.items()):
+        registry.counter("codec.corrupt_lines", node=node).inc(bad)
+    if corrupt_lines:
+        log.warning(
+            "analyze.corrupt-lines",
+            skipped=sum(corrupt_lines.values()),
+            nodes=len(corrupt_lines),
+        )
+
+
+def _diagnose_store(
+    store,
+    *,
+    backend_name: str = "serial",
+    workers: Optional[int] = None,
+    batch_size: int = 256,
+    stream: bool = False,
+):
+    """Shared reconstruct + diagnose over a loaded or sharded store.
+
+    Every door goes through one :class:`ReconstructionSession`; the backend
+    is the only variable.  ``store`` is a
+    :class:`~repro.events.store.LoadedStore` (in-memory) or a
+    :class:`~repro.events.store.ShardedStore` (shard-at-a-time).
+    """
+    meta = store.metadata
     bs = meta.base_station
+    if isinstance(store, ShardedStore):
+        logs_source = store
+        bs_log: NodeLog = store.load_node(bs)
+    else:
+        logs_source = store.logs
+        bs_log = store.logs.get(bs, NodeLog(bs))
+    session = ReconstructionSession(
+        backend=make_backend(backend_name, workers=workers),
+        delivery_node=bs,
+        batch_size=batch_size,
+        stream=stream,
+    )
+    with span("analyze.reconstruct"):
+        flows = session.reconstruct(logs_source)
     with span("analyze.diagnose"):
-        reports = {p: classify_flow(f, delivery_node=bs) for p, f in flows.items()}
+        reports = session.diagnose(flows)
         bs_arrivals = [
             (e.packet, e.time)
-            for e in logs.get(bs, [])
+            for e in bs_log
             if e.etype == "recv" and e.packet is not None
         ]
         sink_view = SinkView(bs_arrivals, meta.gen_interval)
@@ -248,12 +304,13 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 def _cmd_trace(args: argparse.Namespace) -> int:
     store = load_store(args.logs)
     packet = PacketKey.parse(args.packet)
-    flows = Refill().reconstruct(store.logs)
+    session = ReconstructionSession(delivery_node=store.metadata.base_station)
+    flows = session.reconstruct(store.logs)
     flow = flows.get(packet)
     if flow is None:
         log.error("trace.packet-not-found", packet=str(packet))
         return 1
-    report = classify_flow(flow, delivery_node=store.metadata.base_station)
+    report = session.diagnose({packet: flow})[packet]
     trace = trace_packet(flow)
     print(f"packet {packet}")
     print(f"  flow:      {flow.format()}")
@@ -333,6 +390,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument(
         "--profile", action="store_true",
         help="print a per-stage wall-time table to stderr",
+    )
+    p_an.add_argument(
+        "--backend", choices=sorted(BACKENDS), default="serial",
+        help="execution backend for reconstruction (default: serial)",
+    )
+    p_an.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes for --backend process (default: cpu count)",
+    )
+    p_an.add_argument(
+        "--batch-size", type=int, default=256, metavar="K",
+        help="packet groups per submitted batch (default: 256)",
+    )
+    p_an.add_argument(
+        "--stream", action="store_true",
+        help="decode log shards one at a time instead of loading the "
+             "whole store into memory (bounded working set)",
     )
     p_an.set_defaults(fn=_cmd_analyze)
 

@@ -11,7 +11,18 @@ from repro.core.event_flow import EventFlow, FlowEntry
 from repro.core.engine import EngineInstance
 from repro.core.context import PacketContext
 from repro.core.transition_algorithm import PacketReconstructor, ReconstructorOptions
-from repro.core.refill import Refill, RefillOptions
+from repro.core.session import ReconstructionSession, RefillOptions, SessionResult
+from repro.core.backends import (
+    ExecutionBackend,
+    ExecutionPlan,
+    IncrementalBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    make_backend,
+)
+from repro.core.refill import Refill
+from repro.core.parallel import ParallelRefill
+from repro.core.incremental import IncrementalRefill
 from repro.core.diagnosis import LossCause, LossReport, classify_flow
 from repro.core.tracing import PacketTrace, trace_packet
 from repro.core.queries import (
@@ -50,7 +61,17 @@ __all__ = [
     "PacketContext",
     "PacketReconstructor",
     "ReconstructorOptions",
+    "ReconstructionSession",
+    "SessionResult",
+    "ExecutionBackend",
+    "ExecutionPlan",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "IncrementalBackend",
+    "make_backend",
     "Refill",
+    "ParallelRefill",
+    "IncrementalRefill",
     "RefillOptions",
     "LossCause",
     "LossReport",

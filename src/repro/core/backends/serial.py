@@ -1,0 +1,26 @@
+"""In-process, one-at-a-time execution — the reference backend.
+
+Every other backend's contract is "produce exactly what SerialBackend
+produces"; the equivalence suite in ``tests/core/test_backend_equivalence.py``
+enforces it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.backends.base import ExecutionBackend
+from repro.core.event_flow import EventFlow
+from repro.events.merge import PacketGroup
+from repro.events.packet import PacketKey
+
+
+class SerialBackend(ExecutionBackend):
+    """Reconstruct each group immediately on the calling thread."""
+
+    name = "serial"
+
+    def submit(
+        self, batch: Sequence[PacketGroup]
+    ) -> Iterable[tuple[PacketKey, EventFlow]]:
+        return self._reconstruct_serially(batch)

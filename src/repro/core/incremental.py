@@ -1,29 +1,24 @@
-"""Incremental reconstruction over a live deployment.
+"""Incremental reconstruction over a live deployment — streaming door.
 
-Logs arrive in batches (each CTP collection round delivers more chunks);
-operators want diagnosis *now*, not at end-of-month.  The incremental
-engine keeps per-packet event accumulations and re-derives flows only for
-packets whose evidence changed — per-packet independence makes the dirty
-set exact.
-
-Re-running a packet's reconstruction from scratch (instead of resuming
-engine state) is deliberate: new evidence can *precede* previously
-processed events (logs are unsynchronized), so the transition algorithm's
-ordering decisions must be revisited — a classic recompute-over-resume
-trade, cheap because flows are tiny.
+:class:`IncrementalRefill` is a thin compatibility shim over
+:class:`~repro.core.session.ReconstructionSession` with an
+:class:`~repro.core.backends.IncrementalBackend`: the dirty-set
+accumulation lives in the backend, the refresh/diagnose loop (now with the
+same ``diagnose`` span and counters as every other door) in the session.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Optional
+from typing import Optional
 
-from repro.core.diagnosis import LossReport, classify_flow
+from repro.core.backends import IncrementalBackend
+from repro.core.diagnosis import LossReport
 from repro.core.event_flow import EventFlow
-from repro.core.refill import Refill, RefillOptions
-from repro.events.event import Event
-from repro.events.log import NodeLog
+from repro.core.session import IngestBatch, ReconstructionSession, RefillOptions
 from repro.events.packet import PacketKey
 from repro.fsm.templates import FsmTemplate
+
+__all__ = ["IncrementalRefill"]
 
 
 class IncrementalRefill:
@@ -36,68 +31,48 @@ class IncrementalRefill:
         *,
         delivery_node: Optional[int] = None,
     ) -> None:
-        self._refill = Refill(template, options) if template else Refill(options=options)
         self.delivery_node = delivery_node
-        #: per packet, per node: ordered accumulated events
-        self._events: dict[PacketKey, dict[int, list[Event]]] = {}
-        self._flows: dict[PacketKey, EventFlow] = {}
-        self._reports: dict[PacketKey, LossReport] = {}
-        self._dirty: set[PacketKey] = set()
-        self.batches_ingested = 0
+        self._session = ReconstructionSession(
+            template,
+            options,
+            backend=IncrementalBackend(),
+            delivery_node=delivery_node,
+        )
 
     # ------------------------------------------------------------------ #
 
-    def ingest(self, batch: Mapping[int, NodeLog] | Mapping[int, Iterable[Event]]) -> set[PacketKey]:
+    def ingest(self, batch: IngestBatch) -> set[PacketKey]:
         """Add a batch of per-node log segments; returns the dirtied packets.
 
         Within one node, segments must arrive in log order (collection
         preserves per-node order); across batches any interleaving is fine.
         """
-        dirtied: set[PacketKey] = set()
-        for node, events in batch.items():
-            for event in events:
-                if event.packet is None:
-                    continue
-                per_node = self._events.setdefault(event.packet, {})
-                per_node.setdefault(node, []).append(event)
-                dirtied.add(event.packet)
-        self._dirty |= dirtied
-        self.batches_ingested += 1
-        return dirtied
+        return self._session.ingest(batch)
 
     def refresh(self) -> set[PacketKey]:
         """Re-reconstruct all dirty packets; returns what was refreshed."""
-        refreshed = set()
-        for packet in sorted(self._dirty):
-            flow = self._refill.reconstruct_packet(packet, self._events[packet])
-            self._flows[packet] = flow
-            self._reports[packet] = classify_flow(flow, delivery_node=self.delivery_node)
-            refreshed.add(packet)
-        self._dirty.clear()
-        return refreshed
+        return self._session.refresh()
 
     # ------------------------------------------------------------------ #
     # queries (auto-refresh for convenience)
 
     def flow(self, packet: PacketKey) -> Optional[EventFlow]:
-        if packet in self._dirty:
-            self.refresh()
-        return self._flows.get(packet)
+        return self._session.flow(packet)
 
     def flows(self) -> dict[PacketKey, EventFlow]:
-        if self._dirty:
-            self.refresh()
-        return dict(self._flows)
+        return self._session.flows()
 
     def reports(self) -> dict[PacketKey, LossReport]:
-        if self._dirty:
-            self.refresh()
-        return dict(self._reports)
+        return self._session.reports()
 
     @property
     def pending(self) -> int:
         """Dirty packets awaiting a refresh."""
-        return len(self._dirty)
+        return self._session.pending
+
+    @property
+    def batches_ingested(self) -> int:
+        return self._session.batches_ingested
 
     def packets(self) -> list[PacketKey]:
-        return sorted(self._events)
+        return self._session.packets()

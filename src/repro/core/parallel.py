@@ -1,65 +1,28 @@
-"""Parallel reconstruction across worker processes.
+"""Parallel reconstruction across worker processes — pool door to the session.
 
-Per-packet flows are independent — reconstruction is embarrassingly
-parallel.  This module shards the packet set over a ``multiprocessing``
-pool: each worker builds its FSM template once (via a picklable factory
-passed to the pool initializer) and processes packet batches, so per-task
-overhead is one pickle of the packet's events and one of the resulting
-flow.
-
-Guides' advice applied: measure before optimizing — the serial engine does
-~60k events/s, so parallelism only pays past ~10^5 logged events; under
-``min_packets`` the implementation silently runs serially.
+:class:`ParallelRefill` is a thin compatibility shim over
+:class:`~repro.core.session.ReconstructionSession` with a
+:class:`~repro.core.backends.ProcessPoolBackend`; the pool mechanics
+(picklable template factories, per-worker metrics registries, the
+``min_packets`` serial fallback) live in
+:mod:`repro.core.backends.process`.  Because the session normalizes options
+*before* sharding, pooled runs honor ``strip_times`` exactly like serial
+ones.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Mapping, Optional, Sequence
+from typing import Mapping, Optional
 
+from repro.core.backends import ProcessPoolBackend, TemplateFactory
 from repro.core.event_flow import EventFlow
-from repro.core.refill import Refill, RefillOptions
-from repro.core.transition_algorithm import PacketReconstructor, ReconstructorOptions
-from repro.events.event import Event
+from repro.core.session import ReconstructionSession, RefillOptions
 from repro.events.log import NodeLog
-from repro.events.merge import group_by_packet
 from repro.events.packet import PacketKey
-from repro.fsm.templates import FsmTemplate, forwarder_template
-from repro.obs.registry import MetricsRegistry, get_registry, use_registry
-from repro.obs.spans import span
+from repro.fsm.templates import forwarder_template
 
-#: A zero-argument, *module-level* (hence picklable-by-reference) function
-#: returning the FSM template — each worker calls it once.
-TemplateFactory = Callable[[], FsmTemplate]
-
-# per-worker state, initialized once per process
-_worker_template: Optional[FsmTemplate] = None
-_worker_options: ReconstructorOptions = ReconstructorOptions()
-
-
-def _init_worker(factory: TemplateFactory, options: ReconstructorOptions) -> None:
-    global _worker_template, _worker_options
-    _worker_template = factory()
-    _worker_options = options
-
-
-def _reconstruct_batch(
-    batch: Sequence[tuple[PacketKey, dict[int, list[Event]]]]
-) -> tuple[list[tuple[PacketKey, EventFlow]], MetricsRegistry]:
-    """One batch in one worker; metrics land in a private per-batch registry.
-
-    The registry rides back with the flows (it pickles cleanly — plain
-    dicts, no locks) and the parent folds it into its own, so counter
-    totals match a serial run over the same store exactly.
-    """
-    assert _worker_template is not None, "worker not initialized"
-    out = []
-    with use_registry(MetricsRegistry()) as registry:
-        for packet, events_by_node in batch:
-            reconstructor = PacketReconstructor(_worker_template, packet, _worker_options)
-            out.append((packet, reconstructor.reconstruct(events_by_node)))
-    return out, registry
+__all__ = ["ParallelRefill", "TemplateFactory"]
 
 
 class ParallelRefill:
@@ -76,6 +39,8 @@ class ParallelRefill:
     min_packets:
         Below this many packets the pool is not worth its startup cost and
         reconstruction runs serially.
+    batch_size:
+        Packet groups per pool task.
     """
 
     def __init__(
@@ -95,29 +60,12 @@ class ParallelRefill:
 
     def reconstruct(self, logs: Mapping[int, NodeLog]) -> dict[PacketKey, EventFlow]:
         """Event flow of every packet, sharded over worker processes."""
-        with span("reconstruct"):
-            with span("reconstruct.merge"):
-                grouped = group_by_packet(logs)
-            items = sorted(grouped.items())
-            if len(items) < self.min_packets or self.workers <= 1:
-                refill = Refill(self.template_factory(), self.options)
-                return {
-                    packet: refill.reconstruct_packet(packet, events)
-                    for packet, events in items
-                }
-            batches = [
-                items[i : i + self.batch_size]
-                for i in range(0, len(items), self.batch_size)
-            ]
-            flows: dict[PacketKey, EventFlow] = {}
-            parent_registry = get_registry()
-            reconstructor_options = self.options.reconstructor_options()
-            with ProcessPoolExecutor(
-                max_workers=self.workers,
-                initializer=_init_worker,
-                initargs=(self.template_factory, reconstructor_options),
-            ) as pool:
-                for result, worker_registry in pool.map(_reconstruct_batch, batches):
-                    flows.update(result)
-                    parent_registry.merge(worker_registry)
-            return flows
+        session = ReconstructionSession(
+            options=self.options,
+            template_factory=self.template_factory,
+            backend=ProcessPoolBackend(
+                workers=self.workers, min_packets=self.min_packets
+            ),
+            batch_size=self.batch_size,
+        )
+        return session.reconstruct(logs)

@@ -1,53 +1,29 @@
-"""The REFILL facade (paper Fig. 1).
+"""The REFILL facade (paper Fig. 1) — batch door to the unified session.
 
 Collect → merge → associate events with node state → connect engines →
-output event flows.  :class:`Refill` wires the pieces: it groups collected
-node logs by packet, runs the :class:`~repro.core.transition_algorithm.PacketReconstructor`
-per packet and exposes diagnosis over the resulting flows.
+output event flows.  :class:`Refill` is a thin compatibility shim over
+:class:`~repro.core.session.ReconstructionSession` with a
+:class:`~repro.core.backends.SerialBackend`: the session owns the canonical
+pipeline (streaming merge, option normalization, diagnosis, metrics), this
+class keeps the historical two-method API.  :class:`RefillOptions` lives
+with the session and is re-exported here.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Mapping, Optional, Sequence
 
+from repro.core.backends import SerialBackend
+from repro.core.diagnosis import LossReport
+from repro.core.event_flow import EventFlow
+from repro.core.session import ReconstructionSession, RefillOptions
+from repro.core.transition_algorithm import TemplateFor
 from repro.events.event import Event
 from repro.events.log import NodeLog
-from repro.events.merge import group_by_packet
 from repro.events.packet import PacketKey
-from repro.core.diagnosis import LossReport, classify_flow
-from repro.core.event_flow import EventFlow
-from repro.core.transition_algorithm import (
-    PacketReconstructor,
-    ReconstructorOptions,
-    TemplateFor,
-)
 from repro.fsm.templates import FsmTemplate, forwarder_template
-from repro.obs.spans import span
 
-
-@dataclass(frozen=True)
-class RefillOptions:
-    """Top-level configuration.
-
-    Attributes
-    ----------
-    enable_intra / enable_inter:
-        Forwarded to the reconstructor; ablation switches.
-    strip_times:
-        Drop timestamps from log events before inference, asserting that the
-        reconstruction never depends on clocks (the paper's setting).  The
-        returned flows then carry time only on events the caller re-attaches.
-    """
-
-    enable_intra: bool = True
-    enable_inter: bool = True
-    strip_times: bool = False
-
-    def reconstructor_options(self) -> ReconstructorOptions:
-        return ReconstructorOptions(
-            enable_intra=self.enable_intra, enable_inter=self.enable_inter
-        )
+__all__ = ["Refill", "RefillOptions"]
 
 
 class Refill:
@@ -63,29 +39,23 @@ class Refill:
 
     # ------------------------------------------------------------------ #
 
+    def _session(self, *, delivery_node: Optional[int] = None) -> ReconstructionSession:
+        return ReconstructionSession(
+            self.template,
+            self.options,
+            backend=SerialBackend(),
+            delivery_node=delivery_node,
+        )
+
     def reconstruct(self, logs: Mapping[int, NodeLog]) -> dict[PacketKey, EventFlow]:
         """Event flow of every packet mentioned anywhere in ``logs``."""
-        with span("reconstruct"):
-            with span("reconstruct.merge"):
-                grouped = group_by_packet(logs)
-            flows: dict[PacketKey, EventFlow] = {}
-            for packet in sorted(grouped):
-                flows[packet] = self.reconstruct_packet(packet, grouped[packet])
-            return flows
+        return self._session().reconstruct(logs)
 
     def reconstruct_packet(
         self, packet: Optional[PacketKey], events_by_node: Mapping[int, Sequence[Event]]
     ) -> EventFlow:
         """Event flow of a single packet from its per-node ordered events."""
-        if self.options.strip_times:
-            events_by_node = {
-                node: [e.without_time() for e in events]
-                for node, events in events_by_node.items()
-            }
-        reconstructor = PacketReconstructor(
-            self.template, packet, self.options.reconstructor_options()
-        )
-        return reconstructor.reconstruct(events_by_node)
+        return self._session().reconstruct_group(packet, events_by_node)
 
     def diagnose(
         self,
@@ -94,7 +64,4 @@ class Refill:
         delivery_node: Optional[int] = None,
     ) -> dict[PacketKey, LossReport]:
         """Loss cause + position per packet (paper §V-B)."""
-        return {
-            packet: classify_flow(flow, delivery_node=delivery_node)
-            for packet, flow in flows.items()
-        }
+        return self._session(delivery_node=delivery_node).diagnose(flows)

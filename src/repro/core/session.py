@@ -1,0 +1,354 @@
+"""The unified reconstruction session (paper Fig. 1, one spine for every door).
+
+REFILL's per-packet independence means one pipeline serves every workload —
+batch, parallel, and live.  :class:`ReconstructionSession` owns that
+pipeline: stream packet groups out of the merge layer, apply
+:class:`RefillOptions` (including ``strip_times``) in exactly one place,
+delegate execution to a pluggable
+:class:`~repro.core.backends.ExecutionBackend`, diagnose, and record
+metrics.  ``Refill``, ``ParallelRefill``, and ``IncrementalRefill`` are thin
+compatibility shims over a session; ``analysis/pipeline.py`` and the CLI
+construct sessions directly — so preflight, metrics/spans, and options
+semantics are identical no matter which door you enter through.
+
+Two driving modes:
+
+- **one-shot** — :meth:`reconstruct` pulls batches of *complete* packet
+  groups from a log collection (or a shard source, with ``stream=True``
+  bounding how many groups are ever materialized) and pushes them through
+  the backend;
+- **streaming ingest** — :meth:`ingest` feeds *partial* evidence batches to
+  an accumulating backend (live collection rounds); :meth:`refresh`
+  re-derives exactly the dirtied flows and re-diagnoses them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional, Sequence, Union
+
+from repro.core.backends import ExecutionBackend, ExecutionPlan, SerialBackend
+from repro.core.backends.base import TemplateFactory
+from repro.core.diagnosis import LossReport, classify_flow
+from repro.core.event_flow import EventFlow
+from repro.core.transition_algorithm import (
+    PacketReconstructor,
+    ReconstructorOptions,
+    TemplateFor,
+)
+from repro.events.event import Event
+from repro.events.log import NodeLog
+from repro.events.merge import (
+    Logs,
+    PacketGroup,
+    group_by_packet,
+    iter_packet_groups,
+)
+from repro.events.packet import PacketKey
+from repro.fsm.templates import FsmTemplate, forwarder_template
+from repro.obs.registry import get_registry
+from repro.obs.spans import span
+
+#: Sentinel distinguishing "no override" from an explicit ``None``.
+_UNSET: object = object()
+
+#: One evidence batch for streaming ingest: per-node logs or event lists.
+IngestBatch = Union[Mapping[int, NodeLog], Mapping[int, Iterable[Event]]]
+
+
+@dataclass(frozen=True)
+class RefillOptions:
+    """Top-level configuration, normalized by the session in one place.
+
+    Attributes
+    ----------
+    enable_intra / enable_inter:
+        Forwarded to the reconstructor; ablation switches.
+    strip_times:
+        Drop timestamps from log events before inference, asserting that the
+        reconstruction never depends on clocks (the paper's setting).  The
+        returned flows then carry time only on events the caller re-attaches.
+    """
+
+    enable_intra: bool = True
+    enable_inter: bool = True
+    strip_times: bool = False
+
+    def reconstructor_options(self) -> ReconstructorOptions:
+        return ReconstructorOptions(
+            enable_intra=self.enable_intra, enable_inter=self.enable_inter
+        )
+
+
+class ReconstructionSession:
+    """One reconstruction run: merge → normalize → execute → diagnose.
+
+    Parameters
+    ----------
+    template:
+        An :class:`FsmTemplate` or per-node factory ``node -> FsmTemplate``.
+        Defaults to the CTP forwarder.
+    options:
+        The :class:`RefillOptions`; ``strip_times`` is applied to every
+        event *before* it reaches any backend, so pooled and incremental
+        runs see exactly what a serial run sees.
+    backend:
+        The execution strategy (default :class:`SerialBackend`).
+    template_factory:
+        Zero-argument *module-level* template builder — required by
+        :class:`~repro.core.backends.ProcessPoolBackend` (it must pickle by
+        reference into workers).  When only the factory is given, the local
+        template is built from it.
+    delivery_node:
+        Base-station node id for :meth:`diagnose` (``None`` disables
+        delivery detection).
+    batch_size:
+        Packet groups per backend submission; in ``stream`` mode also the
+        bound on simultaneously materialized groups.
+    stream:
+        Use the bounded two-phase grouping of
+        :func:`repro.events.merge.iter_packet_groups` instead of one-pass
+        full grouping — with a re-scannable shard source
+        (:class:`repro.events.store.ShardedStore`) the corpus never has to
+        fit in memory.
+    """
+
+    def __init__(
+        self,
+        template: FsmTemplate | TemplateFor | None = None,
+        options: RefillOptions = RefillOptions(),
+        *,
+        backend: Optional[ExecutionBackend] = None,
+        template_factory: Optional[TemplateFactory] = None,
+        delivery_node: Optional[int] = None,
+        batch_size: int = 256,
+        stream: bool = False,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if template is None:
+            if template_factory is None:
+                template_factory = forwarder_template
+            template = template_factory()
+        self.template: FsmTemplate | TemplateFor = template
+        self.template_factory = template_factory
+        self.options = options
+        self.backend = backend if backend is not None else SerialBackend()
+        self.delivery_node = delivery_node
+        self.batch_size = batch_size
+        self.stream = stream
+        self.batches_ingested = 0
+        self._started = False
+        #: streaming-ingest caches (refresh keeps them current)
+        self._flows: dict[PacketKey, EventFlow] = {}
+        self._reports: dict[PacketKey, LossReport] = {}
+
+    # ------------------------------------------------------------------ #
+    # one-shot
+
+    def reconstruct(self, logs: Logs) -> dict[PacketKey, EventFlow]:
+        """Event flow of every packet mentioned anywhere in ``logs``.
+
+        ``logs`` is an in-memory ``{node: NodeLog}`` mapping or any shard
+        source with a re-iterable ``iter_logs()``.  Runs the backend's full
+        lifecycle and releases it; the returned map is sorted by packet key
+        regardless of the backend's completion order.
+        """
+        with span("reconstruct"):
+            self._start_backend()
+            flows: dict[PacketKey, EventFlow] = {}
+            for batch in self._batches(logs):
+                for packet, flow in self.backend.submit(self._normalize(batch)):
+                    flows[packet] = flow
+            for packet, flow in self.backend.finish():
+                flows[packet] = flow
+            self.backend.close()
+            self._started = False
+            return {packet: flows[packet] for packet in sorted(flows)}
+
+    def run(self, logs: Logs) -> "SessionResult":
+        """:meth:`reconstruct` + :meth:`diagnose` in one call."""
+        flows = self.reconstruct(logs)
+        return SessionResult(flows=flows, reports=self.diagnose(flows))
+
+    def reconstruct_group(
+        self,
+        packet: Optional[PacketKey],
+        events_by_node: Mapping[int, Sequence[Event]],
+    ) -> EventFlow:
+        """One packet's flow from its per-node ordered events.
+
+        The single-packet door (``Refill.reconstruct_packet``); applies the
+        same normalization as the batch paths and runs in-process.
+        """
+        ((_, normalized),) = self._normalize(
+            [(packet, {n: list(evs) for n, evs in events_by_node.items()})]
+        )
+        reconstructor = PacketReconstructor(
+            self.template, packet, self.options.reconstructor_options()
+        )
+        return reconstructor.reconstruct(normalized)
+
+    # ------------------------------------------------------------------ #
+    # diagnosis (paper §V-B)
+
+    def diagnose(
+        self,
+        flows: Mapping[PacketKey, EventFlow],
+        *,
+        delivery_node: object = _UNSET,
+    ) -> dict[PacketKey, LossReport]:
+        """Loss cause + position per packet, instrumented like every other
+        stage: a ``diagnose`` span and a ``diagnose.packets`` counter."""
+        node: Optional[int]
+        if delivery_node is _UNSET:
+            node = self.delivery_node
+        else:
+            node = delivery_node  # type: ignore[assignment]
+        with span("diagnose"):
+            counter = get_registry().counter("diagnose.packets")
+            reports: dict[PacketKey, LossReport] = {}
+            for packet, flow in flows.items():
+                reports[packet] = classify_flow(flow, delivery_node=node)
+                counter.inc()
+            return reports
+
+    # ------------------------------------------------------------------ #
+    # streaming ingest (accumulating backends only)
+
+    def ingest(self, batch: IngestBatch) -> set[PacketKey]:
+        """Add a batch of per-node log segments; returns the dirtied packets.
+
+        Within one node, segments must arrive in log order (collection
+        preserves per-node order); across batches any interleaving is fine.
+        Requires an accumulating backend
+        (:class:`~repro.core.backends.IncrementalBackend`).
+        """
+        self._require_accumulating("ingest")
+        self._start_backend()
+        partial: dict[PacketKey, dict[int, list[Event]]] = {}
+        for node, events in batch.items():
+            for event in events:
+                if event.packet is None:
+                    continue
+                partial.setdefault(event.packet, {}).setdefault(node, []).append(event)
+        for _ in self.backend.submit(self._normalize(sorted(partial.items()))):
+            pass  # accumulating backends defer flows to refresh()
+        self.batches_ingested += 1
+        return set(partial)
+
+    def refresh(self) -> set[PacketKey]:
+        """Re-reconstruct all dirty packets (and re-diagnose them); returns
+        what was refreshed."""
+        self._require_accumulating("refresh")
+        self._start_backend()
+        refreshed: dict[PacketKey, EventFlow] = {}
+        for packet, flow in self.backend.finish():
+            refreshed[packet] = flow
+        if refreshed:
+            self._flows.update(refreshed)
+            self._reports.update(self.diagnose(refreshed))
+        return set(refreshed)
+
+    # queries (auto-refresh for convenience)
+
+    def flow(self, packet: PacketKey) -> Optional[EventFlow]:
+        if packet in self._dirty_set():
+            self.refresh()
+        return self._flows.get(packet)
+
+    def flows(self) -> dict[PacketKey, EventFlow]:
+        if self._dirty_set():
+            self.refresh()
+        return {p: self._flows[p] for p in sorted(self._flows)}
+
+    def reports(self) -> dict[PacketKey, LossReport]:
+        if self._dirty_set():
+            self.refresh()
+        return {p: self._reports[p] for p in sorted(self._reports)}
+
+    @property
+    def pending(self) -> int:
+        """Dirty packets awaiting a refresh."""
+        return len(self._dirty_set())
+
+    def packets(self) -> list[PacketKey]:
+        """Every packet the session has seen evidence or flows for."""
+        backend_packets = getattr(self.backend, "packets", None)
+        if callable(backend_packets):
+            return backend_packets()
+        return sorted(self._flows)
+
+    # ------------------------------------------------------------------ #
+    # plumbing
+
+    def preflight(self):
+        """Static-analyze the session's template before reconstructing.
+
+        Raises :class:`repro.check.runner.PreflightError` on model errors —
+        a broken FSM silently corrupts every reconstructed flow.  Per-node
+        factories pass without analysis (returns ``None``), matching
+        :func:`repro.check.runner.preflight_check`.
+        """
+        from repro.check.runner import preflight_check  # avoid import cycle
+
+        return preflight_check(self.template)
+
+    def plan(self) -> ExecutionPlan:
+        """The execution plan handed to the backend."""
+        return ExecutionPlan(
+            template=self.template,
+            options=self.options.reconstructor_options(),
+            template_factory=self.template_factory,
+        )
+
+    def _start_backend(self) -> None:
+        if not self._started:
+            self.backend.start(self.plan())
+            self._started = True
+
+    def _batches(self, logs: Logs):
+        if self.stream:
+            yield from iter_packet_groups(logs, batch_size=self.batch_size)
+            return
+        with span("reconstruct.merge"):
+            groups = sorted(group_by_packet(logs).items())
+        for i in range(0, len(groups), self.batch_size):
+            yield groups[i : i + self.batch_size]
+
+    def _normalize(
+        self, groups: Sequence[tuple[Optional[PacketKey], dict[int, list[Event]]]]
+    ) -> list[PacketGroup]:
+        """Apply :class:`RefillOptions` event normalization — the ONE place
+        ``strip_times`` happens, before any sharding or accumulation."""
+        if not self.options.strip_times:
+            return list(groups)  # type: ignore[arg-type]
+        return [
+            (
+                packet,  # type: ignore[misc]
+                {
+                    node: [event.without_time() for event in events]
+                    for node, events in events_by_node.items()
+                },
+            )
+            for packet, events_by_node in groups
+        ]
+
+    def _dirty_set(self) -> set[PacketKey]:
+        return getattr(self.backend, "dirty", set())
+
+    def _require_accumulating(self, method: str) -> None:
+        if not self.backend.accumulates:
+            raise TypeError(
+                f"ReconstructionSession.{method}() needs an accumulating "
+                f"backend (e.g. IncrementalBackend); "
+                f"{type(self.backend).__name__} processes complete groups only"
+            )
+
+
+@dataclass(frozen=True)
+class SessionResult:
+    """What :meth:`ReconstructionSession.run` hands back."""
+
+    flows: dict[PacketKey, EventFlow]
+    reports: dict[PacketKey, LossReport]

@@ -11,9 +11,22 @@ from repro.events.event import Event, EventType, SENDER_SIDE_EVENTS, RECEIVER_SI
 from repro.events.packet import PacketKey
 from repro.events.log import LogRecord, NodeLog
 from repro.events.codec import encode_event, decode_event, encode_log, decode_log
-from repro.events.merge import merge_logs, interleave_round_robin, group_by_packet
+from repro.events.merge import (
+    merge_logs,
+    interleave_round_robin,
+    group_by_packet,
+    iter_packet_groups,
+    split_collection_rounds,
+)
+from repro.events.store import ShardedStore, iter_store_logs, load_store, save_store
 
 __all__ = [
+    "iter_packet_groups",
+    "split_collection_rounds",
+    "ShardedStore",
+    "iter_store_logs",
+    "load_store",
+    "save_store",
     "Event",
     "EventType",
     "SENDER_SIDE_EVENTS",

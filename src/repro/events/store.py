@@ -15,7 +15,7 @@ from __future__ import annotations
 import json
 import pathlib
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Iterator, Mapping
 
 from repro.events.codec import DecodeIssue, encode_log, scan_log_text
 from repro.events.event import Event
@@ -81,6 +81,52 @@ def save_store(
     return path
 
 
+def load_store_metadata(directory) -> StoreMetadata:
+    """Read just the ``operations.json`` of a store directory."""
+    path = pathlib.Path(directory)
+    return StoreMetadata.from_json(json.loads((path / "operations.json").read_text()))
+
+
+def _decode_shard(
+    file: pathlib.Path, node: int, *, strict: bool
+) -> tuple[NodeLog, int]:
+    """Decode one ``node_*.log`` file: ``(log, bad_line_count)``."""
+    events: list[Event] = []
+    bad = 0
+    for _lineno, decoded in scan_log_text(file.read_text()):
+        if isinstance(decoded, DecodeIssue):
+            if strict:
+                raise ValueError(decoded.error)
+            bad += 1
+            continue
+        if decoded.node != node:
+            if strict:
+                raise ValueError(
+                    f"event node {decoded.node} in file of node {node}"
+                )
+            bad += 1
+            continue
+        events.append(decoded)
+    return NodeLog(node, events), bad
+
+
+def iter_store_logs(
+    directory, *, strict: bool = False
+) -> Iterator[tuple[int, NodeLog, int]]:
+    """Decode one ``node_*.log`` shard at a time: ``(node, log, bad_lines)``.
+
+    Only one shard's events are alive per step — the streaming substrate for
+    corpora that do not fit in memory.  ``strict`` matches
+    :func:`load_store`: ``False`` skips undecodable / misfiled lines and
+    counts them, ``True`` raises on the first.
+    """
+    path = pathlib.Path(directory)
+    for file in sorted(path.glob("node_*.log")):
+        node = int(file.stem.split("_")[1])
+        log, bad = _decode_shard(file, node, strict=strict)
+        yield node, log, bad
+
+
 def load_store(directory, *, strict: bool = False) -> LoadedStore:
     """Read a store directory.
 
@@ -88,31 +134,56 @@ def load_store(directory, *, strict: bool = False) -> LoadedStore:
     recorded node id disagrees with the file they sit in, counting them in
     ``corrupt_lines``; ``strict=True`` raises on the first bad line.
     """
-    path = pathlib.Path(directory)
-    metadata = StoreMetadata.from_json(
-        json.loads((path / "operations.json").read_text())
-    )
+    metadata = load_store_metadata(directory)
     logs: dict[int, NodeLog] = {}
     corrupt: dict[int, int] = {}
-    for file in sorted(path.glob("node_*.log")):
-        node = int(file.stem.split("_")[1])
-        events: list[Event] = []
-        bad = 0
-        for _lineno, decoded in scan_log_text(file.read_text()):
-            if isinstance(decoded, DecodeIssue):
-                if strict:
-                    raise ValueError(decoded.error)
-                bad += 1
-                continue
-            if decoded.node != node:
-                if strict:
-                    raise ValueError(
-                        f"event node {decoded.node} in file of node {node}"
-                    )
-                bad += 1
-                continue
-            events.append(decoded)
-        logs[node] = NodeLog(node, events)
+    for node, log, bad in iter_store_logs(directory, strict=strict):
+        logs[node] = log
         if bad:
             corrupt[node] = bad
     return LoadedStore(logs=logs, metadata=metadata, corrupt_lines=corrupt)
+
+
+class ShardedStore:
+    """Re-scannable shard-at-a-time view of a store directory.
+
+    Satisfies the :class:`repro.events.merge.LogSource` protocol: every
+    :meth:`iter_logs` call decodes the ``node_*.log`` files afresh, one at a
+    time, so a :class:`~repro.core.session.ReconstructionSession` in
+    streaming mode can reconstruct a corpus far larger than memory —
+    repeated scans trade CPU for a bounded working set.
+
+    ``corrupt_lines`` holds the per-node bad-line counts of the *latest*
+    completed pass (tolerant mode only; counts are per pass, not summed).
+    """
+
+    def __init__(self, directory, *, strict: bool = False) -> None:
+        self.directory = pathlib.Path(directory)
+        self.strict = strict
+        self.metadata = load_store_metadata(self.directory)
+        self.corrupt_lines: dict[int, int] = {}
+
+    def nodes(self) -> list[int]:
+        """Node ids present, from file names alone (no decoding)."""
+        return sorted(
+            int(f.stem.split("_")[1]) for f in self.directory.glob("node_*.log")
+        )
+
+    def iter_logs(self) -> Iterator[tuple[int, NodeLog]]:
+        corrupt: dict[int, int] = {}
+        for node, log, bad in iter_store_logs(self.directory, strict=self.strict):
+            if bad:
+                corrupt[node] = bad
+            yield node, log
+        self.corrupt_lines = corrupt
+
+    def load_node(self, node: int) -> NodeLog:
+        """Decode a single node's shard (empty log when the file is absent)."""
+        file = self.directory / f"node_{node:04d}.log"
+        if not file.exists():
+            return NodeLog(node)
+        log, _bad = _decode_shard(file, node, strict=self.strict)
+        return log
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShardedStore({str(self.directory)!r})"

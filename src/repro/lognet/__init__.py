@@ -19,7 +19,7 @@ deterministically given a seed.
 
 from repro.lognet.clock import LocalClock, make_clocks
 from repro.lognet.loss import LogLossSpec, apply_losses
-from repro.lognet.collector import collect_logs
+from repro.lognet.collector import collect_logs, collect_into
 
 __all__ = [
     "LocalClock",
@@ -27,4 +27,5 @@ __all__ = [
     "LogLossSpec",
     "apply_losses",
     "collect_logs",
+    "collect_into",
 ]

@@ -58,6 +58,21 @@ class TestParallelMatchesSerial:
                 == serial[packet].inferred_events()
             )
 
+    def test_strip_times_respected_in_workers(self, collected_logs):
+        """Regression: the pooled path used to forward only the
+        reconstructor options, silently dropping ``strip_times`` — workers
+        reconstructed from timestamped events while a serial run did not."""
+        options = RefillOptions(strip_times=True)
+        parallel = ParallelRefill(
+            options=options, workers=2, min_packets=1, batch_size=50
+        ).reconstruct(collected_logs)
+        for packet, flow in parallel.items():
+            assert all(e.time is None for e in flow.events), packet
+        serial = Refill(options=options).reconstruct(collected_logs)
+        assert {p: f.labels() for p, f in parallel.items()} == {
+            p: f.labels() for p, f in serial.items()
+        }
+
     def test_single_worker_degrades_to_serial(self, collected_logs):
         flows = ParallelRefill(workers=1, min_packets=1).reconstruct(collected_logs)
         serial = Refill().reconstruct(collected_logs)

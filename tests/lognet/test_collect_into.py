@@ -1,0 +1,42 @@
+"""Tests for round-by-round collection into a streaming session."""
+
+import pytest
+
+from repro.core.backends import IncrementalBackend
+from repro.core.session import ReconstructionSession
+from repro.events.event import Event
+from repro.events.log import NodeLog
+from repro.events.packet import PacketKey
+from repro.lognet.collector import collect_into, collect_logs
+from repro.lognet.loss import LogLossSpec
+
+
+@pytest.fixture()
+def true_logs():
+    logs = {}
+    for node in (1, 2, 3):
+        events = []
+        for seq in range(10):
+            pkt = PacketKey(node, seq)
+            t = seq * 10.0 + node
+            events.append(Event.make("gen", node, packet=pkt, time=t))
+            events.append(
+                Event.make("trans", node, src=node, dst=99, packet=pkt, time=t + 1)
+            )
+        logs[node] = NodeLog(node, events)
+    return logs
+
+
+def test_rounds_match_one_shot(true_logs):
+    spec = LogLossSpec(write_fail_p=0.2, crash_p=0.1)
+    session = ReconstructionSession(backend=IncrementalBackend(), delivery_node=99)
+    collected = collect_into(session, true_logs, spec, seed=3, rounds=4)
+    # the returned logs equal a plain collect_logs with the same seed
+    assert collected == collect_logs(true_logs, spec, seed=3)
+    # and streaming the rounds reproduces the one-shot reconstruction
+    oneshot = ReconstructionSession(delivery_node=99).run(collected)
+    assert {p: f.labels() for p, f in session.flows().items()} == {
+        p: f.labels() for p, f in oneshot.flows.items()
+    }
+    assert session.reports() == oneshot.reports
+    assert session.batches_ingested == 4
