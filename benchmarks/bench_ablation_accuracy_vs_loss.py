@@ -13,7 +13,9 @@ from repro.lognet.loss import LogLossSpec
 from repro.simnet.scenarios import citysee
 from repro.util.tables import render_table
 
-PARAMS = citysee(n_nodes=80, days=3, seed=21)
+from benchmarks.conftest import bench_seed
+
+PARAMS = citysee(n_nodes=80, days=3, seed=bench_seed("ablation-accuracy-vs-loss", 21))
 
 #: record-loss sweep: same relative mix as the default spec, scaled
 SEVERITIES = (0.0, 0.1, 0.25, 0.4, 0.6)

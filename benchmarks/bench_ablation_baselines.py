@@ -13,7 +13,9 @@ from repro.analysis.comparison import compare_analyzers
 from repro.analysis.pipeline import evaluate, run_simulation
 from repro.simnet.scenarios import citysee
 
-PARAMS = citysee(n_nodes=80, days=3, seed=31)
+from benchmarks.conftest import bench_seed
+
+PARAMS = citysee(n_nodes=80, days=3, seed=bench_seed("ablation-baselines", 31))
 
 
 def run_comparison():

@@ -14,7 +14,9 @@ from repro.core.tracing import trace_packet
 from repro.simnet.scenarios import citysee
 from repro.util.tables import render_table
 
-PARAMS = citysee(n_nodes=80, days=2, seed=61)
+from benchmarks.conftest import bench_seed
+
+PARAMS = citysee(n_nodes=80, days=2, seed=bench_seed("ablation-pathzip", 61))
 
 
 def run_comparison():

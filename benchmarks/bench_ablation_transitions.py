@@ -12,7 +12,9 @@ from repro.core.refill import RefillOptions
 from repro.simnet.scenarios import citysee
 from repro.util.tables import render_table
 
-PARAMS = citysee(n_nodes=80, days=3, seed=41)
+from benchmarks.conftest import bench_seed
+
+PARAMS = citysee(n_nodes=80, days=3, seed=bench_seed("ablation-transitions", 41))
 
 VARIANTS = {
     "full REFILL": RefillOptions(),

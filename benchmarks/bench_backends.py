@@ -20,8 +20,12 @@ from repro.lognet.collector import collect_logs
 from repro.simnet.scenarios import citysee
 from repro.util.tables import render_table
 
+from benchmarks.conftest import bench_seed
 
-def prepare(n_nodes=120, days=1, seed=51):
+
+def prepare(n_nodes=120, days=1, seed=None):
+    if seed is None:
+        seed = bench_seed("backends", 51)
     params = citysee(n_nodes=n_nodes, days=days, seed=seed)
     sim = run_simulation(params)
     logs = collect_logs(

@@ -17,7 +17,9 @@ from repro.simnet.network import Network
 from repro.simnet.scenarios import citysee
 from repro.util.tables import render_table
 
-PARAMS = citysee(n_nodes=80, days=3, seed=53)
+from benchmarks.conftest import bench_seed
+
+PARAMS = citysee(n_nodes=80, days=3, seed=bench_seed("measurement", 53))
 
 
 def run_measurement():
@@ -79,7 +81,7 @@ def test_link_measurement(benchmark, emit):
 # --------------------------------------------------------------------- #
 # zero-overhead guard for the observability substrate
 
-OVERHEAD_PARAMS = citysee(n_nodes=40, days=1, seed=29)
+OVERHEAD_PARAMS = citysee(n_nodes=40, days=1, seed=bench_seed("measurement-overhead", 29))
 
 #: Instrumentation budget: the fully-counting registry path must stay
 #: within 5% of the no-op registry path (plus a small absolute floor so

@@ -12,11 +12,13 @@ from repro.lognet.collector import collect_logs
 from repro.simnet.scenarios import citysee
 from repro.util.tables import render_table
 
+from benchmarks.conftest import bench_seed
+
 SIZES = (40, 80, 160)
 
 
 def prepare(n_nodes):
-    params = citysee(n_nodes=n_nodes, days=1, seed=51)
+    params = citysee(n_nodes=n_nodes, days=1, seed=bench_seed("scalability", 51))
     sim = run_simulation(params)
     logs = collect_logs(
         sim.true_logs,

@@ -59,6 +59,28 @@ RULES: dict[str, str] = {
     "LC007": "additional findings suppressed (per-rule cap reached)",
 }
 
+#: Rule catalogues registered by other subsystems (e.g. the stress
+#: harness's ``ST*`` oracle IDs).  Kept separate from :data:`RULES` so the
+#: static-analysis catalogue — and the doc-coverage test pinning it to
+#: ``docs/STATIC_ANALYSIS.md`` — stays closed; extensions document their
+#: codes in their own catalogue (``docs/TESTING.md`` for oracles).
+EXTRA_RULES: dict[str, str] = {}
+
+
+def register_rules(rules: Mapping[str, str]) -> None:
+    """Register additional rule codes usable by :class:`Finding`.
+
+    Idempotent for identical re-registration; raises on a code that would
+    collide with a built-in rule or redefine an extension differently.
+    """
+    for code, summary in rules.items():
+        if code in RULES:
+            raise ValueError(f"rule code {code!r} collides with a built-in rule")
+        existing = EXTRA_RULES.get(code)
+        if existing is not None and existing != summary:
+            raise ValueError(f"rule code {code!r} already registered differently")
+        EXTRA_RULES[code] = summary
+
 
 @dataclass(frozen=True, slots=True)
 class Finding:
@@ -83,7 +105,7 @@ class Finding:
     message: str
 
     def __post_init__(self) -> None:
-        if self.code not in RULES:
+        if self.code not in RULES and self.code not in EXTRA_RULES:
             raise ValueError(f"unknown rule code {self.code!r}")
 
     @property

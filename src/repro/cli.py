@@ -10,7 +10,10 @@ The subcommands mirror the deployment workflow:
 - ``refill analyze`` — reconstruct event flows from a log directory and
   print the loss diagnosis (a pre-flight check gates the run; skip it with
   ``--no-check``);
-- ``refill trace`` — print one packet's reconstructed event flow.
+- ``refill trace`` — print one packet's reconstructed event flow;
+- ``refill stress`` — run a seeded fault-injection campaign (corrupted
+  stores, ground-truth oracles ``ST001``–``ST007``, ddmin case shrinking)
+  or ``--replay`` a written reproducer; see ``docs/TESTING.md``.
 
 Progress narration goes to stderr through the structured logger
 (:mod:`repro.obs.structlog`): ``-v`` raises it to debug, ``-q`` silences
@@ -26,6 +29,7 @@ per-stage wall-time table (see ``docs/OBSERVABILITY.md``).
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 from typing import Optional
@@ -301,6 +305,67 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stress(args: argparse.Namespace) -> int:
+    from repro.stress import CampaignConfig, OracleConfig, replay, run_campaign
+
+    registry = MetricsRegistry()
+    if args.replay:
+        with use_registry(registry):
+            result = replay(args.replay)
+        if args.json:
+            print(json.dumps(
+                {
+                    "expect": sorted(result.reproducer.expect),
+                    "violated": result.violated,
+                    "matches_expectation": result.matches_expectation,
+                    "report": result.report.to_json(),
+                },
+                indent=2,
+            ))
+        else:
+            print(result.report.render_text())
+            print(
+                f"expected {','.join(sorted(result.reproducer.expect)) or '-'}; "
+                f"violated {','.join(result.violated) or '-'}"
+                + ("" if result.matches_expectation else "  [VERDICT CHANGED]")
+            )
+        code = result.exit_code()
+        log.info(
+            "stress.replay.done",
+            reproducer=args.replay,
+            violated=",".join(result.violated) or "-",
+            matches=result.matches_expectation,
+            exit_code=code,
+        )
+        return code
+
+    config = CampaignConfig(
+        seed=args.seed,
+        cases=args.cases,
+        nodes=args.nodes,
+        days=args.days,
+        packets_per_node_per_day=args.packets_per_day,
+        profile=args.faults,
+        shrink=not args.no_shrink,
+        oracle=OracleConfig(),
+    )
+    with use_registry(registry):
+        result = run_campaign(config, args.out)
+    if args.json:
+        print(json.dumps(result.to_json(), indent=2))
+    else:
+        print(result.render_text())
+    code = result.exit_code()
+    log.info(
+        "stress.campaign.done",
+        cases=len(result.cases),
+        violations=len(result.report.findings),
+        out=args.out,
+        exit_code=code,
+    )
+    return code
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     store = load_store(args.logs)
     packet = PacketKey.parse(args.packet)
@@ -409,6 +474,45 @@ def build_parser() -> argparse.ArgumentParser:
              "whole store into memory (bounded working set)",
     )
     p_an.set_defaults(fn=_cmd_analyze)
+
+    p_st = sub.add_parser(
+        "stress", parents=[common],
+        help="run a seeded fault-injection campaign with ground-truth "
+             "oracles (or replay a reproducer)",
+    )
+    p_st.add_argument("--seed", type=int, default=7)
+    p_st.add_argument(
+        "--cases", type=int, default=5, metavar="N",
+        help="fault-injection cases to run (default: 5)",
+    )
+    p_st.add_argument("--nodes", type=int, default=25)
+    p_st.add_argument("--days", type=int, default=1)
+    p_st.add_argument(
+        "--packets-per-day", type=float, default=12.0, metavar="P",
+        help="packets per node per day in the simulated deployment",
+    )
+    p_st.add_argument(
+        "--faults", choices=["clean", "mild", "harsh"], default="mild",
+        help="fault-operator pool to sample case plans from",
+    )
+    p_st.add_argument(
+        "--out", default="stress-out", metavar="DIR",
+        help="campaign workspace (case stores, reproducers)",
+    )
+    p_st.add_argument(
+        "--json", action="store_true",
+        help="emit the campaign report as JSON on stdout",
+    )
+    p_st.add_argument(
+        "--no-shrink", action="store_true",
+        help="skip ddmin minimization of failing cases",
+    )
+    p_st.add_argument(
+        "--replay", default=None, metavar="DIR",
+        help="replay a reproducer directory instead of running a campaign; "
+             "exits non-zero iff oracle violations remain",
+    )
+    p_st.set_defaults(fn=_cmd_stress)
 
     p_tr = sub.add_parser(
         "trace", parents=[common],

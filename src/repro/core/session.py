@@ -157,13 +157,18 @@ class ReconstructionSession:
         with span("reconstruct"):
             self._start_backend()
             flows: dict[PacketKey, EventFlow] = {}
-            for batch in self._batches(logs):
-                for packet, flow in self.backend.submit(self._normalize(batch)):
+            try:
+                for batch in self._batches(logs):
+                    for packet, flow in self.backend.submit(self._normalize(batch)):
+                        flows[packet] = flow
+                for packet, flow in self.backend.finish():
                     flows[packet] = flow
-            for packet, flow in self.backend.finish():
-                flows[packet] = flow
-            self.backend.close()
-            self._started = False
+            finally:
+                # release the backend even when merge/reconstruction raises
+                # (the stress harness feeds sessions deliberately hostile
+                # corpora and must be able to reuse the process afterwards)
+                self.backend.close()
+                self._started = False
             return {packet: flows[packet] for packet in sorted(flows)}
 
     def run(self, logs: Logs) -> "SessionResult":

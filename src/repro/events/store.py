@@ -67,6 +67,16 @@ class LoadedStore:
         return sum(len(log) for log in self.logs.values())
 
 
+def shard_path(directory, node: int) -> pathlib.Path:
+    """Path of one node's log shard inside a store directory.
+
+    The single place the ``node_<id>.log`` naming convention lives — the
+    store writer/loaders and the fault-injection harness all resolve shard
+    files through it.
+    """
+    return pathlib.Path(directory) / f"node_{node:04d}.log"
+
+
 def save_store(
     directory, logs: Mapping[int, NodeLog], metadata: StoreMetadata
 ) -> pathlib.Path:
@@ -74,7 +84,7 @@ def save_store(
     path = pathlib.Path(directory)
     path.mkdir(parents=True, exist_ok=True)
     for node, log in sorted(logs.items()):
-        (path / f"node_{node:04d}.log").write_text(encode_log(log) + "\n")
+        shard_path(path, node).write_text(encode_log(log) + "\n")
     (path / "operations.json").write_text(
         json.dumps(metadata.to_json(), indent=2) + "\n"
     )
@@ -179,7 +189,7 @@ class ShardedStore:
 
     def load_node(self, node: int) -> NodeLog:
         """Decode a single node's shard (empty log when the file is absent)."""
-        file = self.directory / f"node_{node:04d}.log"
+        file = shard_path(self.directory, node)
         if not file.exists():
             return NodeLog(node)
         log, _bad = _decode_shard(file, node, strict=self.strict)

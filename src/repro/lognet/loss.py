@@ -9,7 +9,7 @@ tail, then collection drops chunks or whole logs in transit.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Mapping
 
 from repro.events.log import NodeLog
@@ -79,6 +79,32 @@ class LogLossSpec:
     def moderate(cls) -> "LogLossSpec":
         """A CitySee-plausible default: a few percent of everything."""
         return cls(write_fail_p=0.03, crash_p=0.02, chunk_loss_p=0.05, node_loss_p=0.01)
+
+    def scaled(self, factor: float) -> "LogLossSpec":
+        """This spec with every loss probability scaled by ``factor``.
+
+        Probabilities clamp at 1.0; structural knobs (chunk size, immunity,
+        crash survivor fraction) are untouched.  This is the severity ladder
+        used by the stress harness's monotonicity oracle: ``scaled(0)`` is
+        lossless, ``scaled(1)`` is this spec, larger factors are strictly
+        harsher degradations of the same shape.
+        """
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+
+        def clamp(p: float) -> float:
+            return min(1.0, p * factor)
+
+        return replace(
+            self,
+            write_fail_p=clamp(self.write_fail_p),
+            crash_p=clamp(self.crash_p),
+            chunk_loss_p=clamp(self.chunk_loss_p),
+            node_loss_p=clamp(self.node_loss_p),
+            write_fail_overrides=tuple(
+                (node, clamp(p)) for node, p in self.write_fail_overrides
+            ),
+        )
 
 
 def apply_losses(

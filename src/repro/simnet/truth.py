@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Mapping, Optional
 
 from repro.events.event import Event
 from repro.events.packet import PacketKey
@@ -112,6 +112,52 @@ class GroundTruth:
             if not fate.delivered:
                 counts[fate.cause] = counts.get(fate.cause, 0) + 1
         return counts
+
+    # ------------------------------------------------------------------ #
+    # persistence (stress-harness reproducer artifacts)
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-compatible dump: events in the log-line codec, fates flat.
+
+        The inverse of :meth:`from_json`; used by the stress harness to
+        ship ground truth alongside a reproducer corpus so a differential
+        oracle can be replayed without re-running the simulation.
+        """
+        from repro.events.codec import encode_event  # events ↔ codec cycle guard
+
+        return {
+            "events": {
+                str(p): [encode_event(e) for e in evs]
+                for p, evs in sorted(self.events.items())
+            },
+            "fates": {
+                str(p): {
+                    "cause": str(f.cause),
+                    "position": f.position,
+                    "time": f.time,
+                }
+                for p, f in sorted(self.fates.items())
+            },
+            "gen_times": {str(p): t for p, t in sorted(self.gen_times.items())},
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "GroundTruth":
+        from repro.events.codec import decode_event
+
+        truth = cls()
+        for key, lines in data.get("events", {}).items():
+            packet = PacketKey.parse(key)
+            truth.events[packet] = [decode_event(line) for line in lines]
+        for key, fate in data.get("fates", {}).items():
+            truth.fates[PacketKey.parse(key)] = TrueFate(
+                cause=TrueCause(fate["cause"]),
+                position=fate["position"],
+                time=float(fate["time"]),
+            )
+        for key, t in data.get("gen_times", {}).items():
+            truth.gen_times[PacketKey.parse(key)] = float(t)
+        return truth
 
     def true_path(self, packet: PacketKey, *, exclude: frozenset[int] = frozenset()) -> list[int]:
         """Nodes the packet actually visited, in order.

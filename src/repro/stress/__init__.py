@@ -1,0 +1,80 @@
+"""Fault-injection stress harness: corrupt stores, oracles, shrinking.
+
+The ``refill stress`` subcommand drives :func:`run_campaign`; the pieces
+compose independently — feed any store directory to
+:func:`run_store_oracles`, any failing case to :func:`shrink_case`, and
+replay any written reproducer with :func:`replay`.
+"""
+
+from repro.stress.artifact import (
+    REPRO_FORMAT,
+    ReplayResult,
+    Reproducer,
+    load_reproducer,
+    replay,
+    write_reproducer,
+)
+from repro.stress.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    CaseRecord,
+    LintSummary,
+    lint_store,
+    run_campaign,
+)
+from repro.stress.faults import (
+    FAULT_PROFILES,
+    CorruptMetadata,
+    Degrade,
+    DuplicateRecords,
+    FaultOp,
+    FaultPlan,
+    GarbleLines,
+    NodeBlackout,
+    ReorderWindow,
+    op_from_json,
+    sample_plan,
+)
+from repro.stress.oracles import (
+    ORACLES,
+    CaseOutcome,
+    OracleConfig,
+    StoreCase,
+    run_store_oracles,
+)
+from repro.stress.shrink import ShrinkStats, ShrunkCase, ddmin, shrink_case
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignResult",
+    "CaseOutcome",
+    "CaseRecord",
+    "CorruptMetadata",
+    "Degrade",
+    "DuplicateRecords",
+    "FAULT_PROFILES",
+    "FaultOp",
+    "FaultPlan",
+    "GarbleLines",
+    "LintSummary",
+    "NodeBlackout",
+    "ORACLES",
+    "OracleConfig",
+    "REPRO_FORMAT",
+    "ReorderWindow",
+    "ReplayResult",
+    "Reproducer",
+    "ShrinkStats",
+    "ShrunkCase",
+    "StoreCase",
+    "ddmin",
+    "lint_store",
+    "load_reproducer",
+    "op_from_json",
+    "replay",
+    "run_campaign",
+    "run_store_oracles",
+    "sample_plan",
+    "shrink_case",
+    "write_reproducer",
+]

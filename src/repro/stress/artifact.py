@@ -1,0 +1,179 @@
+"""Replayable reproducer artifacts for failing stress cases.
+
+A reproducer is a self-contained directory::
+
+    repro.json        manifest (format tag, seed, fault plan, oracle
+                      config, expected oracle IDs)
+    corpus/           the (minimized) corpus that violates the oracles
+    base/             optional pre-fault twin (locality oracle)
+    truth.json        optional simulator ground truth (differential oracle)
+
+``refill stress --replay DIR`` re-runs the oracle bundle over ``corpus/``
+and exits non-zero iff violations remain, reporting whether the verdict
+matches the manifest's ``expect`` list — so a reproducer filed with a bug
+report stays checkable long after the campaign that produced it.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import shutil
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.check.findings import CheckReport
+from repro.simnet.truth import GroundTruth
+from repro.stress.faults import FaultPlan
+from repro.stress.oracles import (
+    CaseOutcome,
+    OracleConfig,
+    StoreCase,
+    run_store_oracles,
+)
+
+#: Manifest format tag; bump on incompatible layout changes.
+REPRO_FORMAT = "refill-stress-repro/1"
+
+
+@dataclass
+class Reproducer:
+    """A loaded reproducer directory."""
+
+    directory: pathlib.Path
+    seed: int
+    case: str
+    plan: FaultPlan
+    config: OracleConfig
+    #: Oracle IDs the artifact's author observed violated.
+    expect: list[str]
+    notes: str = ""
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def corpus_dir(self) -> pathlib.Path:
+        return self.directory / "corpus"
+
+    @property
+    def base_dir(self) -> Optional[pathlib.Path]:
+        path = self.directory / "base"
+        return path if path.is_dir() else None
+
+    def truth(self) -> Optional[GroundTruth]:
+        path = self.directory / "truth.json"
+        if not path.exists():
+            return None
+        return GroundTruth.from_json(json.loads(path.read_text()))
+
+
+def write_reproducer(
+    directory,
+    *,
+    corpus_dir,
+    seed: int,
+    case: str,
+    plan: FaultPlan,
+    config: OracleConfig,
+    expect: list[str],
+    base_dir=None,
+    truth: Optional[GroundTruth] = None,
+    notes: str = "",
+    extra: Optional[dict[str, Any]] = None,
+) -> pathlib.Path:
+    """Assemble a reproducer directory; returns its path."""
+    out = pathlib.Path(directory)
+    if out.exists():
+        shutil.rmtree(out)
+    out.mkdir(parents=True)
+    shutil.copytree(corpus_dir, out / "corpus")
+    if base_dir is not None:
+        shutil.copytree(base_dir, out / "base")
+    if truth is not None:
+        (out / "truth.json").write_text(
+            json.dumps(truth.to_json(), indent=2, sort_keys=True) + "\n"
+        )
+    manifest = {
+        "format": REPRO_FORMAT,
+        "seed": seed,
+        "case": case,
+        "plan": plan.to_json(),
+        "oracle": config.to_json(),
+        "expect": sorted(expect),
+        "notes": notes,
+        **(extra or {}),
+    }
+    (out / "repro.json").write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+    )
+    return out
+
+
+def load_reproducer(directory) -> Reproducer:
+    path = pathlib.Path(directory)
+    manifest_path = path / "repro.json"
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"not a reproducer directory: {path} (no repro.json)")
+    data = json.loads(manifest_path.read_text())
+    fmt = data.get("format")
+    if fmt != REPRO_FORMAT:
+        raise ValueError(f"unsupported reproducer format {fmt!r} (want {REPRO_FORMAT})")
+    known = {"format", "seed", "case", "plan", "oracle", "expect", "notes"}
+    return Reproducer(
+        directory=path,
+        seed=int(data["seed"]),
+        case=str(data["case"]),
+        plan=FaultPlan.from_json(data["plan"]),
+        config=OracleConfig.from_json(data["oracle"]),
+        expect=[str(code) for code in data["expect"]],
+        notes=str(data.get("notes", "")),
+        extra={k: v for k, v in data.items() if k not in known},
+    )
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of replaying a reproducer."""
+
+    reproducer: Reproducer
+    outcome: CaseOutcome
+    report: CheckReport
+
+    @property
+    def violated(self) -> list[str]:
+        return self.outcome.violated
+
+    @property
+    def matches_expectation(self) -> bool:
+        return self.violated == sorted(self.reproducer.expect)
+
+    def exit_code(self) -> int:
+        return self.report.exit_code()
+
+
+def replay(directory) -> ReplayResult:
+    """Re-run the oracle bundle over a reproducer's corpus.
+
+    The lint gate is recomputed from the shipped corpus (not trusted from
+    the manifest), so a hand-edited reproducer is judged on what it
+    actually contains.
+    """
+    from repro.stress.campaign import lint_store  # cycle: campaign imports us
+
+    repro = load_reproducer(directory)
+    lint = lint_store(repro.corpus_dir)
+    outcome = run_store_oracles(
+        StoreCase(
+            label=repro.case,
+            corpus_dir=repro.corpus_dir,
+            base_dir=repro.base_dir,
+            truth=repro.truth(),
+            lint_clean=lint.reconstructable,
+            config=repro.config,
+        )
+    )
+    report = CheckReport(findings=list(outcome.findings))
+    report.stats = {
+        "lint_errors": lint.errors,
+        "lint_warnings": lint.warnings,
+    }
+    return ReplayResult(reproducer=repro, outcome=outcome, report=report)

@@ -1,0 +1,380 @@
+"""The seeded fault-injection campaign engine behind ``refill stress``.
+
+One campaign = one simulated deployment (ground truth included) + ``N``
+cases.  Each case independently draws a fault plan from the profile's
+operator pool, collects a lossy corpus, saves a pre-fault twin, corrupts
+the corpus on disk, lints it, and runs the oracle bundle
+(:mod:`repro.stress.oracles`).  A campaign-level severity ladder checks
+accuracy monotonicity (ST005) over :meth:`LogLossSpec.scaled`.  Failing
+cases are ddmin-shrunk (:mod:`repro.stress.shrink`) and written out as
+replayable reproducers (:mod:`repro.stress.artifact`).
+
+Determinism contract: the whole campaign is a pure function of
+``(config, profile pools)`` — every random draw flows through one
+:class:`~repro.util.rng.RngStreams` family keyed by stable names
+(``case-007``, ``plan``, ``collect``, ``faults``, ``monotonic``), and the
+report JSON contains no absolute paths, timings or other machine facts.
+Running the same seed twice, anywhere, yields byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Mapping, Optional
+
+from repro.analysis.accuracy import cause_accuracy
+from repro.analysis.pipeline import default_loss_spec, run_simulation
+from repro.check import load_spec
+from repro.check.corpus import check_corpus
+from repro.check.findings import CheckReport, Finding, Severity, error
+from repro.core.session import ReconstructionSession
+from repro.events.store import StoreMetadata, save_store
+from repro.lognet.collector import collect_logs
+from repro.obs import get_logger, get_registry, span
+from repro.simnet.scenarios import citysee
+from repro.stress.artifact import write_reproducer
+from repro.stress.faults import FAULT_PROFILES, FaultPlan, sample_plan
+from repro.stress.oracles import (
+    CaseOutcome,
+    OracleConfig,
+    StoreCase,
+    run_store_oracles,
+)
+from repro.stress.shrink import ShrinkStats, shrink_case
+from repro.util.rng import RngStreams
+
+_log = get_logger("repro.stress")
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Everything that determines a campaign (and nothing that doesn't)."""
+
+    seed: int = 7
+    cases: int = 5
+    nodes: int = 25
+    days: int = 1
+    packets_per_node_per_day: float = 12.0
+    profile: str = "mild"
+    shrink: bool = True
+    shrink_budget: int = 48
+    oracle: OracleConfig = field(default_factory=OracleConfig)
+
+    def __post_init__(self) -> None:
+        if self.profile not in FAULT_PROFILES:
+            raise ValueError(
+                f"unknown fault profile {self.profile!r}; "
+                f"choose from {FAULT_PROFILES}"
+            )
+        if self.cases < 0:
+            raise ValueError("cases must be non-negative")
+
+    def scenario(self):
+        return citysee(
+            n_nodes=self.nodes,
+            days=self.days,
+            packets_per_node_per_day=self.packets_per_node_per_day,
+            seed=self.seed,
+        )
+
+    def to_json(self) -> dict[str, Any]:
+        data = asdict(self)
+        data["oracle"] = self.oracle.to_json()
+        return data
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "CampaignConfig":
+        known = dict(data)
+        if "oracle" in known:
+            known["oracle"] = OracleConfig.from_json(known["oracle"])
+        return replace(cls(), **known)
+
+
+@dataclass
+class LintSummary:
+    """Corpus-lint digest the campaign keeps per case."""
+
+    errors: int = 0
+    warnings: int = 0
+    #: No *store-level* error (``LC006`` metadata damage).  Line-level
+    #: findings (``LC001``–``LC005``) are exactly what the tolerant loader
+    #: absorbs, so they never excuse a reconstruction crash; an unreadable
+    #: ``operations.json`` legitimately makes the store unloadable.
+    reconstructable: bool = True
+
+    def to_json(self) -> dict[str, Any]:
+        return asdict(self)
+
+
+_LINT_SPEC = None
+
+
+def lint_store(directory) -> LintSummary:
+    """Run the corpus lint; digest what the stress harness cares about."""
+    global _LINT_SPEC
+    if _LINT_SPEC is None:
+        _LINT_SPEC = load_spec("ctp")
+    findings, _stats = check_corpus(directory, _LINT_SPEC)
+    errors = [f for f in findings if f.severity is Severity.ERROR]
+    return LintSummary(
+        errors=len(errors),
+        warnings=sum(1 for f in findings if f.severity is Severity.WARNING),
+        reconstructable=not any(f.code == "LC006" for f in errors),
+    )
+
+
+@dataclass
+class CaseRecord:
+    """One case's deterministic summary (what the report serializes)."""
+
+    label: str
+    plan: FaultPlan
+    lint: LintSummary
+    outcome: CaseOutcome
+    #: Reproducer path relative to the campaign output dir ("" when none).
+    reproducer: str = ""
+    shrink: Optional[ShrinkStats] = None
+
+    def to_json(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "label": self.label,
+            "plan": self.plan.to_json(),
+            "lint": self.lint.to_json(),
+            "rejected": self.outcome.rejected,
+            "violations": self.outcome.violated,
+            "metrics": dict(sorted(self.outcome.metrics.items())),
+        }
+        if self.outcome.rejected:
+            data["reason"] = self.outcome.reason
+        if self.reproducer:
+            data["reproducer"] = self.reproducer
+        if self.shrink is not None:
+            data["shrink"] = self.shrink.to_json()
+        return data
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign produced."""
+
+    config: CampaignConfig
+    report: CheckReport
+    cases: list[CaseRecord] = field(default_factory=list)
+    #: ``(scale factor, cause accuracy)`` severity ladder (ST005 input).
+    ladder: list[tuple[float, float]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.report.ok
+
+    def exit_code(self) -> int:
+        return self.report.exit_code()
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "config": self.config.to_json(),
+            "cases": [c.to_json() for c in self.cases],
+            "ladder": [[factor, acc] for factor, acc in self.ladder],
+            "report": self.report.to_json(),
+        }
+
+    def render_text(self) -> str:
+        lines = [
+            f"stress campaign: seed={self.config.seed} "
+            f"cases={self.config.cases} profile={self.config.profile}"
+        ]
+        for record in self.cases:
+            if record.outcome.rejected:
+                status = "rejected"
+            elif record.outcome.violated:
+                status = "FAIL " + ",".join(record.outcome.violated)
+            else:
+                status = "ok"
+            lines.append(
+                f"  {record.label}  plan={record.plan.describe():<40} {status}"
+            )
+        if self.ladder:
+            rungs = " ".join(f"x{f:g}={acc:.3f}" for f, acc in self.ladder)
+            lines.append(f"  severity ladder (cause accuracy): {rungs}")
+        lines.append(self.report.render_text())
+        return "\n".join(lines)
+
+
+def run_campaign(config: CampaignConfig, out_dir) -> CampaignResult:
+    """Run one campaign; case stores and reproducers land under ``out_dir``."""
+    out = pathlib.Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    streams = RngStreams(config.seed)
+    registry = get_registry()
+    params = config.scenario()
+    with span("stress.simulate"):
+        sim = run_simulation(params)
+    spec = default_loss_spec(sim)
+    metadata = StoreMetadata(
+        sink=sim.sink,
+        base_station=sim.base_station_node,
+        gen_interval=params.gen_interval,
+        outages=params.base_station.outages,
+    )
+    result = CampaignResult(config=config, report=CheckReport())
+    _log.info(
+        "stress.campaign.start",
+        seed=config.seed,
+        cases=config.cases,
+        profile=config.profile,
+        nodes=config.nodes,
+    )
+
+    for i in range(config.cases):
+        label = f"case-{i:03d}"
+        with span("stress.case"):
+            record = _run_case(
+                label, config, sim, spec, metadata, streams.spawn(label), out
+            )
+        registry.counter("stress.cases").inc()
+        result.cases.append(record)
+        result.report.extend(record.outcome.findings)
+        _log.info(
+            "stress.case.done",
+            case=label,
+            plan=record.plan.describe(),
+            violations=",".join(record.outcome.violated) or "-",
+            rejected=record.outcome.rejected,
+        )
+
+    with span("stress.monotonicity"):
+        findings, ladder = _check_monotonicity(config, sim, spec, streams)
+    result.ladder = ladder
+    result.report.extend(findings)
+
+    result.report.stats = {
+        "cases": len(result.cases),
+        "rejected": sum(1 for c in result.cases if c.outcome.rejected),
+        "violations": len(result.report.findings),
+    }
+    registry.counter("stress.violations.total").inc(len(result.report.findings))
+    return result
+
+
+def _run_case(
+    label: str,
+    config: CampaignConfig,
+    sim,
+    spec,
+    metadata: StoreMetadata,
+    rng: RngStreams,
+    out: pathlib.Path,
+) -> CaseRecord:
+    plan = sample_plan(
+        rng.stream("plan"),
+        profile=config.profile,
+        immune=(sim.base_station_node,),
+    )
+    collected = collect_logs(
+        sim.true_logs,
+        spec,
+        rng.stream("collect").randrange(2**31),
+        perfect_clocks=frozenset({sim.base_station_node}),
+    )
+    base_dir = out / label / "base"
+    corpus_dir = out / label / "corpus"
+    save_store(base_dir, collected, metadata)
+    save_store(corpus_dir, collected, metadata)
+    plan.apply(corpus_dir, rng.spawn("faults"))
+
+    lint = lint_store(corpus_dir)
+    case = StoreCase(
+        label=label,
+        corpus_dir=corpus_dir,
+        base_dir=base_dir,
+        truth=sim.truth,
+        lint_clean=lint.reconstructable,
+        config=config.oracle,
+    )
+    outcome = run_store_oracles(case)
+    record = CaseRecord(label=label, plan=plan, lint=lint, outcome=outcome)
+
+    if outcome.violated and config.shrink:
+        shrunk = shrink_case(
+            case, outcome.violated, out / label / "shrink",
+            budget=config.shrink_budget,
+        )
+        record.shrink = shrunk.stats
+        repro_dir = out / label / "repro"
+        write_reproducer(
+            repro_dir,
+            corpus_dir=shrunk.corpus_dir,
+            seed=config.seed,
+            case=label,
+            plan=plan,
+            config=config.oracle,
+            # a shrink may shed secondary violations; record what the
+            # minimized corpus actually violates (fall back to the
+            # original set if the final full pass lost everything)
+            expect=shrunk.violated or outcome.violated,
+            base_dir=case.base_dir,
+            truth=sim.truth,
+            notes=f"shrunk from campaign seed={config.seed} {label}",
+        )
+        record.reproducer = str(repro_dir.relative_to(out))
+    elif outcome.violated:
+        repro_dir = out / label / "repro"
+        write_reproducer(
+            repro_dir,
+            corpus_dir=corpus_dir,
+            seed=config.seed,
+            case=label,
+            plan=plan,
+            config=config.oracle,
+            expect=outcome.violated,
+            base_dir=base_dir,
+            truth=sim.truth,
+            notes=f"unshrunk campaign case seed={config.seed} {label}",
+        )
+        record.reproducer = str(repro_dir.relative_to(out))
+    return record
+
+
+def _check_monotonicity(
+    config: CampaignConfig, sim, spec, streams: RngStreams
+) -> tuple[list[Finding], list[tuple[float, float]]]:
+    """ST005: cause accuracy over a coupled loss-severity ladder.
+
+    One collection seed is shared across every rung, so severities are
+    *coupled*: scaling the loss spec up strictly grows what is lost.  The
+    oracle tolerates ``monotonicity_tolerance`` of jitter — inference over
+    strictly-less evidence can get individual packets right by accident —
+    but a material accuracy *gain* under worse loss means diagnosis is
+    keying on something other than evidence.
+    """
+    factors = sorted(config.oracle.monotonicity_factors)
+    if len(factors) < 2:
+        return [], []
+    seed = streams.stream("monotonic").randrange(2**31)
+    ladder: list[tuple[float, float]] = []
+    for factor in factors:
+        collected = collect_logs(
+            sim.true_logs,
+            spec.scaled(factor),
+            seed,
+            perfect_clocks=frozenset({sim.base_station_node}),
+        )
+        session = ReconstructionSession(delivery_node=sim.base_station_node)
+        run = session.run(collected)
+        acc, _, _ = cause_accuracy(
+            run.reports, sim.truth, sink=sim.sink, outage_attributed=False
+        )
+        ladder.append((factor, round(acc, 4)))
+    findings: list[Finding] = []
+    for (f_lo, acc_lo), (f_hi, acc_hi) in zip(ladder, ladder[1:]):
+        if acc_hi > acc_lo + config.oracle.monotonicity_tolerance:
+            findings.append(
+                error(
+                    "ST005",
+                    "ladder",
+                    f"cause accuracy rose from {acc_lo:.3f} (x{f_lo:g}) to "
+                    f"{acc_hi:.3f} (x{f_hi:g}) as loss worsened",
+                )
+            )
+    return findings, ladder

@@ -126,6 +126,59 @@ def test_backends_byte_identical(corpus, config):
     assert pool_snap.counters == serial_snap.counters
 
 
+@pytest.fixture(scope="module")
+def corrupted_corpus(corpus, tmp_path_factory):
+    """The module corpus saved to disk, corrupted on-store, reloaded
+    tolerantly — what an analyst actually reconstructs from after
+    collection damage."""
+    from repro.events.store import StoreMetadata, load_store, save_store
+    from repro.stress.faults import (
+        DuplicateRecords,
+        FaultPlan,
+        GarbleLines,
+        ReorderWindow,
+    )
+    from repro.util.rng import RngStreams
+
+    logs, bs = corpus
+    directory = tmp_path_factory.mktemp("corrupted-store")
+    save_store(directory, logs, StoreMetadata(sink=0, base_station=bs, gen_interval=60.0))
+    plan = FaultPlan(
+        (GarbleLines(p=0.06), DuplicateRecords(p=0.04), ReorderWindow(window=5, p=0.3))
+    )
+    plan.apply(directory, RngStreams(99))
+    loaded = load_store(directory)
+    assert sum(loaded.corrupt_lines.values()) > 0  # the garbling bit
+    return loaded.logs, bs
+
+
+@pytest.mark.parametrize("config", ["default", "strip_times"])
+def test_backends_byte_identical_on_corrupted_corpus(corrupted_corpus, config):
+    """Equivalence must survive hostile corpora: garbled lines (tolerantly
+    dropped), duplicated records and reordered windows reach every backend
+    identically, so their results must stay byte-identical too."""
+    logs, bs = corrupted_corpus
+    options = CONFIGS[config]
+
+    serial_flows, serial_reports, _ = run_backend(logs, bs, options, SerialBackend())
+    pool_flows, pool_reports, _ = run_backend(
+        logs, bs, options, ProcessPoolBackend(workers=2, min_packets=1)
+    )
+    reference = canonical(serial_flows)
+    assert canonical(pool_flows) == reference
+    assert pool_reports == serial_reports
+
+    for label, batches in {
+        "one batch": [logs],
+        "five batches": shuffled_segments(logs, 5, seed=13),
+    }.items():
+        inc_flows, inc_reports, _ = run_backend(
+            logs, bs, options, IncrementalBackend(), ingest_batches=batches
+        )
+        assert canonical(inc_flows) == reference, label
+        assert inc_reports == serial_reports, label
+
+
 def test_incremental_counters_cover_every_packet(corpus):
     logs, bs = corpus
     _, reports, snap = run_backend(

@@ -1,40 +1,25 @@
-"""Property-based tests for the event model, codec and merging."""
+"""Property-based tests for the event model, codec and merging.
 
-import string
+The strategies live in :mod:`tests.strategies`, shared with the stress
+harness's tests — same event vocabulary, same garbling model.
+"""
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.events.codec import decode_event, decode_log, encode_event, encode_log
+from repro.events.codec import (
+    DecodeIssue,
+    decode_event,
+    decode_log,
+    encode_event,
+    encode_log,
+    scan_log_text,
+)
 from repro.events.event import Event
 from repro.events.log import NodeLog
 from repro.events.merge import group_by_packet, interleave_round_robin
 from repro.events.packet import PacketKey
-
-SAFE_TEXT = st.text(string.ascii_lowercase + string.digits + "_", min_size=1, max_size=12)
-
-packet_keys = st.builds(
-    PacketKey,
-    origin=st.integers(min_value=0, max_value=10_000),
-    seq=st.integers(min_value=0, max_value=10_000),
-)
-
-events = st.builds(
-    lambda etype, node, src, dst, packet, time, info: Event.make(
-        etype, node, src=src, dst=dst, packet=packet, time=time, **info
-    ),
-    etype=SAFE_TEXT,
-    node=st.integers(min_value=0, max_value=9999),
-    src=st.none() | st.integers(min_value=0, max_value=9999),
-    dst=st.none() | st.integers(min_value=0, max_value=9999),
-    packet=st.none() | packet_keys,
-    time=st.none() | st.floats(min_value=0, max_value=1e9, allow_nan=False),
-    info=st.dictionaries(
-        SAFE_TEXT.filter(lambda k: k not in ("node", "type", "src", "dst", "pkt", "t")),
-        SAFE_TEXT,
-        max_size=3,
-    ),
-)
+from tests.strategies import SAFE_TEXT, events, garbled_lines, packet_keys
 
 
 class TestCodecProperties:
@@ -48,6 +33,41 @@ class TestCodecProperties:
         log = NodeLog(node, [Event.make(e.etype, node, src=e.src, dst=e.dst,
                                         packet=e.packet, time=e.time) for e in evs])
         assert decode_log(node, encode_log(log)) == log
+
+
+class TestScannerProperties:
+    @given(st.lists(garbled_lines() | events.map(encode_event), max_size=12))
+    @settings(max_examples=100)
+    def test_scan_never_raises_on_mutated_lines(self, lines):
+        """The tolerant scanner classifies every non-blank line — it never
+        raises, and every yield is an Event or a DecodeIssue with the
+        offending text attached."""
+        text = "\n".join(lines)
+        seen = 0
+        for lineno, decoded in scan_log_text(text):
+            seen += 1
+            assert 1 <= lineno <= len(lines)
+            assert isinstance(decoded, (Event, DecodeIssue))
+            if isinstance(decoded, DecodeIssue):
+                assert decoded.error
+        assert seen == sum(1 for line in lines if line.strip())
+
+    @given(st.lists(garbled_lines(), max_size=8))
+    @settings(max_examples=60)
+    def test_garbled_store_loads_tolerantly(self, lines):
+        """A store whose shard is arbitrarily garbled still loads; damage
+        only ever shows up as ``corrupt_lines`` accounting."""
+        import tempfile
+
+        from repro.events.store import StoreMetadata, load_store, save_store, shard_path
+
+        with tempfile.TemporaryDirectory() as tmp:
+            save_store(tmp, {1: NodeLog(1, [])}, StoreMetadata(1, 2, 60.0))
+            shard_path(tmp, 1).write_text("\n".join(lines) + "\n")
+            store = load_store(tmp)
+            decoded = len(store.logs.get(1, NodeLog(1)))
+            corrupt = store.corrupt_lines.get(1, 0)
+            assert decoded + corrupt == sum(1 for line in lines if line.strip())
 
 
 class TestPacketKeyProperties:

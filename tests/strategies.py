@@ -1,0 +1,97 @@
+"""Shared Hypothesis strategies for the event model and the stress harness.
+
+Property tests (``tests/events/test_properties.py``) and the stress-harness
+tests draw from one vocabulary, so "a random event" means the same thing
+everywhere: codec-encodable events over safe identifier text, with the
+reserved keys kept out of the info dict.
+
+``garbled_lines`` mirrors the mutation modes of
+:class:`repro.stress.faults.GarbleLines` — truncation, character flip,
+noise insertion, separator loss — as a Hypothesis strategy, so the codec's
+never-raise property is exercised over exactly the damage the fault
+injector deals.
+"""
+
+import string
+
+from hypothesis import strategies as st
+
+from repro.events.codec import encode_event
+from repro.events.event import Event
+from repro.events.log import NodeLog
+from repro.events.packet import PacketKey
+
+#: Identifier-safe text for labels and info values (codec-encodable).
+SAFE_TEXT = st.text(
+    string.ascii_lowercase + string.digits + "_", min_size=1, max_size=12
+)
+
+#: Keys an info dict may not use: the codec's encoded field names plus the
+#: :meth:`Event.make` keyword names they would collide with.
+RESERVED_KEYS = (
+    "node", "type", "src", "dst", "pkt", "t",
+    "etype", "packet", "time",
+)
+
+packet_keys = st.builds(
+    PacketKey,
+    origin=st.integers(min_value=0, max_value=10_000),
+    seq=st.integers(min_value=0, max_value=10_000),
+)
+
+events = st.builds(
+    lambda etype, node, src, dst, packet, time, info: Event.make(
+        etype, node, src=src, dst=dst, packet=packet, time=time, **info
+    ),
+    etype=SAFE_TEXT,
+    node=st.integers(min_value=0, max_value=9999),
+    src=st.none() | st.integers(min_value=0, max_value=9999),
+    dst=st.none() | st.integers(min_value=0, max_value=9999),
+    packet=st.none() | packet_keys,
+    time=st.none() | st.floats(min_value=0, max_value=1e9, allow_nan=False),
+    info=st.dictionaries(
+        SAFE_TEXT.filter(lambda k: k not in RESERVED_KEYS),
+        SAFE_TEXT,
+        max_size=3,
+    ),
+)
+
+
+def node_logs(node: int, *, max_events: int = 20):
+    """A :class:`NodeLog` whose events all carry the given node id."""
+    return st.lists(events, max_size=max_events).map(
+        lambda evs: NodeLog(
+            node,
+            [
+                Event.make(
+                    e.etype, node, src=e.src, dst=e.dst, packet=e.packet, time=e.time
+                )
+                for e in evs
+            ],
+        )
+    )
+
+
+#: The garbler's injection alphabet (see ``repro.stress.faults._NOISE``).
+NOISE_CHARS = "=\x00\x7fÿ  \t#"
+
+
+@st.composite
+def garbled_lines(draw) -> str:
+    """A valid encoded log line damaged 1–3 times, GarbleLines-style."""
+    line = encode_event(draw(events))
+    for _ in range(draw(st.integers(min_value=1, max_value=3))):
+        if not line:
+            break
+        mode = draw(st.integers(min_value=0, max_value=3))
+        if mode == 0:  # truncation
+            line = line[: draw(st.integers(min_value=0, max_value=len(line) - 1))]
+        elif mode == 1:  # character flip
+            i = draw(st.integers(min_value=0, max_value=len(line) - 1))
+            line = line[:i] + draw(st.sampled_from(NOISE_CHARS)) + line[i + 1 :]
+        elif mode == 2:  # noise insertion
+            i = draw(st.integers(min_value=0, max_value=len(line)))
+            line = line[:i] + draw(st.sampled_from(NOISE_CHARS)) + line[i:]
+        else:  # separator loss
+            line = line.replace("=", " ")
+    return line

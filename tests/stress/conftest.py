@@ -1,0 +1,37 @@
+"""Shared fixtures for the stress-harness tests: one tiny simulated
+deployment (cached module-wide) plus stores derived from it."""
+
+import pytest
+
+from repro.analysis.pipeline import default_loss_spec, run_simulation
+from repro.events.store import StoreMetadata, save_store
+from repro.lognet.collector import collect_logs
+from repro.simnet.scenarios import citysee
+
+
+@pytest.fixture(scope="session")
+def tiny_sim():
+    params = citysee(n_nodes=9, days=1, packets_per_node_per_day=6.0, seed=5)
+    sim = run_simulation(params)
+    return params, sim
+
+
+@pytest.fixture
+def clean_store(tiny_sim, tmp_path):
+    """A freshly collected store (with its metadata) under tmp_path."""
+    params, sim = tiny_sim
+    collected = collect_logs(
+        sim.true_logs,
+        default_loss_spec(sim),
+        seed=1234,
+        perfect_clocks=frozenset({sim.base_station_node}),
+    )
+    metadata = StoreMetadata(
+        sink=sim.sink,
+        base_station=sim.base_station_node,
+        gen_interval=params.gen_interval,
+        outages=params.base_station.outages,
+    )
+    directory = tmp_path / "store"
+    save_store(directory, collected, metadata)
+    return directory

@@ -1,0 +1,148 @@
+"""Campaign engine: determinism, reporting, the lint gate, reproducers."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, use_registry
+from repro.stress import (
+    CampaignConfig,
+    OracleConfig,
+    load_reproducer,
+    replay,
+    run_campaign,
+)
+from repro.stress.campaign import lint_store
+from repro.stress.faults import CorruptMetadata, GarbleLines
+from repro.util.rng import RngStreams
+
+TINY = dict(nodes=9, days=1, packets_per_node_per_day=6.0)
+
+
+def _run(config, directory):
+    with use_registry(MetricsRegistry()) as registry:
+        result = run_campaign(config, directory)
+    return result, registry.snapshot()
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical_report(self, tmp_path):
+        config = CampaignConfig(seed=11, cases=2, profile="mild", **TINY)
+        dumps = []
+        for name in ("a", "b"):
+            result, _ = _run(config, tmp_path / name)
+            dumps.append(json.dumps(result.to_json(), sort_keys=True))
+        assert dumps[0] == dumps[1]
+        # report JSON must stay workspace-independent (no absolute paths)
+        assert str(tmp_path) not in dumps[0]
+
+    def test_different_seed_different_plans(self, tmp_path):
+        plans = []
+        for seed in (1, 2):
+            config = CampaignConfig(seed=seed, cases=3, profile="mild", **TINY)
+            result, _ = _run(config, tmp_path / str(seed))
+            plans.append([c.plan for c in result.cases])
+        assert plans[0] != plans[1]
+
+
+class TestCampaignReport:
+    def test_clean_profile_passes(self, tmp_path):
+        config = CampaignConfig(seed=5, cases=2, profile="clean", **TINY)
+        result, snapshot = _run(config, tmp_path)
+        assert result.ok
+        assert result.exit_code() == 0
+        assert result.report.stats["cases"] == 2
+        assert snapshot.counters["stress.cases"] == 2
+        assert len(result.ladder) == len(OracleConfig().monotonicity_factors)
+        text = result.render_text()
+        assert "case-000" in text and "severity ladder" in text
+
+    def test_case_records_serialize(self, tmp_path):
+        config = CampaignConfig(seed=5, cases=1, profile="mild", **TINY)
+        result, _ = _run(config, tmp_path)
+        data = result.to_json()
+        assert data["config"]["seed"] == 5
+        (case,) = data["cases"]
+        assert case["label"] == "case-000"
+        assert "plan" in case and "metrics" in case
+
+    def test_impossible_floor_fails_and_writes_reproducer(self, tmp_path):
+        """A floor no reconstruction can clear turns every case into an
+        ST006 violation — exercising shrink + reproducer + replay without
+        needing a product bug."""
+        config = CampaignConfig(
+            seed=5,
+            cases=1,
+            profile="clean",
+            shrink_budget=16,
+            oracle=OracleConfig(
+                min_cause_accuracy=1.01, monotonicity_factors=()
+            ),
+            **TINY,
+        )
+        result, _ = _run(config, tmp_path)
+        assert result.exit_code() == 1
+        (record,) = result.cases
+        assert "ST006" in record.outcome.violated
+        assert record.reproducer
+        assert record.shrink is not None
+        assert record.shrink.lines_after <= record.shrink.lines_before
+
+        repro_dir = tmp_path / record.reproducer
+        manifest = load_reproducer(repro_dir)
+        assert "ST006" in manifest.expect
+        replayed = replay(repro_dir)
+        assert replayed.exit_code() == 1
+        assert "ST006" in replayed.violated
+        assert replayed.matches_expectation
+
+    def test_no_shrink_keeps_full_corpus(self, tmp_path):
+        config = CampaignConfig(
+            seed=5,
+            cases=1,
+            profile="clean",
+            shrink=False,
+            oracle=OracleConfig(
+                min_cause_accuracy=1.01, monotonicity_factors=()
+            ),
+            **TINY,
+        )
+        result, _ = _run(config, tmp_path)
+        (record,) = result.cases
+        assert record.shrink is None
+        assert record.reproducer  # still replayable, just unminimized
+        assert replay(tmp_path / record.reproducer).exit_code() == 1
+
+
+class TestConfig:
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault profile"):
+            CampaignConfig(profile="apocalyptic")
+
+    def test_json_round_trip(self):
+        config = CampaignConfig(
+            seed=9, cases=3, profile="harsh",
+            oracle=OracleConfig(min_event_recall=0.2),
+        )
+        assert CampaignConfig.from_json(config.to_json()) == config
+
+
+class TestLintGate:
+    def test_clean_store_is_reconstructable(self, clean_store):
+        lint = lint_store(clean_store)
+        assert lint.reconstructable
+        assert lint.errors == 0
+
+    def test_garbled_store_stays_reconstructable(self, clean_store):
+        """Line-level damage (LC001 errors) never excuses a crash — the
+        tolerant loader is expected to absorb it."""
+        GarbleLines(p=0.5).apply(clean_store, RngStreams(1).stream("g"))
+        lint = lint_store(clean_store)
+        assert lint.errors > 0
+        assert lint.reconstructable
+
+    def test_metadata_damage_gates_reconstruction(self, clean_store):
+        CorruptMetadata(mode="drop_key").apply(
+            clean_store, RngStreams(1).stream("m")
+        )
+        assert not lint_store(clean_store).reconstructable

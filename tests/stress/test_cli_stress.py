@@ -1,0 +1,70 @@
+"""The ``refill stress`` subcommand, end to end through ``cli.main``."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import main
+
+FIXTURE = pathlib.Path(__file__).resolve().parents[1] / "fixtures" / "stress-defect"
+
+
+def _stress(*extra, out=None):
+    argv = ["stress", "--seed", "7", "--cases", "1", "--nodes", "9",
+            "--packets-per-day", "6", "--faults", "clean"]
+    if out is not None:
+        argv += ["--out", str(out)]
+    return main(argv + list(extra))
+
+
+class TestCampaignCli:
+    def test_clean_campaign_exits_zero(self, tmp_path, capsys):
+        assert _stress(out=tmp_path / "out") == 0
+        stdout = capsys.readouterr().out
+        assert "case-000" in stdout and "ok" in stdout
+
+    def test_json_output_parses(self, tmp_path, capsys):
+        assert _stress("--json", out=tmp_path / "out") == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["config"]["seed"] == 7
+        assert data["cases"][0]["label"] == "case-000"
+
+    def test_same_seed_same_json(self, tmp_path, capsys):
+        outputs = []
+        for name in ("a", "b"):
+            assert _stress("--json", out=tmp_path / name) == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+
+    def test_mild_campaign_with_no_shrink(self, tmp_path, capsys):
+        argv = ["stress", "--seed", "3", "--cases", "1", "--nodes", "9",
+                "--packets-per-day", "6", "--faults", "mild", "--no-shrink",
+                "--out", str(tmp_path / "out")]
+        code = main(argv)
+        assert code in (0, 1)  # faults may or may not trip an oracle
+        assert "severity ladder" in capsys.readouterr().out
+
+
+class TestReplayCli:
+    def test_fixture_exists(self):
+        assert (FIXTURE / "repro.json").is_file()
+
+    def test_replay_defect_fixture_exits_nonzero_citing_oracle(self, capsys):
+        code = main(["stress", "--replay", str(FIXTURE)])
+        assert code == 1
+        stdout = capsys.readouterr().out
+        assert "ST006" in stdout
+        assert "[VERDICT CHANGED]" not in stdout
+
+    def test_replay_json(self, capsys):
+        code = main(["stress", "--replay", str(FIXTURE), "--json"])
+        assert code == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["violated"] == ["ST006"]
+        assert data["matches_expectation"] is True
+
+    def test_replay_rejects_non_reproducer(self, tmp_path):
+        (tmp_path / "repro.json").write_text('{"format": "something-else/9"}')
+        with pytest.raises(ValueError, match="unsupported reproducer format"):
+            main(["stress", "--replay", str(tmp_path)])

@@ -1,0 +1,21 @@
+"""Every stress-oracle code must be documented in docs/TESTING.md."""
+
+import pathlib
+import re
+
+from repro.stress.oracles import ORACLES
+
+DOC = pathlib.Path(__file__).resolve().parents[2] / "docs" / "TESTING.md"
+
+
+def test_every_oracle_code_is_documented():
+    doc = DOC.read_text()
+    missing = [code for code in ORACLES if f"#### {code}" not in doc]
+    assert not missing, f"undocumented oracle codes: {missing}"
+
+
+def test_no_stale_oracle_headings():
+    doc = DOC.read_text()
+    documented = set(re.findall(r"^#### (ST\d{3})", doc, flags=re.MULTILINE))
+    stale = sorted(documented - set(ORACLES))
+    assert not stale, f"documented but unregistered oracle codes: {stale}"

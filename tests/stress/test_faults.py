@@ -1,0 +1,163 @@
+"""Fault operators: determinism, JSON round-trips, and store semantics."""
+
+import json
+import shutil
+
+import pytest
+
+from repro.events.store import load_store
+from repro.stress.faults import (
+    CorruptMetadata,
+    Degrade,
+    DuplicateRecords,
+    FaultPlan,
+    GarbleLines,
+    NodeBlackout,
+    ReorderWindow,
+    op_from_json,
+    sample_plan,
+)
+from repro.util.rng import RngStreams
+
+ALL_OPS = (
+    GarbleLines(p=0.2),
+    DuplicateRecords(p=0.15, max_copies=3),
+    ReorderWindow(window=4, p=0.5),
+    NodeBlackout(count=2, immune=(1,)),
+    CorruptMetadata(mode="wrong_type"),
+    Degrade(write_fail_p=0.1, chunk_loss_p=0.1, immune=(1,)),
+)
+
+
+def _store_bytes(directory):
+    return {
+        f.name: f.read_bytes() for f in sorted(directory.iterdir()) if f.is_file()
+    }
+
+
+class TestDeterminism:
+    def test_same_seed_same_store(self, clean_store, tmp_path):
+        plan = FaultPlan(ALL_OPS)
+        copies = []
+        for name in ("a", "b"):
+            directory = tmp_path / name
+            shutil.copytree(clean_store, directory)
+            plan.apply(directory, RngStreams(42))
+            copies.append(_store_bytes(directory))
+        assert copies[0] == copies[1]
+
+    def test_different_seed_different_store(self, clean_store, tmp_path):
+        plan = FaultPlan((GarbleLines(p=0.3),))
+        copies = []
+        for name, seed in (("a", 1), ("b", 2)):
+            directory = tmp_path / name
+            shutil.copytree(clean_store, directory)
+            plan.apply(directory, RngStreams(seed))
+            copies.append(_store_bytes(directory))
+        assert copies[0] != copies[1]
+
+    def test_op_streams_are_independent(self, clean_store, tmp_path):
+        """Adding an op must not perturb the draws of the ops before it."""
+        base = (GarbleLines(p=0.2), ReorderWindow(window=4, p=0.5))
+        one = tmp_path / "one"
+        shutil.copytree(clean_store, one)
+        FaultPlan(base).apply(one, RngStreams(7))
+        garbled_then_more = tmp_path / "two"
+        shutil.copytree(clean_store, garbled_then_more)
+        FaultPlan((*base, DuplicateRecords(p=0.0))).apply(
+            garbled_then_more, RngStreams(7)
+        )
+        assert _store_bytes(one) == _store_bytes(garbled_then_more)
+
+
+class TestJsonRoundTrip:
+    @pytest.mark.parametrize("op", ALL_OPS, ids=lambda op: op.kind)
+    def test_op_round_trip(self, op):
+        data = json.loads(json.dumps(op.to_json()))
+        assert op_from_json(data) == op
+
+    def test_plan_round_trip(self):
+        plan = FaultPlan(ALL_OPS)
+        assert FaultPlan.from_json(json.loads(json.dumps(plan.to_json()))) == plan
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault-op kind"):
+            op_from_json({"kind": "gamma-rays"})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown fields"):
+            op_from_json({"kind": "garble", "p": 0.1, "zap": True})
+
+
+class TestOperatorSemantics:
+    def test_garble_produces_corrupt_lines(self, clean_store):
+        before = load_store(clean_store)
+        GarbleLines(p=0.5).apply(clean_store, RngStreams(3).stream("g"))
+        after = load_store(clean_store)
+        assert sum(after.corrupt_lines.values()) > 0
+        assert after.total_events < before.total_events
+
+    def test_duplicate_grows_the_store(self, clean_store):
+        before = load_store(clean_store).total_events
+        DuplicateRecords(p=0.5, max_copies=2).apply(
+            clean_store, RngStreams(3).stream("d")
+        )
+        assert load_store(clean_store).total_events > before
+
+    def test_reorder_keeps_the_multiset(self, clean_store):
+        before = load_store(clean_store)
+        ReorderWindow(window=4, p=1.0).apply(clean_store, RngStreams(3).stream("r"))
+        after = load_store(clean_store)
+        for node in before.logs:
+            assert sorted(map(str, before.logs[node])) == sorted(
+                map(str, after.logs[node])
+            )
+
+    def test_blackout_respects_immunity(self, clean_store):
+        nodes = sorted(load_store(clean_store).logs)
+        immune = tuple(nodes[:2])
+        NodeBlackout(count=len(nodes), immune=immune).apply(
+            clean_store, RngStreams(3).stream("b")
+        )
+        assert sorted(load_store(clean_store).logs) == sorted(immune)
+
+    @pytest.mark.parametrize("mode", ["drop_key", "bad_json", "wrong_type"])
+    def test_metadata_modes_break_the_metadata(self, clean_store, mode):
+        CorruptMetadata(mode=mode).apply(clean_store, RngStreams(3).stream("m"))
+        with pytest.raises(Exception):
+            load_store(clean_store)
+
+    def test_degrade_loses_records_but_spares_immune(self, clean_store):
+        before = load_store(clean_store)
+        immune = before.metadata.base_station
+        Degrade(write_fail_p=0.5, immune=(immune,)).apply(
+            clean_store, RngStreams(3).stream("deg")
+        )
+        after = load_store(clean_store)
+        assert after.total_events < before.total_events
+        assert len(after.logs[immune]) == len(before.logs[immune])
+
+
+class TestSamplePlan:
+    def test_clean_profile_is_empty(self):
+        assert sample_plan(RngStreams(1).stream("p"), profile="clean") == FaultPlan()
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault profile"):
+            sample_plan(RngStreams(1).stream("p"), profile="catastrophic")
+
+    def test_sampling_is_deterministic(self):
+        plans = [
+            sample_plan(RngStreams(9).stream("p"), profile="harsh", immune=(0,))
+            for _ in range(2)
+        ]
+        assert plans[0] == plans[1]
+
+    def test_harsh_immunity_reaches_blackout(self):
+        for seed in range(30):
+            plan = sample_plan(
+                RngStreams(seed).stream("p"), profile="harsh", immune=(42,)
+            )
+            for op in plan.ops:
+                if isinstance(op, NodeBlackout):
+                    assert op.immune == (42,)

@@ -1,0 +1,97 @@
+"""ddmin minimization: the pure algorithm, budgets, and corpus shrinking."""
+
+from repro.events.store import load_store, shard_path
+from repro.stress.campaign import lint_store
+from repro.stress.oracles import OracleConfig, StoreCase, run_store_oracles
+from repro.stress.shrink import ddmin, shrink_case
+
+
+class TestDdmin:
+    def test_minimizes_to_the_interacting_pair(self):
+        items = list(range(10))
+        trials = []
+
+        def failing(subset):
+            trials.append(tuple(subset))
+            return 3 in subset and 7 in subset
+
+        result = ddmin(items, failing)
+        assert sorted(result) == [3, 7]
+
+    def test_single_culprit(self):
+        assert ddmin(list(range(50)), lambda s: 13 in s) == [13]
+
+    def test_result_still_fails(self):
+        def failing(subset):
+            return sum(subset) >= 10
+
+        result = ddmin([1, 2, 3, 4, 5, 6], failing)
+        assert failing(result)
+        # 1-minimal: removing any single element makes the failure vanish
+        for i in range(len(result)):
+            assert not failing(result[:i] + result[i + 1 :])
+
+    def test_budget_bounds_the_trials(self):
+        trials = []
+
+        def failing(subset):
+            trials.append(1)
+            return 99 in subset
+
+        ddmin(list(range(200)), failing, budget=10)
+        assert len(trials) <= 10
+
+    def test_budget_exhaustion_returns_best_so_far(self):
+        result = ddmin(list(range(100)), lambda s: 42 in s, budget=3)
+        assert 42 in result  # never returns a passing subset
+
+
+class TestShrinkCase:
+    def test_shrinks_a_deleted_shard_defect(self, clean_store, tiny_sim, tmp_path):
+        _params, sim = tiny_sim
+        shard_path(clean_store, sim.base_station_node).unlink()
+        case = StoreCase(
+            label="defect",
+            corpus_dir=clean_store,
+            truth=sim.truth,
+            lint_clean=lint_store(clean_store).reconstructable,
+            config=OracleConfig(min_cause_accuracy=0.5, backends=()),
+        )
+        outcome = run_store_oracles(case)
+        assert outcome.violated == ["ST006"]
+
+        shrunk = shrink_case(case, outcome.violated, tmp_path / "scratch")
+        assert "ST006" in shrunk.violated
+        assert shrunk.stats.lines_after < shrunk.stats.lines_before
+        assert shrunk.stats.files_after <= shrunk.stats.files_before
+        assert shrunk.stats.trials > 0
+
+        # the minimized corpus is a real store and still trips the oracle
+        minimized = shrunk.corpus_dir
+        assert load_store(minimized) is not None
+        recheck = run_store_oracles(
+            StoreCase(
+                label="recheck",
+                corpus_dir=minimized,
+                truth=sim.truth,
+                lint_clean=lint_store(minimized).reconstructable,
+                config=case.config,
+            ),
+            only={"ST006"},
+        )
+        assert "ST006" in recheck.violated
+
+    def test_stats_serialize(self, clean_store, tiny_sim, tmp_path):
+        _params, sim = tiny_sim
+        shard_path(clean_store, sim.base_station_node).unlink()
+        case = StoreCase(
+            label="defect",
+            corpus_dir=clean_store,
+            truth=sim.truth,
+            lint_clean=True,
+            config=OracleConfig(min_cause_accuracy=0.5, backends=()),
+        )
+        shrunk = shrink_case(case, ["ST006"], tmp_path / "s", budget=8)
+        data = shrunk.stats.to_json()
+        assert data["trials"] <= 2 * 8  # file pass + line pass budgets
+        assert data["lines"] == [shrunk.stats.lines_before, shrunk.stats.lines_after]
