@@ -1,0 +1,134 @@
+"""S2 — live-service throughput and query latency (the serve layer).
+
+The daemon's operational envelope on a 50-node corpus: how fast lines go
+from a TCP socket into reconstructed flows (ingest throughput), and how
+long queries take once the session is warm (p50/p95 straight from the
+``serve.request.seconds`` obs histogram the daemon itself records).
+
+Besides the printed table, the run writes ``BENCH_serve.json`` at the repo
+root — the serve layer's perf baseline.  Future perf PRs diff against it;
+the assertions here are generous floors so CI noise never fails the build,
+while the JSON captures the real numbers for trend tracking.
+"""
+
+import json
+import pathlib
+import time
+
+from repro.analysis.pipeline import default_loss_spec, run_simulation
+from repro.lognet.collector import collect_logs
+from repro.obs import MetricsRegistry
+from repro.serve import ServeConfig, ServerThread
+from repro.serve.client import push_lines
+from repro.simnet.scenarios import citysee
+from repro.util.tables import render_table
+
+from benchmarks.conftest import bench_seed
+
+BASELINE_PATH = pathlib.Path(__file__).parent.parent / "BENCH_serve.json"
+
+N_NODES = 50
+QUERY_ROUNDS = 40
+
+
+def prepare_lines():
+    """Collected 50-node corpus rendered to wire lines, node order."""
+    from repro.events.codec import encode_event
+
+    params = citysee(n_nodes=N_NODES, days=2, seed=bench_seed("serve", 17))
+    sim = run_simulation(params)
+    logs = collect_logs(
+        sim.true_logs,
+        default_loss_spec(sim),
+        seed=9,
+        perfect_clocks=frozenset({sim.base_station_node}),
+    )
+    lines = [
+        encode_event(event)
+        for node in sorted(logs)
+        for event in logs[node]
+    ]
+    return lines, sim.base_station_node
+
+
+def test_serve_ingest_and_query_latency(emit):
+    lines, sink = prepare_lines()
+    registry = MetricsRegistry()
+    config = ServeConfig(
+        flush_interval=0.05, delivery_node=sink, checkpoint_interval=0.0
+    )
+    with ServerThread(config, registry=registry) as thread:
+        from tests.serve.util import http_json, http_req, wait_ready
+
+        ingest_start = time.perf_counter()
+        push_lines(lines, port=thread.tcp_port, source="bench")
+        wait_ready(thread.http_port)
+        ingest_elapsed = time.perf_counter() - ingest_start
+
+        _, packets = http_json(thread.http_port, "/packets")
+        some = packets["packets"][:: max(1, len(packets["packets"]) // 25)]
+        for _ in range(QUERY_ROUNDS):
+            http_req(thread.http_port, "/flows")
+            http_req(thread.http_port, "/summary")
+            for key in some[:5]:
+                http_req(thread.http_port, f"/flow/{key}")
+
+        _, snap = http_json(thread.http_port, "/metrics")
+
+    lines_per_s = len(lines) / ingest_elapsed
+    latency = {
+        name.partition("{")[2].rstrip("}").partition("=")[2]: summary
+        for name, summary in snap["histograms"].items()
+        # the /metrics request that produced this snapshot is still inside
+        # its own timer, so its histogram exists with zero samples — skip
+        if name.startswith("serve.request.seconds")
+        and summary["count"] > 0
+    }
+
+    rows = [
+        ("ingest", len(lines), round(ingest_elapsed, 3), int(lines_per_s), "-"),
+    ]
+    for route in sorted(latency):
+        s = latency[route]
+        rows.append(
+            (
+                f"GET /{route}",
+                s["count"],
+                "-",
+                round(s["p50"] * 1e6),
+                round(s["p95"] * 1e6),
+            )
+        )
+    emit(
+        "bench_serve",
+        render_table(
+            ["operation", "n", "seconds", "rate_or_p50us", "p95us"],
+            rows,
+            title=f"S2 — refill serve, {N_NODES}-node corpus",
+        ),
+    )
+
+    baseline = {
+        "corpus": {"n_nodes": N_NODES, "days": 2, "lines": len(lines)},
+        "ingest": {
+            "seconds": round(ingest_elapsed, 4),
+            "lines_per_s": round(lines_per_s, 1),
+        },
+        "query_seconds": {
+            route: {
+                "count": s["count"],
+                "p50": s["p50"],
+                "p95": s["p95"],
+            }
+            for route, s in sorted(latency.items())
+        },
+        "packets": len(packets["packets"]),
+    }
+    BASELINE_PATH.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+
+    # generous floors: a laptop does 10-100x better; only a real regression
+    # (or a broken daemon) trips these
+    assert lines_per_s > 500
+    flows_p95 = latency["flows"]["p95"]
+    assert flows_p95 < 5.0
+    assert latency["flow"]["p95"] < flows_p95  # single packet beats bulk

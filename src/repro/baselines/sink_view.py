@@ -85,14 +85,18 @@ class SinkView:
         received = self._arrivals.get(packet.origin)
         if not received:
             return None
-        before = [s for s in received if s < packet.seq]
+        # arrivals whose timestamp survived collection: a packet logged with
+        # a garbled/absent time still proves delivery (gap analysis above),
+        # but cannot anchor a time estimate
+        timed = {s: t for s, t in received.items() if t is not None}
+        before = [s for s in timed if s < packet.seq]
         if before:
             anchor = max(before)
-            return received[anchor] + (packet.seq - anchor) * self.gen_interval
-        after = [s for s in received if s > packet.seq]
+            return timed[anchor] + (packet.seq - anchor) * self.gen_interval
+        after = [s for s in timed if s > packet.seq]
         if after:
             anchor = min(after)
-            return received[anchor] - (anchor - packet.seq) * self.gen_interval
+            return timed[anchor] - (anchor - packet.seq) * self.gen_interval
         return None
 
     def loss_times(self) -> dict[PacketKey, Optional[float]]:

@@ -13,7 +13,13 @@ The subcommands mirror the deployment workflow:
 - ``refill trace`` — print one packet's reconstructed event flow;
 - ``refill stress`` — run a seeded fault-injection campaign (corrupted
   stores, ground-truth oracles ``ST001``–``ST007``, ddmin case shrinking)
-  or ``--replay`` a written reproducer; see ``docs/TESTING.md``.
+  or ``--replay`` a written reproducer; see ``docs/TESTING.md``;
+- ``refill serve`` — run the long-lived reconstruction daemon: line-framed
+  TCP/unix-socket ingest, periodic checkpoints, HTTP/JSON queries (see
+  ``docs/SERVING.md``);
+- ``refill push`` — replay an on-disk store's shards at a running daemon
+  (resumable: pushing twice, or across a server restart, sends only what
+  the server has not yet accepted).
 
 Progress narration goes to stderr through the structured logger
 (:mod:`repro.obs.structlog`): ``-v`` raises it to debug, ``-q`` silences
@@ -30,6 +36,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 from typing import Optional
@@ -190,6 +197,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print()
         for key, value in split.items():
             print(f"  {key:<16} {value:5.1f}%")
+    if args.flows_out:
+        from repro.core.serialize import dumps_canonical, flows_to_json
+
+        pathlib.Path(args.flows_out).write_text(
+            dumps_canonical(flows_to_json(flows)) + "\n"
+        )
+        log.info("analyze.flows-written", path=args.flows_out)
     if args.metrics_out:
         snapshot = registry.snapshot()
         pathlib.Path(args.metrics_out).write_text(snapshot.to_json_str() + "\n")
@@ -366,6 +380,61 @@ def _cmd_stress(args: argparse.Namespace) -> int:
     return code
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import RefillServer, ServeConfig
+
+    config = ServeConfig(
+        store=args.logs,
+        host=args.host,
+        port=args.port,
+        unix_socket=args.unix_socket,
+        http_host=args.http_host,
+        http_port=args.http_port,
+        checkpoint_path=args.checkpoint,
+        checkpoint_interval=args.checkpoint_interval,
+        flush_interval=args.flush_interval,
+        ingest_queue_batches=args.queue_batches,
+        ingest_batch_lines=args.batch_lines,
+        batch_size=args.batch_size,
+        tail=tuple(args.tail or ()),
+        tail_interval=args.tail_interval,
+        delivery_node=args.delivery_node,
+    )
+    server = RefillServer(config)
+
+    def _ready(running: "RefillServer") -> None:
+        if args.print_ports:
+            # machine-readable startup handshake for scripts and CI
+            print(
+                json.dumps(
+                    {
+                        "ingest_port": running.tcp_port,
+                        "http_port": running.http_port,
+                    }
+                ),
+                flush=True,
+            )
+
+    return server.run(ready=_ready)
+
+
+def _cmd_push(args: argparse.Namespace) -> int:
+    from repro.serve.client import push_store
+
+    results = push_store(
+        args.logs,
+        host=args.host,
+        port=args.port,
+        unix_socket=args.unix_socket,
+        source_prefix=args.source_prefix,
+    )
+    sent = sum(r.sent for r in results.values())
+    skipped = sum(r.skipped for r in results.values())
+    print(f"{len(results)} sources, {sent} lines sent, {skipped} skipped")
+    log.info("push.done", sources=len(results), sent=sent, skipped=skipped)
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     store = load_store(args.logs)
     packet = PacketKey.parse(args.packet)
@@ -400,6 +469,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     parser = argparse.ArgumentParser(prog="refill", description=__doc__)
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_version_string()}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_sim = sub.add_parser(
@@ -451,6 +523,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument(
         "--metrics-out", default=None, metavar="FILE",
         help="write the run's metrics snapshot as JSON",
+    )
+    p_an.add_argument(
+        "--flows-out", default=None, metavar="FILE",
+        help="write every reconstructed flow as canonical JSON (the same "
+             "bytes a `refill serve` daemon returns from GET /flows)",
     )
     p_an.add_argument(
         "--profile", action="store_true",
@@ -514,6 +591,87 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_st.set_defaults(fn=_cmd_stress)
 
+    p_srv = sub.add_parser(
+        "serve", parents=[common],
+        help="run the long-lived reconstruction daemon (ingest + queries)",
+    )
+    p_srv.add_argument(
+        "--logs", default=None, metavar="DIR",
+        help="store directory: supplies deployment metadata and the default "
+             "checkpoint location (shards are NOT preloaded)",
+    )
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument(
+        "--port", type=int, default=7442,
+        help="TCP ingest port (0: OS-assigned; see --print-ports)",
+    )
+    p_srv.add_argument(
+        "--unix-socket", default=None, metavar="PATH",
+        help="additionally listen for ingest on a unix socket",
+    )
+    p_srv.add_argument("--http-host", default="127.0.0.1")
+    p_srv.add_argument(
+        "--http-port", type=int, default=7443,
+        help="HTTP/JSON query port (0: OS-assigned)",
+    )
+    p_srv.add_argument(
+        "--checkpoint", default=None, metavar="FILE",
+        help="checkpoint file (default: <store>/refill-checkpoint.json)",
+    )
+    p_srv.add_argument(
+        "--checkpoint-interval", type=float, default=30.0, metavar="SECS",
+        help="periodic checkpoint cadence; 0 = only on demand/shutdown",
+    )
+    p_srv.add_argument(
+        "--flush-interval", type=float, default=0.5, metavar="SECS",
+        help="idle gap after which dirty flows are refreshed",
+    )
+    p_srv.add_argument(
+        "--batch-size", type=int, default=256, metavar="K",
+        help="session batch size (as in refill analyze)",
+    )
+    p_srv.add_argument(
+        "--queue-batches", type=int, default=64, metavar="N",
+        help="bounded ingest queue depth; a full queue throttles producers",
+    )
+    p_srv.add_argument(
+        "--batch-lines", type=int, default=512, metavar="N",
+        help="max lines per queued ingest batch",
+    )
+    p_srv.add_argument(
+        "--tail", action="append", default=None, metavar="FILE",
+        help="also tail FILE for newly completed lines (repeatable)",
+    )
+    p_srv.add_argument(
+        "--tail-interval", type=float, default=0.25, metavar="SECS",
+    )
+    p_srv.add_argument(
+        "--delivery-node", type=int, default=None, metavar="NODE",
+        help="override the store metadata's base-station id",
+    )
+    p_srv.add_argument(
+        "--print-ports", action="store_true",
+        help="print the bound ports as one JSON line on stdout at startup",
+    )
+    p_srv.set_defaults(fn=_cmd_serve)
+
+    p_push = sub.add_parser(
+        "push", parents=[common],
+        help="push a store's shards to a running refill serve daemon",
+    )
+    p_push.add_argument("--logs", default="citysee-logs")
+    p_push.add_argument("--host", default="127.0.0.1")
+    p_push.add_argument("--port", type=int, default=7442)
+    p_push.add_argument(
+        "--unix-socket", default=None, metavar="PATH",
+        help="connect over a unix socket instead of TCP",
+    )
+    p_push.add_argument(
+        "--source-prefix", default="", metavar="PREFIX",
+        help="prepended to each shard's source name (disambiguates stores)",
+    )
+    p_push.set_defaults(fn=_cmd_push)
+
     p_tr = sub.add_parser(
         "trace", parents=[common],
         help="print one packet's reconstructed flow",
@@ -532,6 +690,22 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _version_string() -> str:
+    """Installed distribution version, falling back to the source tree's.
+
+    The fallback matters because the test suite (and ``PYTHONPATH=src``
+    users) run the package without installing it.
+    """
+    from importlib import metadata
+
+    try:
+        return metadata.version("repro")
+    except metadata.PackageNotFoundError:
+        from repro import __version__
+
+        return __version__
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     level = INFO
@@ -540,7 +714,22 @@ def main(argv: Optional[list[str]] = None) -> int:
     if getattr(args, "quiet", False):
         level = ERROR
     configure_logging(level, json_lines=getattr(args, "log_json", False))
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # `refill analyze | head`: the reader closed stdout mid-print.  Die
+        # quietly like a well-behaved filter — point the stdout fd at
+        # /dev/null so the interpreter's exit-time flush cannot raise (and
+        # print a noisy "Exception ignored" traceback), and exit 141
+        # (128 + SIGPIPE), the conventional pipe-death status.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        try:
+            os.dup2(devnull, sys.stdout.fileno())
+        except (OSError, ValueError):
+            pass  # stdout already closed or not a real fd
+        finally:
+            os.close(devnull)
+        return 141
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests/cli

@@ -14,7 +14,7 @@ trade, cheap because flows are tiny.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from repro.core.backends.base import ExecutionBackend
 from repro.core.event_flow import EventFlow
@@ -64,3 +64,38 @@ class IncrementalBackend(ExecutionBackend):
     def packets(self) -> list[PacketKey]:
         """Every packet seen so far, sorted by (origin, seq)."""
         return sorted(self._events)
+
+    # ------------------------------------------------------------------ #
+    # resumable state (the serve layer's checkpoint substrate)
+
+    def export_state(self) -> dict[str, Any]:
+        """JSON-compatible accumulation state: per-packet per-node events
+        plus the dirty set.  Restoring it into a fresh backend and ingesting
+        the *remaining* evidence yields byte-identical flows to one
+        uninterrupted run — recompute-over-resume means the accumulated
+        events are the whole truth."""
+        from repro.core.serialize import event_to_dict
+
+        return {
+            "events": {
+                str(packet): {
+                    str(node): [event_to_dict(e) for e in events]
+                    for node, events in sorted(per_node.items())
+                }
+                for packet, per_node in sorted(self._events.items())
+            },
+            "dirty": [str(packet) for packet in sorted(self.dirty)],
+        }
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        """Inverse of :meth:`export_state`; replaces any current state."""
+        from repro.core.serialize import event_from_dict
+
+        self._events = {
+            PacketKey.parse(packet): {
+                int(node): [event_from_dict(e) for e in events]
+                for node, events in per_node.items()
+            }
+            for packet, per_node in state["events"].items()
+        }
+        self.dirty = {PacketKey.parse(p) for p in state["dirty"]}

@@ -9,6 +9,7 @@ dicts.
 
 from __future__ import annotations
 
+import json
 from typing import Any, Mapping
 
 from repro.core.diagnosis import LossCause, LossReport
@@ -105,3 +106,23 @@ def report_from_dict(data: Mapping[str, Any]) -> LossReport:
         position=data.get("position"),
         anchor=event_from_dict(data["anchor"]) if data.get("anchor") else None,
     )
+
+
+def flows_to_json(flows: Mapping[PacketKey, EventFlow]) -> dict[str, Any]:
+    """``{"p<o>.<s>": flow_to_dict(...)}`` sorted by packet key."""
+    return {str(packet): flow_to_dict(flows[packet]) for packet in sorted(flows)}
+
+
+def reports_to_json(reports: Mapping[PacketKey, LossReport]) -> dict[str, Any]:
+    """``{"p<o>.<s>": report_to_dict(...)}`` sorted by packet key."""
+    return {str(packet): report_to_dict(reports[packet]) for packet in sorted(reports)}
+
+
+def dumps_canonical(data: Any) -> str:
+    """Byte-stable JSON: sorted keys, no whitespace.
+
+    The equivalence contract between the batch CLI (``refill analyze
+    --flows-out``) and the serve layer's query API is *byte identity* of
+    this form — both sides must serialize through here.
+    """
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))

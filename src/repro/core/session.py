@@ -25,7 +25,7 @@ Two driving modes:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Optional, Sequence, Union
+from typing import Any, Iterable, Mapping, Optional, Sequence, Union
 
 from repro.core.backends import ExecutionBackend, ExecutionPlan, SerialBackend
 from repro.core.backends.base import TemplateFactory
@@ -54,6 +54,9 @@ _UNSET: object = object()
 
 #: One evidence batch for streaming ingest: per-node logs or event lists.
 IngestBatch = Union[Mapping[int, NodeLog], Mapping[int, Iterable[Event]]]
+
+#: Version tag of :meth:`ReconstructionSession.export_state` payloads.
+SESSION_STATE_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -283,6 +286,51 @@ class ReconstructionSession:
         if callable(backend_packets):
             return backend_packets()
         return sorted(self._flows)
+
+    # ------------------------------------------------------------------ #
+    # resumable state (streaming ingest only)
+
+    def export_state(self) -> dict[str, Any]:
+        """JSON-compatible snapshot of a streaming-ingest session.
+
+        Captures the backend's per-packet accumulations, the derived flow
+        and report caches, and ``batches_ingested``.  The serve layer's
+        checkpoint wraps this with its per-source ingest offsets; restoring
+        the pair resumes a daemon without reprocessing the corpus.
+        """
+        self._require_accumulating("export_state")
+        from repro.core.serialize import flow_to_dict, report_to_dict
+
+        return {
+            "version": SESSION_STATE_VERSION,
+            "batches_ingested": self.batches_ingested,
+            "backend": self.backend.export_state(),
+            "flows": {
+                str(p): flow_to_dict(f) for p, f in sorted(self._flows.items())
+            },
+            "reports": {
+                str(p): report_to_dict(r) for p, r in sorted(self._reports.items())
+            },
+        }
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        """Inverse of :meth:`export_state`; replaces any current state."""
+        self._require_accumulating("restore_state")
+        version = state.get("version")
+        if version != SESSION_STATE_VERSION:
+            raise ValueError(f"unsupported session state version {version!r}")
+        from repro.core.serialize import flow_from_dict, report_from_dict
+
+        self._start_backend()
+        self.backend.restore_state(state["backend"])
+        self.batches_ingested = int(state["batches_ingested"])
+        self._flows = {
+            PacketKey.parse(p): flow_from_dict(d) for p, d in state["flows"].items()
+        }
+        self._reports = {
+            PacketKey.parse(p): report_from_dict(d)
+            for p, d in state["reports"].items()
+        }
 
     # ------------------------------------------------------------------ #
     # plumbing

@@ -49,6 +49,40 @@ def scan_log_text(text: str) -> Iterator[tuple[int, Union[Event, DecodeIssue]]]:
             yield lineno, DecodeIssue(lineno, line, str(exc))
 
 
+class LineAssembler:
+    """Reassemble complete text lines from an arbitrary byte-chunk stream.
+
+    Network ingest reads whatever chunk sizes the transport hands over; this
+    keeps the unterminated tail until its newline arrives.  :meth:`feed`
+    returns the newly *completed* lines, decoded as UTF-8 with undecodable
+    bytes replaced — damaged input becomes a :class:`DecodeIssue` downstream
+    instead of an exception here.  A line still unterminated when the peer
+    disconnects is simply never returned (mid-line disconnects drop the
+    fragment, they do not corrupt the stream).
+    """
+
+    __slots__ = ("_tail",)
+
+    def __init__(self) -> None:
+        self._tail = b""
+
+    def feed(self, chunk: bytes) -> list[str]:
+        data = self._tail + chunk
+        if b"\n" not in data:
+            self._tail = data
+            return []
+        *complete, self._tail = data.split(b"\n")
+        return [
+            part.decode("utf-8", errors="replace").rstrip("\r")
+            for part in complete
+        ]
+
+    @property
+    def partial(self) -> bool:
+        """Whether a started-but-unterminated line is pending."""
+        return bool(self._tail)
+
+
 def _format_value(value: Any) -> str:
     text = str(value)
     if any(c.isspace() or c == "=" for c in text):

@@ -137,6 +137,28 @@ def iter_store_logs(
         yield node, log, bad
 
 
+def read_complete_lines(file, start_line: int = 0) -> list[str]:
+    """Newline-*terminated* lines of a text file, from ``start_line`` (0-based).
+
+    A trailing unterminated line (a writer caught mid-append) is excluded, so
+    repeated polls that pass the previous total as ``start_line`` see every
+    line exactly once — the offset substrate shared by the serve layer's file
+    tailer and the resumable store-push client.  Undecodable bytes are
+    replaced rather than raised (the tolerant scanner downstream counts the
+    wreckage).
+    """
+    if start_line < 0:
+        raise ValueError("start_line must be >= 0")
+    parts = pathlib.Path(file).read_bytes().split(b"\n")
+    # after split, the final piece is b"" iff the file ended in a newline;
+    # anything else there is an unterminated partial line
+    complete = parts[:-1]
+    return [
+        part.decode("utf-8", errors="replace").rstrip("\r")
+        for part in complete[start_line:]
+    ]
+
+
 def load_store(directory, *, strict: bool = False) -> LoadedStore:
     """Read a store directory.
 

@@ -30,6 +30,7 @@ from repro.obs.registry import (
     NullRegistry,
     get_registry,
     set_registry,
+    timer,
     use_registry,
 )
 from repro.obs.spans import Span, current_span, span
@@ -54,6 +55,7 @@ __all__ = [
     "NullRegistry",
     "get_registry",
     "set_registry",
+    "timer",
     "use_registry",
     "Span",
     "span",

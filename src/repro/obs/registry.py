@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import json
 import math
+import time
 from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass
@@ -330,6 +331,22 @@ class NullRegistry(MetricsRegistry):
 
     def merge(self, other: MetricsRegistry) -> None:
         pass
+
+
+@contextmanager
+def timer(histogram: Histogram) -> Iterator[None]:
+    """Observe a ``with`` block's wall seconds into ``histogram``.
+
+    The labeled sibling of :func:`repro.obs.spans.span`: spans key their
+    histogram by stage *name*, which is wrong for per-route request latency
+    (one series per route label, not one route per series) — the serve
+    layer's ``serve.request.seconds{route=...}`` histograms go through here.
+    """
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        histogram.observe(time.perf_counter() - start)
 
 
 # --------------------------------------------------------------------- #

@@ -1,0 +1,34 @@
+"""Long-running reconstruction service: ingest, checkpoint, query.
+
+``refill serve`` turns the streaming session layer into a daemon: log lines
+arrive over line-framed TCP/unix-socket connections or tailed files, flow
+through a bounded queue into an incremental
+:class:`~repro.core.session.ReconstructionSession`, and are queryable over a
+small HTTP/JSON API whose flow payloads are byte-identical to a batch
+``refill analyze`` of the same lines.  See ``docs/SERVING.md``.
+"""
+
+from repro.serve.checkpoint import (
+    CHECKPOINT_VERSION,
+    Checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.serve.client import LineSender, PushResult, push_lines, push_store
+from repro.serve.config import ServeConfig
+from repro.serve.runner import ServerThread
+from repro.serve.server import RefillServer
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "Checkpoint",
+    "LineSender",
+    "PushResult",
+    "RefillServer",
+    "ServeConfig",
+    "ServerThread",
+    "load_checkpoint",
+    "push_lines",
+    "push_store",
+    "save_checkpoint",
+]

@@ -1,0 +1,79 @@
+"""Checkpoint/restore of a live reconstruction daemon.
+
+A checkpoint is one JSON file pairing the session's resumable state
+(:meth:`ReconstructionSession.export_state` — backend accumulations, flow
+and report caches) with the daemon's *per-source ingest offsets*.  The two
+travel together because they are only meaningful together: the offsets say
+which lines are already inside the session, so a restarted server can tell
+every reconnecting source exactly how much to skip and never reprocesses
+the corpus.
+
+Writes are atomic (temp file + ``os.replace`` in the same directory), so a
+crash mid-checkpoint leaves the previous checkpoint intact; a restart never
+sees a torn file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+#: Format version of the checkpoint file (bump on incompatible change).
+CHECKPOINT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """Everything a restarted server needs to resume ingest."""
+
+    #: :meth:`ReconstructionSession.export_state` payload.
+    session_state: dict[str, Any]
+    #: Per-source count of complete lines already ingested into the session.
+    offsets: dict[str, int] = field(default_factory=dict)
+    #: Per-source count of lines the tolerant scanner rejected.
+    corrupt_lines: dict[str, int] = field(default_factory=dict)
+    #: Total lines ingested across all sources (anonymous ones included).
+    lines_ingested: int = 0
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "version": CHECKPOINT_VERSION,
+            "session": self.session_state,
+            "offsets": {k: self.offsets[k] for k in sorted(self.offsets)},
+            "corrupt_lines": {
+                k: self.corrupt_lines[k] for k in sorted(self.corrupt_lines)
+            },
+            "lines_ingested": self.lines_ingested,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "Checkpoint":
+        version = data.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise ValueError(f"unsupported checkpoint version {version!r}")
+        return cls(
+            session_state=dict(data["session"]),
+            offsets={str(k): int(v) for k, v in data.get("offsets", {}).items()},
+            corrupt_lines={
+                str(k): int(v) for k, v in data.get("corrupt_lines", {}).items()
+            },
+            lines_ingested=int(data.get("lines_ingested", 0)),
+        )
+
+
+def save_checkpoint(path, checkpoint: Checkpoint) -> pathlib.Path:
+    """Atomically write ``checkpoint`` to ``path``; returns the path."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(checkpoint.to_json(), sort_keys=True) + "\n")
+    os.replace(tmp, path)
+    return path
+
+
+def load_checkpoint(path) -> Checkpoint:
+    """Read a checkpoint file (raises on missing/torn/unversioned files)."""
+    return Checkpoint.from_json(json.loads(pathlib.Path(path).read_text()))

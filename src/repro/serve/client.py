@@ -1,0 +1,191 @@
+"""Client side of the ingest protocol: push log lines at a daemon.
+
+:class:`LineSender` is a small blocking socket client speaking the protocol
+in :mod:`repro.serve.protocol`.  The convenience functions cover the two
+deployment shapes:
+
+- :func:`push_lines` — one source, one connection: ``HELLO`` (when named),
+  skip the server's offset, stream, ``BYE``;
+- :func:`push_store` — replay a whole on-disk store, shard by shard, each
+  shard as a *node-bound* source named after its file.  Because the binding
+  reproduces the store loader's misfiled-line rule and offsets make re-runs
+  no-ops, pushing a store twice (or across a server restart) reconstructs
+  byte-identically to ``refill analyze`` over the same directory.
+
+Writes go through a plain blocking socket on purpose: when the server's
+ingest queue is full its reader stops draining, the TCP window closes, and
+``sendall`` here simply blocks — the protocol's backpressure reaches all
+the way into this function without any extra machinery.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import socket
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.events.store import read_complete_lines
+from repro.serve import protocol
+from repro.serve.ingest import tail_node_bind
+
+#: Lines per ``sendall`` batch; keeps peak client memory flat on big shards.
+_SEND_BATCH = 2048
+
+
+@dataclass(frozen=True)
+class PushResult:
+    """Outcome of pushing one source's material."""
+
+    #: Lines actually sent on this connection.
+    sent: int
+    #: Lines skipped because the server had already accepted them.
+    skipped: int
+    #: The server's ``BYE`` acknowledgement count (== ``sent``).
+    accepted: int
+
+
+class LineSender:
+    """Blocking protocol client over TCP or a unix socket."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        unix_socket: Optional[str] = None,
+        timeout: Optional[float] = 30.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.unix_socket = unix_socket
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._rfile = None
+
+    def connect(self) -> "LineSender":
+        if self.unix_socket is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            sock.connect(self.unix_socket)
+        else:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        self._sock = sock
+        self._rfile = sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        if self._rfile is not None:
+            self._rfile.close()
+            self._rfile = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "LineSender":
+        return self.connect()
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # protocol
+
+    def hello(self, source: str, node: Optional[int] = None) -> int:
+        """Declare a resumable source; returns the server's resume offset."""
+        self._send_text(protocol.Hello(source=source, node=node).format() + "\n")
+        return int(protocol.parse_ok(self._read_line()).get("offset", 0))
+
+    def send_lines(self, lines: Iterable[str]) -> int:
+        """Stream data lines; blocks when the server applies backpressure."""
+        sent = 0
+        batch: list[str] = []
+        for line in lines:
+            batch.append(line)
+            if len(batch) >= _SEND_BATCH:
+                self._send_text("".join(part + "\n" for part in batch))
+                sent += len(batch)
+                batch = []
+        if batch:
+            self._send_text("".join(part + "\n" for part in batch))
+            sent += len(batch)
+        return sent
+
+    def bye(self) -> int:
+        """Finish politely; returns the server's accepted-line count."""
+        self._send_text(protocol.BYE + "\n")
+        return int(protocol.parse_ok(self._read_line()).get("accepted", 0))
+
+    # ------------------------------------------------------------------ #
+    # plumbing
+
+    def _send_text(self, text: str) -> None:
+        assert self._sock is not None, "not connected"
+        self._sock.sendall(text.encode("utf-8"))
+
+    def _read_line(self) -> str:
+        assert self._rfile is not None, "not connected"
+        raw = self._rfile.readline()
+        if not raw:
+            raise ConnectionError("server closed the connection")
+        return raw.decode("utf-8", errors="replace").rstrip("\r\n")
+
+
+def push_lines(
+    lines: list[str],
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    unix_socket: Optional[str] = None,
+    source: Optional[str] = None,
+    node: Optional[int] = None,
+    timeout: Optional[float] = 30.0,
+) -> PushResult:
+    """Push a list of complete lines over one connection.
+
+    With a ``source`` name the transfer is resumable: the server's ``HELLO``
+    offset is skipped, so calling this again with the same (or a grown)
+    list sends only the tail.  Anonymous pushes send everything.
+    """
+    with LineSender(host, port, unix_socket=unix_socket, timeout=timeout) as sender:
+        skipped = 0
+        if source is not None:
+            skipped = sender.hello(source, node)
+        to_send = lines[skipped:]
+        sender.send_lines(to_send)
+        accepted = sender.bye()
+    return PushResult(sent=len(to_send), skipped=skipped, accepted=accepted)
+
+
+def push_store(
+    store,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    unix_socket: Optional[str] = None,
+    source_prefix: str = "",
+    timeout: Optional[float] = 30.0,
+) -> dict[str, PushResult]:
+    """Replay every shard of an on-disk store at a daemon.
+
+    Each ``node_<id>.log`` becomes its own node-bound resumable source named
+    ``<source_prefix><filename>``; only newline-terminated lines are sent
+    (a shard mid-write is picked up on the next push).  Returns per-source
+    results keyed by source name.
+    """
+    store = pathlib.Path(store)
+    results: dict[str, PushResult] = {}
+    for shard in sorted(store.glob("node_*.log")):
+        source = source_prefix + shard.name
+        results[source] = push_lines(
+            read_complete_lines(shard),
+            host=host,
+            port=port,
+            unix_socket=unix_socket,
+            source=source,
+            node=tail_node_bind(shard),
+            timeout=timeout,
+        )
+    return results

@@ -1,0 +1,241 @@
+"""Minimal dependency-free HTTP/JSON query API for the daemon.
+
+A deliberately tiny HTTP/1.1 subset over asyncio streams: parse the request
+line and headers, route, respond with a JSON body and ``Connection: close``.
+Responses that must be comparable across doors (``/flows``, ``/flow/<p>``,
+``/reports``) serialize through :func:`repro.core.serialize.dumps_canonical`
+— byte-identical to ``refill analyze --flows-out`` on the same lines, which
+is the serve layer's correctness contract.
+
+Routes
+------
+======  ======================  =============================================
+GET     ``/healthz``            liveness (always 200 while the loop runs)
+GET     ``/readyz``             200 when ingest is drained and flows fresh
+GET     ``/packets``            every packet the session has evidence for
+GET     ``/flow/<packet>``      one packet's event flow (404 when unknown)
+GET     ``/flows``              all flows, canonical JSON
+GET     ``/report/<packet>``    one packet's loss report
+GET     ``/reports``            all loss reports
+GET     ``/summary``            diagnosis summary + ingest progress
+GET     ``/offsets``            per-source ingest offsets / corrupt counts
+GET     ``/metrics``            the run's metrics-registry snapshot
+POST    ``/checkpoint``         write a checkpoint now
+POST    ``/shutdown``           graceful drain + checkpoint + exit
+======  ======================  =============================================
+
+Every request lands in ``serve.requests{route=,code=}`` and its latency in
+``serve.request.seconds{route=}`` (the p50/p95 the bench baseline reports).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.analysis.causes import cause_shares, sink_split
+from repro.core.serialize import (
+    dumps_canonical,
+    flow_to_dict,
+    flows_to_json,
+    report_to_dict,
+    reports_to_json,
+)
+from repro.events.packet import PacketKey
+from repro.obs.registry import get_registry, timer
+from repro.obs.structlog import get_logger
+
+if TYPE_CHECKING:
+    from repro.serve.server import RefillServer
+
+_log = get_logger("refill.serve.http")
+
+_MAX_REQUEST_LINE = 8192
+_MAX_HEADERS = 100
+
+
+class QueryApi:
+    """Routes HTTP requests against a running :class:`RefillServer`."""
+
+    def __init__(self, server: "RefillServer") -> None:
+        self.server = server
+
+    # ------------------------------------------------------------------ #
+    # transport
+
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            async with asyncio.timeout(30.0):
+                request = await self._read_request(reader)
+        except (TimeoutError, ValueError, ConnectionError,
+                asyncio.IncompleteReadError):
+            writer.close()
+            return
+        if request is None:
+            writer.close()
+            return
+        method, path = request
+        route = self._route_label(path)
+        registry = get_registry()
+        with timer(registry.histogram("serve.request.seconds", route=route)):
+            try:
+                code, body = self._dispatch(method, path)
+            except Exception as exc:  # noqa: BLE001 - a query never kills the daemon
+                _log.warning("http.handler-error", path=path, error=str(exc))
+                code, body = 500, dumps_canonical({"error": "internal error"})
+        registry.counter("serve.requests", route=route, code=code).inc()
+        try:
+            writer.write(_response_bytes(code, body))
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # client went away mid-response; their problem, not ours
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    async def _read_request(
+        reader: asyncio.StreamReader,
+    ) -> Optional[tuple[str, str]]:
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        if len(request_line) > _MAX_REQUEST_LINE:
+            raise ValueError("request line too long")
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3:
+            raise ValueError("malformed request line")
+        method, target, _version = parts
+        content_length = 0
+        for _ in range(_MAX_HEADERS):
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, sep, value = header.decode("latin-1").partition(":")
+            if sep and name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    raise ValueError("bad content-length") from None
+        if content_length:
+            await reader.readexactly(min(content_length, 1 << 20))
+        path = target.split("?", 1)[0]
+        return method.upper(), path
+
+    # ------------------------------------------------------------------ #
+    # routing
+
+    @staticmethod
+    def _route_label(path: str) -> str:
+        """Low-cardinality metrics label for a request path."""
+        head = path.strip("/").split("/", 1)[0]
+        return head or "root"
+
+    def _dispatch(self, method: str, path: str) -> tuple[int, str]:
+        server = self.server
+        parts = [p for p in path.split("/") if p]
+        if method == "GET":
+            if path == "/healthz":
+                return 200, dumps_canonical({"status": "ok"})
+            if path == "/readyz":
+                ready, detail = server.readiness()
+                return (200 if ready else 503), dumps_canonical(detail)
+            if path == "/packets":
+                return 200, dumps_canonical(
+                    {"packets": [str(p) for p in server.session.packets()]}
+                )
+            if path == "/flows":
+                return 200, dumps_canonical(flows_to_json(server.session.flows()))
+            if path == "/reports":
+                return 200, dumps_canonical(reports_to_json(server.session.reports()))
+            if len(parts) == 2 and parts[0] in ("flow", "report"):
+                return self._packet_route(parts[0], parts[1])
+            if path == "/summary":
+                return 200, dumps_canonical(self._summary())
+            if path == "/offsets":
+                book = server.book
+                return 200, dumps_canonical(
+                    {
+                        "offsets": dict(sorted(book.ingested.items())),
+                        "received": dict(sorted(book.received.items())),
+                        "corrupt_lines": dict(sorted(book.corrupt.items())),
+                        "lines_ingested": book.lines_ingested,
+                    }
+                )
+            if path == "/metrics":
+                return 200, json.dumps(
+                    get_registry().snapshot().to_json(), sort_keys=True
+                )
+        elif method == "POST":
+            if path == "/checkpoint":
+                written = server.write_checkpoint()
+                if written is None:
+                    return 409, dumps_canonical(
+                        {"error": "no checkpoint path configured"}
+                    )
+                return 200, dumps_canonical(
+                    {"path": str(written), "packets": len(server.session.packets())}
+                )
+            if path == "/shutdown":
+                server.request_shutdown()
+                return 202, dumps_canonical({"status": "draining"})
+        else:
+            return 405, dumps_canonical({"error": f"method {method} not allowed"})
+        return 404, dumps_canonical({"error": f"no route for {path}"})
+
+    def _packet_route(self, kind: str, key: str) -> tuple[int, str]:
+        try:
+            packet = PacketKey.parse(key)
+        except ValueError:
+            return 400, dumps_canonical({"error": f"bad packet key {key!r}"})
+        session = self.server.session
+        if kind == "flow":
+            flow = session.flow(packet)
+            if flow is None:
+                return 404, dumps_canonical({"error": f"unknown packet {key}"})
+            return 200, dumps_canonical(flow_to_dict(flow))
+        report = session.reports().get(packet)
+        if report is None:
+            return 404, dumps_canonical({"error": f"unknown packet {key}"})
+        return 200, dumps_canonical(report_to_dict(report))
+
+    def _summary(self) -> dict[str, Any]:
+        server = self.server
+        reports = server.session.reports()
+        lost = sum(1 for r in reports.values() if r.lost)
+        summary: dict[str, Any] = {
+            "packets": len(reports),
+            "lost": lost,
+            "cause_shares": {
+                cause.value: share for cause, share in cause_shares(reports).items()
+            },
+            "pending": server.session.pending,
+            "batches_ingested": server.session.batches_ingested,
+            "lines_ingested": server.book.lines_ingested,
+            "sources": len(server.book.ingested),
+        }
+        if server.metadata is not None:
+            summary["sink_split"] = sink_split(reports, server.metadata.sink)
+        return summary
+
+
+def _response_bytes(code: int, body: str) -> bytes:
+    reason = {
+        200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+        405: "Method Not Allowed", 409: "Conflict", 500: "Internal Server Error",
+        503: "Service Unavailable",
+    }.get(code, "OK")
+    payload = (body + "\n").encode("utf-8")
+    head = (
+        f"HTTP/1.1 {code} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        f"Connection: close\r\n\r\n"
+    )
+    return head.encode("latin-1") + payload

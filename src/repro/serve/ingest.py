@@ -1,0 +1,241 @@
+"""Server-side ingest: connections, file tails, and the bounded queue.
+
+Readers (one task per connection, one per tailed file) frame bytes into
+complete lines with :class:`~repro.events.codec.LineAssembler` and enqueue
+them as :class:`IngestItem` batches on a *bounded* :class:`asyncio.Queue`.
+A full queue blocks the reader coroutine, which stops draining its socket —
+kernel buffers fill, the TCP window closes, and the producer is throttled
+instead of the daemon buffering unboundedly.  The single consumer (in
+:mod:`repro.serve.server`) decodes batches with the shared tolerant scanner
+and feeds the reconstruction session; decode work deliberately stays out of
+the readers so backpressure reflects *reconstruction* capacity, not parse
+capacity.
+
+Offsets bookkeeping lives in :class:`SourceBook`: ``received`` counts lines
+accepted off the wire (what a reconnecting ``HELLO`` must skip), and
+``ingested`` counts lines the consumer has fed to the session (what a
+checkpoint may safely record).  The gap between the two is exactly the
+queue — the served ``serve.ingest.lag_lines`` gauge.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pathlib
+import re
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.events.codec import DecodeIssue, LineAssembler, scan_log_text
+from repro.events.event import Event
+from repro.events.store import read_complete_lines
+from repro.obs.structlog import get_logger
+from repro.serve import protocol
+from repro.serve.config import ServeConfig
+
+_log = get_logger("refill.serve.ingest")
+
+#: Source name used for connections that never sent a ``HELLO``.
+ANONYMOUS_SOURCE = "(anonymous)"
+
+#: Shard file names carry their node id; tails of such files bind to it.
+_SHARD_NAME = re.compile(r"^node_(\d+)\.log$")
+
+
+@dataclass
+class IngestItem:
+    """One queued batch of complete lines from one source."""
+
+    source: Optional[str]
+    node_bind: Optional[int]
+    lines: list[str]
+
+
+@dataclass
+class SourceBook:
+    """Per-source line accounting (see module docstring)."""
+
+    #: Lines ingested into the session — the checkpointable truth.
+    ingested: dict[str, int] = field(default_factory=dict)
+    #: Lines accepted off the wire — what HELLO reports to clients.
+    received: dict[str, int] = field(default_factory=dict)
+    #: Lines the tolerant scanner (or a node binding) rejected.
+    corrupt: dict[str, int] = field(default_factory=dict)
+    #: Total ingested lines across every source, anonymous included.
+    lines_ingested: int = 0
+
+    def restore(self, offsets: dict[str, int], corrupt: dict[str, int],
+                lines_ingested: int) -> None:
+        """Adopt checkpointed offsets: received restarts at ingested."""
+        self.ingested = dict(offsets)
+        self.received = dict(offsets)
+        self.corrupt = dict(corrupt)
+        self.lines_ingested = lines_ingested
+
+    def lag_lines(self) -> int:
+        """Lines accepted but not yet ingested (the queue's content)."""
+        received = sum(self.received.values())
+        tracked = sum(
+            n for source, n in self.ingested.items() if source in self.received
+        )
+        return max(0, received - tracked)
+
+
+def decode_lines(
+    lines: list[str], node_bind: Optional[int]
+) -> tuple[dict[int, list[Event]], int]:
+    """Tolerantly decode a line batch into per-node ordered events.
+
+    Returns ``(events_by_node, corrupt_count)``.  With a node binding,
+    lines decoding to a different node count as corrupt and are dropped —
+    the exact rule :func:`repro.events.store.load_store` applies to
+    misfiled lines, which is what keeps served flows byte-identical to a
+    batch run over the same shard files.
+    """
+    events_by_node: dict[int, list[Event]] = {}
+    corrupt = 0
+    for _lineno, decoded in scan_log_text("\n".join(lines)):
+        if isinstance(decoded, DecodeIssue):
+            corrupt += 1
+            continue
+        if node_bind is not None and decoded.node != node_bind:
+            corrupt += 1
+            continue
+        events_by_node.setdefault(decoded.node, []).append(decoded)
+    return events_by_node, corrupt
+
+
+def tail_node_bind(path) -> Optional[int]:
+    """Node binding for a tailed file (``node_NNNN.log`` names bind)."""
+    match = _SHARD_NAME.match(pathlib.Path(path).name)
+    return int(match.group(1)) if match else None
+
+
+class IngestHub:
+    """Owns the bounded queue and the reader-side protocol."""
+
+    def __init__(self, config: ServeConfig, book: SourceBook) -> None:
+        self.config = config
+        self.book = book
+        self.queue: asyncio.Queue[IngestItem] = asyncio.Queue(
+            maxsize=config.ingest_queue_batches
+        )
+        self.connections_total = 0
+
+    # ------------------------------------------------------------------ #
+    # connection reader
+
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One ingest connection: optional HELLO, data lines, optional BYE.
+
+        Any exception is contained to this connection — a hostile or broken
+        peer never takes the daemon down.
+        """
+        self.connections_total += 1
+        assembler = LineAssembler()
+        source: Optional[str] = None
+        node_bind: Optional[int] = None
+        accepted = 0
+        first_line = True
+        pending: list[str] = []
+        try:
+            while True:
+                try:
+                    async with asyncio.timeout(self.config.flush_interval):
+                        chunk = await reader.read(65536)
+                except TimeoutError:
+                    # slow producer: ship what we have instead of sitting on it
+                    if pending:
+                        await self._enqueue(source, node_bind, pending)
+                        pending = []
+                    continue
+                if not chunk:
+                    break  # disconnect; partial tail (if any) is discarded
+                for line in assembler.feed(chunk):
+                    word = protocol.control_word(line)
+                    if word == protocol.HELLO and first_line:
+                        first_line = False
+                        try:
+                            hello = protocol.parse_hello(line)
+                        except ValueError as exc:
+                            writer.write(f"ERR {exc}\n".encode())
+                            await writer.drain()
+                            return
+                        source, node_bind = hello.source, hello.node
+                        offset = self.book.received.get(source, 0)
+                        writer.write(
+                            (protocol.format_ok(offset=offset) + "\n").encode()
+                        )
+                        await writer.drain()
+                        continue
+                    first_line = False
+                    if word == protocol.BYE:
+                        if pending:
+                            await self._enqueue(source, node_bind, pending)
+                            pending = []
+                        writer.write(
+                            (protocol.format_ok(accepted=accepted) + "\n").encode()
+                        )
+                        await writer.drain()
+                        return
+                    pending.append(line)
+                    accepted += 1
+                    if source is not None:
+                        self.book.received[source] = (
+                            self.book.received.get(source, 0) + 1
+                        )
+                    if len(pending) >= self.config.ingest_batch_lines:
+                        await self._enqueue(source, node_bind, pending)
+                        pending = []
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # mid-stream disconnects are normal operation
+        except Exception as exc:  # noqa: BLE001 - isolate hostile peers
+            _log.warning("ingest.connection-error", error=str(exc))
+        finally:
+            if pending:
+                await self._enqueue(source, node_bind, pending)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _enqueue(
+        self, source: Optional[str], node_bind: Optional[int], lines: list[str]
+    ) -> None:
+        await self.queue.put(IngestItem(source, node_bind, list(lines)))
+
+    # ------------------------------------------------------------------ #
+    # file tailing
+
+    async def tail_file(self, path, stop: asyncio.Event) -> None:
+        """Poll ``path`` for newly completed lines until ``stop`` is set.
+
+        The source id is the file's name; offsets make restarts resume at
+        the checkpointed line, and a vanished/unreadable file just pauses
+        the tail (deployments rotate and re-ship logs).
+        """
+        path = pathlib.Path(path)
+        source = path.name
+        node_bind = tail_node_bind(path)
+        while not stop.is_set():
+            offset = self.book.received.get(source, 0)
+            try:
+                lines = read_complete_lines(path, start_line=offset)
+            except OSError:
+                lines = []
+            if lines:
+                self.book.received[source] = offset + len(lines)
+                for start in range(0, len(lines), self.config.ingest_batch_lines):
+                    await self._enqueue(
+                        source,
+                        node_bind,
+                        lines[start : start + self.config.ingest_batch_lines],
+                    )
+            try:
+                async with asyncio.timeout(self.config.tail_interval):
+                    await stop.wait()
+            except TimeoutError:
+                continue

@@ -1,0 +1,102 @@
+"""The line-framed ingest protocol (shared by server and client).
+
+Transport is a byte stream (TCP or unix socket) carrying UTF-8 text lines.
+Every line is either a **data line** — the :mod:`repro.events.codec` format,
+tolerantly decoded, so garbled lines are counted and skipped instead of
+killing the connection — or one of two **control lines**:
+
+``HELLO source=<id> [node=<n>]``
+    Optional, first line only.  Declares a resumable *source*.  The server
+    replies ``OK offset=<k>``: the number of complete lines it has already
+    accepted from that source (across restarts, via the checkpoint), and the
+    client skips that many lines of its material.  ``node=<n>`` binds the
+    source to one node id: data lines decoding to a different node are
+    counted corrupt and dropped, mirroring the store loader's treatment of
+    misfiled lines — pushing a store's shards therefore reconstructs
+    byte-identically to loading the store from disk.
+
+``BYE``
+    Polite end of stream.  The server replies ``OK accepted=<n>`` (lines
+    accepted on this connection) and closes.  A plain disconnect is equally
+    fine; an unterminated trailing fragment is discarded either way.
+
+Offsets count every complete framed line — blank, corrupt or valid — so a
+client's resume arithmetic is simply "skip the first *k* lines of my file".
+Control words are reserved: a data line always contains ``=`` tokens and
+starts with ``node=``, so the grammar cannot collide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+HELLO = "HELLO"
+BYE = "BYE"
+OK = "OK"
+ERR = "ERR"
+
+
+@dataclass(frozen=True)
+class Hello:
+    """Parsed ``HELLO`` control line."""
+
+    source: str
+    node: Optional[int] = None
+
+    def format(self) -> str:
+        parts = [HELLO, f"source={self.source}"]
+        if self.node is not None:
+            parts.append(f"node={self.node}")
+        return " ".join(parts)
+
+
+def control_word(line: str) -> Optional[str]:
+    """``HELLO``/``BYE`` when ``line`` is a control line, else ``None``."""
+    word = line.split(" ", 1)[0]
+    return word if word in (HELLO, BYE) else None
+
+
+def parse_hello(line: str) -> Hello:
+    """Parse a ``HELLO`` line (raises ``ValueError`` on malformed input)."""
+    tokens = line.split()
+    if not tokens or tokens[0] != HELLO:
+        raise ValueError(f"not a HELLO line: {line!r}")
+    source: Optional[str] = None
+    node: Optional[int] = None
+    for token in tokens[1:]:
+        key, sep, value = token.partition("=")
+        if not sep or not value:
+            raise ValueError(f"malformed HELLO token {token!r}")
+        if key == "source":
+            source = value
+        elif key == "node":
+            node = int(value)
+        else:
+            raise ValueError(f"unknown HELLO key {key!r}")
+    if source is None:
+        raise ValueError("HELLO line missing source=")
+    return Hello(source=source, node=node)
+
+
+def format_ok(**fields: object) -> str:
+    """``OK key=value ...`` acknowledgement line."""
+    parts = [OK] + [f"{k}={v}" for k, v in fields.items()]
+    return " ".join(parts)
+
+
+def parse_ok(line: str) -> dict[str, str]:
+    """Parse an ``OK``/``ERR`` reply into its fields (raises on ``ERR``)."""
+    tokens = line.split()
+    if not tokens:
+        raise ValueError("empty reply line")
+    if tokens[0] == ERR:
+        raise ValueError(f"server error: {line!r}")
+    if tokens[0] != OK:
+        raise ValueError(f"unexpected reply: {line!r}")
+    fields: dict[str, str] = {}
+    for token in tokens[1:]:
+        key, sep, value = token.partition("=")
+        if sep:
+            fields[key] = value
+    return fields

@@ -1,0 +1,80 @@
+"""Run a :class:`RefillServer` on a background thread (tests, benchmarks).
+
+The daemon's natural habitat is a foreground process (``refill serve``),
+but tests and benchmarks want it *next to* the code exercising it.
+:class:`ServerThread` runs the server's event loop on a daemon thread,
+blocks until the listeners are bound (so ``tcp_port``/``http_port`` are
+real), and stops it through the same graceful-shutdown path SIGTERM takes —
+drain, refresh, checkpoint — so a stopped server's checkpoint is always
+valid to restart from.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.obs.registry import MetricsRegistry
+from repro.serve.config import ServeConfig
+from repro.serve.server import RefillServer
+
+
+class ServerThread:
+    """A live daemon on a background thread; context-manager friendly."""
+
+    def __init__(
+        self, config: ServeConfig, *, registry: Optional[MetricsRegistry] = None
+    ) -> None:
+        self.server = RefillServer(config, registry=registry)
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._error: Optional[BaseException] = None
+
+    @property
+    def tcp_port(self) -> int:
+        assert self.server.tcp_port is not None, "server not started"
+        return self.server.tcp_port
+
+    @property
+    def http_port(self) -> int:
+        assert self.server.http_port is not None, "server not started"
+        return self.server.http_port
+
+    def start(self, timeout: float = 30.0) -> "ServerThread":
+        """Start the loop; returns once the listeners are bound."""
+
+        def _run() -> None:
+            try:
+                self.server.run(ready=lambda _server: self._started.set())
+            except BaseException as exc:  # noqa: BLE001 - surfaced to starter
+                self._error = exc
+            finally:
+                self._started.set()
+
+        self._thread = threading.Thread(
+            target=_run, name="refill-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise TimeoutError("server did not start in time")
+        if self._error is not None:
+            raise RuntimeError("server failed to start") from self._error
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Graceful shutdown: drain, refresh, checkpoint, join."""
+        if self._thread is None:
+            return
+        self.server.request_shutdown()
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise TimeoutError("server did not stop in time")
+        self._thread = None
+        if self._error is not None:
+            raise RuntimeError("server crashed") from self._error
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

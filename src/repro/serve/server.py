@@ -1,0 +1,283 @@
+"""The live reconstruction daemon: ingest + checkpoint + query in one loop.
+
+:class:`RefillServer` wires the pieces together around one streaming
+:class:`~repro.core.session.ReconstructionSession` over an
+:class:`~repro.core.backends.IncrementalBackend`:
+
+- **readers** (:mod:`repro.serve.ingest`) frame connection/tail bytes into
+  line batches on a bounded queue;
+- a single **consumer** task decodes batches with the shared tolerant
+  scanner, feeds the session, refreshes dirty flows after an idle gap, and
+  writes periodic checkpoints;
+- the **query API** (:mod:`repro.serve.http`) answers from the same session
+  (auto-refreshing, so a query never sees stale flows).
+
+Everything runs on one event loop in one thread: session mutations happen
+only inside synchronous stretches of the consumer or a handler, so state is
+consistent at every ``await`` without locks.  Reconstruction is CPU work —
+a query issued mid-refresh waits; per-packet flows are tiny, so stalls are
+bounded by one batch, not the corpus.
+
+Graceful shutdown (SIGTERM/SIGINT or ``POST /shutdown``): stop accepting,
+drain the queued batches into the session, refresh, checkpoint, exit.
+Evidence still in a connection's socket buffer is *not* consumed — that is
+what per-source offsets are for: the restarted server tells each
+reconnecting source how much to skip, so nothing is lost and nothing is
+reprocessed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pathlib
+import signal
+import time
+from typing import Any, Callable, Optional
+
+from repro.core.backends.incremental import IncrementalBackend
+from repro.core.session import ReconstructionSession
+from repro.obs.registry import MetricsRegistry, get_registry, use_registry
+from repro.obs.structlog import get_logger
+from repro.serve.checkpoint import Checkpoint, load_checkpoint, save_checkpoint
+from repro.serve.config import ServeConfig
+from repro.serve.http import QueryApi
+from repro.serve.ingest import (
+    ANONYMOUS_SOURCE,
+    IngestHub,
+    IngestItem,
+    SourceBook,
+    decode_lines,
+)
+
+_log = get_logger("refill.serve")
+
+
+class RefillServer:
+    """A long-running reconstruction service over one streaming session."""
+
+    def __init__(
+        self, config: ServeConfig, *, registry: Optional[MetricsRegistry] = None
+    ) -> None:
+        self.config = config
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.metadata = config.metadata()
+        self.book = SourceBook()
+        self.hub = IngestHub(config, self.book)
+        self.api = QueryApi(self)
+        self.session = ReconstructionSession(
+            backend=IncrementalBackend(),
+            delivery_node=config.resolved_delivery_node(),
+            batch_size=config.batch_size,
+        )
+        #: Bound listener ports, published once the listeners are up.
+        self.tcp_port: Optional[int] = None
+        self.http_port: Optional[int] = None
+        #: Whether start-up restored state from an existing checkpoint.
+        self.restored = False
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._shutdown: Optional[asyncio.Event] = None
+        self._dirty_since_checkpoint = False
+
+    # ------------------------------------------------------------------ #
+    # checkpoint / restore
+
+    def restore(self) -> bool:
+        """Adopt the configured checkpoint if one exists on disk."""
+        path = self.config.resolved_checkpoint()
+        if path is None or not path.exists():
+            return False
+        checkpoint = load_checkpoint(path)
+        self.session.restore_state(checkpoint.session_state)
+        self.book.restore(
+            checkpoint.offsets, checkpoint.corrupt_lines, checkpoint.lines_ingested
+        )
+        _log.info(
+            "serve.restored",
+            checkpoint=str(path),
+            packets=len(self.session.packets()),
+            sources=len(self.book.ingested),
+            lines=self.book.lines_ingested,
+        )
+        return True
+
+    def write_checkpoint(self) -> Optional[pathlib.Path]:
+        """Write a checkpoint now; ``None`` when no path is configured."""
+        path = self.config.resolved_checkpoint()
+        if path is None:
+            return None
+        checkpoint = Checkpoint(
+            session_state=self.session.export_state(),
+            offsets=dict(self.book.ingested),
+            corrupt_lines=dict(self.book.corrupt),
+            lines_ingested=self.book.lines_ingested,
+        )
+        save_checkpoint(path, checkpoint)
+        get_registry().counter("serve.checkpoints").inc()
+        self._dirty_since_checkpoint = False
+        _log.debug("serve.checkpointed", path=str(path))
+        return path
+
+    # ------------------------------------------------------------------ #
+    # state probes
+
+    def readiness(self) -> tuple[bool, dict[str, Any]]:
+        """Whether ingest is drained and every flow is fresh."""
+        lag = self.book.lag_lines()
+        pending = self.session.pending
+        queued = self.hub.queue.qsize()
+        ready = lag == 0 and pending == 0 and queued == 0
+        return ready, {
+            "ready": ready,
+            "lag_lines": lag,
+            "pending_packets": pending,
+            "queued_batches": queued,
+        }
+
+    def request_shutdown(self) -> None:
+        """Trigger graceful shutdown; safe from any thread."""
+        loop, event = self._loop, self._shutdown
+        if loop is None or event is None:
+            return
+        loop.call_soon_threadsafe(event.set)
+
+    # ------------------------------------------------------------------ #
+    # the consumer
+
+    def _ingest_item(self, item: IngestItem) -> None:
+        events_by_node, corrupt = decode_lines(item.lines, item.node_bind)
+        if events_by_node:
+            self.session.ingest(events_by_node)
+        n = len(item.lines)
+        source = item.source if item.source is not None else ANONYMOUS_SOURCE
+        self.book.lines_ingested += n
+        if item.source is not None:
+            self.book.ingested[item.source] = (
+                self.book.ingested.get(item.source, 0) + n
+            )
+        registry = get_registry()
+        registry.counter("serve.ingest.lines").inc(n)
+        if corrupt:
+            self.book.corrupt[source] = self.book.corrupt.get(source, 0) + corrupt
+            registry.counter("codec.corrupt_lines", source=source).inc(corrupt)
+        self._dirty_since_checkpoint = True
+
+    def _update_gauges(self) -> None:
+        registry = get_registry()
+        registry.gauge("serve.ingest.lag_lines").set(self.book.lag_lines())
+        registry.gauge("serve.ingest.pending_packets").set(self.session.pending)
+        registry.gauge("serve.ingest.queue_batches").set(self.hub.queue.qsize())
+
+    async def _consume(self) -> None:
+        """Single writer of session state: dequeue, decode, ingest.
+
+        On an idle gap (``flush_interval`` with nothing queued) dirty flows
+        are refreshed so queries and the readiness probe see fresh results;
+        periodic checkpoints piggyback on the same cadence.
+        """
+        interval = self.config.checkpoint_interval
+        next_checkpoint = time.monotonic() + interval if interval > 0 else None
+        while True:
+            try:
+                # asyncio.timeout, not wait_for: wait_for wraps the get in a
+                # child task, and a cancellation arriving while it reaps that
+                # child on timeout is lost (bpo-42130 family) — the shutdown
+                # path then deadlocks awaiting a task that never finishes
+                async with asyncio.timeout(self.config.flush_interval):
+                    item = await self.hub.queue.get()
+            except TimeoutError:
+                if self.session.pending:
+                    self.session.refresh()
+                self._update_gauges()
+            else:
+                self._ingest_item(item)
+                self.hub.queue.task_done()
+                self._update_gauges()
+            if (
+                next_checkpoint is not None
+                and self._dirty_since_checkpoint
+                and time.monotonic() >= next_checkpoint
+            ):
+                self.write_checkpoint()
+                next_checkpoint = time.monotonic() + interval
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+
+    async def _main(self, ready: Optional[Callable[["RefillServer"], None]]) -> None:
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        self._shutdown = asyncio.Event()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self._shutdown.set)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # non-main thread or unsupported platform
+        self.restored = self.restore()
+
+        servers: list[asyncio.AbstractServer] = []
+        tcp = await asyncio.start_server(
+            self.hub.handle_connection, self.config.host, self.config.port
+        )
+        servers.append(tcp)
+        self.tcp_port = tcp.sockets[0].getsockname()[1]
+        if self.config.unix_socket is not None:
+            servers.append(
+                await asyncio.start_unix_server(
+                    self.hub.handle_connection, path=self.config.unix_socket
+                )
+            )
+        http = await asyncio.start_server(
+            self.api.handle_connection, self.config.http_host, self.config.http_port
+        )
+        servers.append(http)
+        self.http_port = http.sockets[0].getsockname()[1]
+
+        consumer = asyncio.create_task(self._consume())
+        tails = [
+            asyncio.create_task(self.hub.tail_file(path, self._shutdown))
+            for path in self.config.tail
+        ]
+        _log.info(
+            "serve.listening",
+            ingest_port=self.tcp_port,
+            http_port=self.http_port,
+            unix_socket=self.config.unix_socket or "-",
+            tails=len(tails),
+            restored=self.restored,
+        )
+        if ready is not None:
+            ready(self)
+
+        await self._shutdown.wait()
+        _log.info("serve.draining", queued=self.hub.queue.qsize())
+        for server in servers:
+            server.close()
+        for server in servers:
+            await server.wait_closed()
+        consumer.cancel()
+        await asyncio.gather(consumer, *tails, return_exceptions=True)
+        # drain whatever the readers got onto the queue before we stopped
+        while not self.hub.queue.empty():
+            self._ingest_item(self.hub.queue.get_nowait())
+        if self.session.pending:
+            self.session.refresh()
+        self._update_gauges()
+        written = self.write_checkpoint()
+        if self.config.unix_socket is not None:
+            pathlib.Path(self.config.unix_socket).unlink(missing_ok=True)
+        _log.info(
+            "serve.stopped",
+            packets=len(self.session.packets()),
+            lines=self.book.lines_ingested,
+            checkpoint=str(written) if written else "-",
+        )
+
+    def run(self, ready: Optional[Callable[["RefillServer"], None]] = None) -> int:
+        """Blocking entry point: serve until SIGTERM/SIGINT or ``/shutdown``.
+
+        All instrumentation of the daemon (and of the reconstruction it
+        hosts) lands in ``self.registry`` — what ``GET /metrics`` serves.
+        """
+        with use_registry(self.registry):
+            asyncio.run(self._main(ready))
+        return 0

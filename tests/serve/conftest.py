@@ -1,0 +1,31 @@
+"""Shared fixtures for the serve-layer suite.
+
+One small simulated store serves every test module (session scope — the
+simulation is the expensive part), together with its batch reference: the
+canonical flows JSON a ``refill analyze --backend incremental --flows-out``
+run produces.  Byte equality against that string is the serve layer's
+correctness contract.
+"""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="session")
+def store(tmp_path_factory):
+    out = tmp_path_factory.mktemp("serve") / "store"
+    code = main(["simulate", "--nodes", "14", "--days", "1", "--seed", "11",
+                 "--out", str(out)])
+    assert code == 0
+    return out
+
+
+@pytest.fixture(scope="session")
+def batch_flows(store, tmp_path_factory):
+    """Canonical flows JSON from a batch run over the same store."""
+    out = tmp_path_factory.mktemp("batch") / "flows.json"
+    code = main(["analyze", "-q", "--logs", str(store), "--no-check",
+                 "--backend", "incremental", "--flows-out", str(out)])
+    assert code == 0
+    return out.read_text().strip()

@@ -1,0 +1,104 @@
+"""Checkpoint format, atomic persistence, and session state round-trips."""
+
+import json
+
+import pytest
+
+from repro.core.backends.incremental import IncrementalBackend
+from repro.core.serialize import dumps_canonical, flows_to_json, reports_to_json
+from repro.core.session import ReconstructionSession
+from repro.events.store import load_store
+from repro.serve.checkpoint import (
+    CHECKPOINT_VERSION,
+    Checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+
+def _session(store_dir, **kwargs):
+    meta = load_store(store_dir).metadata
+    return ReconstructionSession(
+        backend=IncrementalBackend(),
+        delivery_node=meta.base_station,
+        **kwargs,
+    )
+
+
+class TestCheckpointFile:
+    def test_round_trip(self, tmp_path):
+        checkpoint = Checkpoint(
+            session_state={"version": 1, "flows": {}},
+            offsets={"node_0001.log": 42},
+            corrupt_lines={"node_0001.log": 3},
+            lines_ingested=45,
+        )
+        path = save_checkpoint(tmp_path / "cp.json", checkpoint)
+        assert load_checkpoint(path) == checkpoint
+
+    def test_atomic_write_leaves_no_temp_file(self, tmp_path):
+        path = tmp_path / "deep" / "cp.json"
+        save_checkpoint(path, Checkpoint(session_state={}))
+        assert path.exists()
+        assert list(path.parent.glob("*.tmp")) == []
+
+    def test_version_mismatch_raises(self, tmp_path):
+        path = tmp_path / "cp.json"
+        data = Checkpoint(session_state={}).to_json()
+        data["version"] = CHECKPOINT_VERSION + 1
+        path.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="version"):
+            load_checkpoint(path)
+
+    def test_torn_file_raises(self, tmp_path):
+        path = tmp_path / "cp.json"
+        path.write_text('{"version": 1, "session": {')
+        with pytest.raises(ValueError):
+            load_checkpoint(path)
+
+
+class TestSessionStateRoundTrip:
+    def test_export_restore_preserves_flows_and_reports(self, store):
+        loaded = load_store(store)
+        session = _session(store)
+        session.ingest(
+            {node: list(log) for node, log in loaded.logs.items()}
+        )
+        session.refresh()
+        state = session.export_state()
+
+        restored = _session(store)
+        restored.restore_state(state)
+        assert dumps_canonical(flows_to_json(restored.flows())) == dumps_canonical(
+            flows_to_json(session.flows())
+        )
+        assert dumps_canonical(
+            reports_to_json(restored.reports())
+        ) == dumps_canonical(reports_to_json(session.reports()))
+        assert restored.batches_ingested == session.batches_ingested
+
+    def test_restore_mid_ingest_then_continue(self, store):
+        """Export with dirty packets pending, restore, finish ingest —
+        results must match a straight-through run."""
+        loaded = load_store(store)
+        nodes = sorted(loaded.logs)
+        half = len(nodes) // 2
+
+        straight = _session(store)
+        straight.ingest({n: list(loaded.logs[n]) for n in nodes})
+
+        first = _session(store)
+        first.ingest({n: list(loaded.logs[n]) for n in nodes[:half]})
+        state = first.export_state()  # dirty set intentionally non-empty
+
+        second = _session(store)
+        second.restore_state(state)
+        second.ingest({n: list(loaded.logs[n]) for n in nodes[half:]})
+        assert dumps_canonical(flows_to_json(second.flows())) == dumps_canonical(
+            flows_to_json(straight.flows())
+        )
+
+    def test_unsupported_state_version_raises(self, store):
+        session = _session(store)
+        with pytest.raises(ValueError, match="version"):
+            session.restore_state({"version": 999})

@@ -1,0 +1,132 @@
+"""Query API surface: routes, status codes, payload shapes."""
+
+import json
+
+import pytest
+
+from repro.serve import ServeConfig, ServerThread
+from repro.serve.client import push_store
+from tests.serve.util import http_json, http_req, wait_ready
+
+
+@pytest.fixture(scope="module")
+def server(store, tmp_path_factory):
+    """One populated daemon for the whole module (read-only queries)."""
+    tmp = tmp_path_factory.mktemp("http")
+    config = ServeConfig(
+        store=str(store),
+        checkpoint_path=str(tmp / "cp.json"),
+        flush_interval=0.05,
+    )
+    with ServerThread(config) as thread:
+        push_store(store, port=thread.tcp_port)
+        wait_ready(thread.http_port)
+        yield thread
+
+
+class TestProbes:
+    def test_healthz(self, server):
+        status, body = http_json(server.http_port, "/healthz")
+        assert status == 200 and body == {"status": "ok"}
+
+    def test_readyz_reports_detail(self, server):
+        status, body = http_json(server.http_port, "/readyz")
+        assert status == 200
+        assert body == {
+            "ready": True,
+            "lag_lines": 0,
+            "pending_packets": 0,
+            "queued_batches": 0,
+        }
+
+
+class TestQueries:
+    def test_packets_lists_every_known_packet(self, server):
+        _, body = http_json(server.http_port, "/packets")
+        assert len(body["packets"]) > 0
+        assert all(p.startswith("p") for p in body["packets"])
+
+    def test_single_flow_matches_bulk_entry(self, server):
+        _, packets = http_json(server.http_port, "/packets")
+        key = packets["packets"][0]
+        _, flows_body = http_req(server.http_port, "/flows")
+        _, one_body = http_req(server.http_port, f"/flow/{key}")
+        assert json.loads(flows_body)[key] == json.loads(one_body)
+
+    def test_single_report_matches_bulk_entry(self, server):
+        _, packets = http_json(server.http_port, "/packets")
+        key = packets["packets"][-1]
+        _, reports = http_json(server.http_port, "/reports")
+        _, one = http_json(server.http_port, f"/report/{key}")
+        assert reports[key] == one
+
+    def test_summary_shape(self, server):
+        _, summary = http_json(server.http_port, "/summary")
+        assert summary["packets"] > 0
+        assert 0 <= summary["lost"] <= summary["packets"]
+        assert abs(sum(summary["cause_shares"].values()) - 100.0) < 1e-6
+        assert summary["sources"] > 0
+        assert "sink_split" in summary  # store metadata is configured
+
+    def test_offsets_shape(self, server):
+        _, offsets = http_json(server.http_port, "/offsets")
+        assert offsets["offsets"] == offsets["received"]  # drained
+        assert offsets["lines_ingested"] == sum(offsets["offsets"].values())
+
+    def test_metrics_exposes_serve_and_engine_counters(self, server):
+        _, snap = http_json(server.http_port, "/metrics")
+        assert snap["counters"]["serve.ingest.lines"] > 0
+        assert snap["counters"]["refill.packets"] > 0
+        assert any(
+            name.startswith("serve.requests") for name in snap["counters"]
+        )
+        assert any(
+            name.startswith("serve.request.seconds")
+            for name in snap["histograms"]
+        )
+
+
+class TestErrors:
+    def test_unknown_route_is_404(self, server):
+        status, body = http_json(server.http_port, "/nope")
+        assert status == 404 and "error" in body
+
+    def test_bad_packet_key_is_400(self, server):
+        status, _ = http_req(server.http_port, "/flow/banana")
+        assert status == 400
+
+    def test_unknown_packet_is_404(self, server):
+        status, _ = http_req(server.http_port, "/flow/p999999.999999")
+        assert status == 404
+        status, _ = http_req(server.http_port, "/report/p999999.999999")
+        assert status == 404
+
+    def test_wrong_method_is_405(self, server):
+        status, _ = http_req(server.http_port, "/healthz", method="PUT")
+        assert status == 405
+
+    def test_get_on_post_route_is_404(self, server):
+        status, _ = http_req(server.http_port, "/shutdown")
+        assert status == 404
+
+
+class TestCheckpointRoute:
+    def test_post_checkpoint_writes_file(self, store, tmp_path):
+        config = ServeConfig(
+            store=str(store),
+            checkpoint_path=str(tmp_path / "on-demand.json"),
+            flush_interval=0.05,
+        )
+        with ServerThread(config) as thread:
+            status, body = http_json(
+                thread.http_port, "/checkpoint", method="POST"
+            )
+            assert status == 200
+            assert (tmp_path / "on-demand.json").exists()
+            assert body["packets"] == 0
+
+    def test_post_checkpoint_without_path_is_409(self, tmp_path):
+        config = ServeConfig(flush_interval=0.05)  # no store, no path
+        with ServerThread(config) as thread:
+            status, _ = http_json(thread.http_port, "/checkpoint", method="POST")
+            assert status == 409

@@ -1,0 +1,138 @@
+"""Framing and protocol primitives: LineAssembler, offsets, HELLO/BYE."""
+
+import socket
+
+import pytest
+
+from repro.events.codec import LineAssembler
+from repro.events.store import read_complete_lines
+from repro.serve import ServeConfig, ServerThread
+from repro.serve.protocol import (
+    Hello,
+    control_word,
+    format_ok,
+    parse_hello,
+    parse_ok,
+)
+
+
+class TestLineAssembler:
+    def test_reassembles_across_arbitrary_chunking(self):
+        payload = b"alpha\nbeta\r\ngamma\n"
+        for size in (1, 2, 3, 5, 100):
+            assembler = LineAssembler()
+            lines = []
+            for i in range(0, len(payload), size):
+                lines.extend(assembler.feed(payload[i : i + size]))
+            assert lines == ["alpha", "beta", "gamma"]
+            assert not assembler.partial
+
+    def test_unterminated_tail_is_held_back(self):
+        assembler = LineAssembler()
+        assert assembler.feed(b"complete\npart") == ["complete"]
+        assert assembler.partial
+        assert assembler.feed(b"ial\n") == ["partial"]
+        assert not assembler.partial
+
+    def test_blank_lines_are_preserved_in_framing(self):
+        # framing counts every terminated line; decoding skips blanks later
+        assert LineAssembler().feed(b"\n\nx\n") == ["", "", "x"]
+
+    def test_undecodable_bytes_are_replaced_not_raised(self):
+        lines = LineAssembler().feed(b"ok\n\xff\xfe broken\n")
+        assert len(lines) == 2 and "broken" in lines[1]
+
+
+class TestReadCompleteLines:
+    def test_excludes_trailing_partial_and_resumes_by_offset(self, tmp_path):
+        file = tmp_path / "tail.log"
+        file.write_text("one\ntwo\nthr")  # writer caught mid-append
+        assert read_complete_lines(file) == ["one", "two"]
+        file.write_text("one\ntwo\nthree\nfour\n")
+        assert read_complete_lines(file, start_line=2) == ["three", "four"]
+
+    def test_rejects_negative_offset(self, tmp_path):
+        file = tmp_path / "x.log"
+        file.write_text("a\n")
+        with pytest.raises(ValueError):
+            read_complete_lines(file, start_line=-1)
+
+
+class TestControlLines:
+    def test_hello_round_trip(self):
+        hello = Hello(source="node_0007.log", node=7)
+        assert parse_hello(hello.format()) == hello
+        assert parse_hello("HELLO source=x") == Hello(source="x", node=None)
+
+    @pytest.mark.parametrize("bad", [
+        "HELLO", "HELLO node=3", "HELLO source=", "HELLO source=x extra",
+        "HELLO source=x shade=9", "BYE",
+    ])
+    def test_malformed_hello_raises(self, bad):
+        with pytest.raises(ValueError):
+            parse_hello(bad)
+
+    def test_control_word_never_matches_data_lines(self):
+        assert control_word("HELLO source=x") == "HELLO"
+        assert control_word("BYE") == "BYE"
+        assert control_word("node=3 type=send pkt=p1.3") is None
+        assert control_word("") is None
+
+    def test_ok_round_trip_and_err(self):
+        assert parse_ok(format_ok(offset=41)) == {"offset": "41"}
+        assert parse_ok("OK") == {}
+        with pytest.raises(ValueError):
+            parse_ok("ERR no such source")
+        with pytest.raises(ValueError):
+            parse_ok("node=3 type=send")
+
+
+class TestWireHandshake:
+    """Raw-socket conversations against a live daemon."""
+
+    @pytest.fixture()
+    def server(self, tmp_path):
+        config = ServeConfig(
+            checkpoint_path=str(tmp_path / "cp.json"), flush_interval=0.05
+        )
+        with ServerThread(config) as thread:
+            yield thread
+
+    def _talk(self, port: int, payload: bytes, replies: int) -> list[str]:
+        with socket.create_connection(("127.0.0.1", port), timeout=30) as sock:
+            sock.sendall(payload)
+            out = []
+            with sock.makefile("rb") as rfile:
+                for _ in range(replies):
+                    out.append(rfile.readline().decode().strip())
+            return out
+
+    def test_hello_then_bye_reports_offset_and_accepted(self, server):
+        replies = self._talk(
+            server.tcp_port,
+            b"HELLO source=s1\nnode=1 type=send pkt=p1.1\n\nBYE\n",
+            replies=2,
+        )
+        assert replies[0] == "OK offset=0"
+        # blank line counts: offsets are framed lines, not decoded events
+        assert replies[1] == "OK accepted=2"
+        replies = self._talk(
+            server.tcp_port, b"HELLO source=s1\nBYE\n", replies=2
+        )
+        assert replies[0] == "OK offset=2"
+
+    def test_malformed_hello_gets_err_not_crash(self, server):
+        replies = self._talk(server.tcp_port, b"HELLO shade=9\n", replies=1)
+        assert replies[0].startswith("ERR")
+        # daemon is still alive and talking
+        replies = self._talk(server.tcp_port, b"HELLO source=ok\nBYE\n", replies=2)
+        assert replies == ["OK offset=0", "OK accepted=0"]
+
+    def test_hello_only_valid_as_first_line(self, server):
+        replies = self._talk(
+            server.tcp_port,
+            b"node=1 type=send pkt=p2.1\nHELLO source=late\nBYE\n",
+            replies=1,
+        )
+        # the late HELLO is treated as a data line (counted, not honored)
+        assert replies[0] == "OK accepted=2"

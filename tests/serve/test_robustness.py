@@ -1,0 +1,160 @@
+"""The daemon under hostile input: garbled corpora, broken peers, tiny
+queues.  Reuses the stress harness's fault operators so "corrupt" means the
+same thing here as in the fault-injection campaigns."""
+
+import random
+import shutil
+import socket
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.events.store import load_store, read_complete_lines
+from repro.serve import ServeConfig, ServerThread
+from repro.serve.client import push_store
+from repro.stress.faults import GarbleLines
+from tests.serve.util import http_json, http_req, wait_ready
+
+
+@pytest.fixture(scope="module")
+def garbled_store(store, tmp_path_factory):
+    """The shared store with ~20% of lines damaged GarbleLines-style."""
+    out = tmp_path_factory.mktemp("garbled") / "store"
+    shutil.copytree(store, out)
+    GarbleLines(p=0.2).apply(out, random.Random(23))
+    return out
+
+
+@pytest.fixture(scope="module")
+def garbled_batch_flows(garbled_store, tmp_path_factory):
+    out = tmp_path_factory.mktemp("garbled-batch") / "flows.json"
+    code = main(["analyze", "-q", "--logs", str(garbled_store), "--no-check",
+                 "--backend", "incremental", "--flows-out", str(out)])
+    assert code == 0
+    return out.read_text().strip()
+
+
+class TestGarbledCorpus:
+    def test_garbled_push_matches_garbled_batch(
+        self, garbled_store, garbled_batch_flows, tmp_path
+    ):
+        """Corrupt lines are counted and skipped identically on both doors —
+        including lines whose node field was garbled into a *different valid
+        node id*, which the shard binding drops just like the store loader."""
+        config = ServeConfig(
+            store=str(garbled_store),
+            checkpoint_path=str(tmp_path / "cp.json"),
+            flush_interval=0.05,
+        )
+        with ServerThread(config) as thread:
+            push_store(garbled_store, port=thread.tcp_port)
+            wait_ready(thread.http_port)
+            _, served = http_req(thread.http_port, "/flows")
+            _, offsets = http_json(thread.http_port, "/offsets")
+        assert served.strip() == garbled_batch_flows
+        batch_corrupt = sum(load_store(garbled_store).corrupt_lines.values())
+        assert batch_corrupt > 0
+        assert sum(offsets["corrupt_lines"].values()) == batch_corrupt
+
+    def test_corrupt_lines_metric_is_exported(self, garbled_store, tmp_path):
+        config = ServeConfig(
+            store=str(garbled_store),
+            checkpoint_path=str(tmp_path / "cp.json"),
+            flush_interval=0.05,
+        )
+        with ServerThread(config) as thread:
+            push_store(garbled_store, port=thread.tcp_port)
+            wait_ready(thread.http_port)
+            _, metrics = http_json(thread.http_port, "/metrics")
+        corrupt = [
+            value for name, value in metrics["counters"].items()
+            if name.startswith("codec.corrupt_lines")
+        ]
+        assert corrupt and sum(corrupt) > 0
+
+
+class TestBrokenPeers:
+    @pytest.fixture()
+    def server(self, tmp_path):
+        config = ServeConfig(
+            checkpoint_path=str(tmp_path / "cp.json"), flush_interval=0.05
+        )
+        with ServerThread(config) as thread:
+            yield thread
+
+    def test_mid_line_disconnect_drops_fragment_only(self, server):
+        with socket.create_connection(
+            ("127.0.0.1", server.tcp_port), timeout=30
+        ) as sock:
+            sock.sendall(
+                b"HELLO source=flaky\n"
+                b"node=1 type=send pkt=p1.1\n"
+                b"node=1 type=ack pkt=p1."  # cut mid-line, no newline
+            )
+            with sock.makefile("rb") as rfile:
+                assert rfile.readline().strip() == b"OK offset=0"
+            # abrupt close: no BYE, unterminated fragment in flight
+        wait_ready(server.http_port)
+        _, offsets = http_json(server.http_port, "/offsets")
+        assert offsets["offsets"] == {"flaky": 1}  # the complete line only
+        status, _ = http_req(server.http_port, "/healthz")
+        assert status == 200
+
+    def test_resume_after_mid_line_disconnect(self, server):
+        lines = [
+            "node=2 type=gen pkt=p9.2",
+            "node=2 type=send pkt=p9.2 dst=1",
+            "node=2 type=ack pkt=p9.2",
+        ]
+        with socket.create_connection(
+            ("127.0.0.1", server.tcp_port), timeout=30
+        ) as sock:
+            payload = lines[0] + "\n" + lines[1][:10]  # dies mid-second-line
+            sock.sendall(b"HELLO source=retry\n" + payload.encode())
+            with sock.makefile("rb") as rfile:
+                assert rfile.readline().strip() == b"OK offset=0"
+        wait_ready(server.http_port)
+
+        from repro.serve.client import push_lines
+
+        result = push_lines(lines, port=server.tcp_port, source="retry")
+        assert result.skipped == 1 and result.sent == 2
+        wait_ready(server.http_port)
+        _, summary = http_json(server.http_port, "/summary")
+        assert summary["lines_ingested"] == 3
+
+    def test_garbage_bytes_never_kill_the_daemon(self, server):
+        with socket.create_connection(
+            ("127.0.0.1", server.tcp_port), timeout=30
+        ) as sock:
+            sock.sendall(b"\x00\xff\xfe garbage ===\n" * 50 + b"\x00\x01")
+        time.sleep(0.2)
+        wait_ready(server.http_port)
+        status, _ = http_req(server.http_port, "/healthz")
+        assert status == 200
+        _, summary = http_json(server.http_port, "/summary")
+        assert summary["lines_ingested"] == 50
+
+
+class TestBackpressure:
+    def test_tiny_queue_throttles_but_completes(
+        self, store, batch_flows, tmp_path
+    ):
+        """queue=1 batch of 8 lines: the producer is throttled through the
+        TCP window, never deadlocked, and the result is still exact."""
+        config = ServeConfig(
+            store=str(store),
+            checkpoint_path=str(tmp_path / "cp.json"),
+            flush_interval=0.05,
+            ingest_queue_batches=1,
+            ingest_batch_lines=8,
+        )
+        with ServerThread(config) as thread:
+            results = push_store(store, port=thread.tcp_port)
+            total = sum(len(read_complete_lines(s))
+                        for s in store.glob("node_*.log"))
+            assert sum(r.sent for r in results.values()) == total
+            wait_ready(thread.http_port)
+            _, served = http_req(thread.http_port, "/flows")
+        assert served.strip() == batch_flows

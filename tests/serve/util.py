@@ -1,0 +1,36 @@
+"""Tiny HTTP/socket helpers for the serve-layer tests."""
+
+import http.client
+import json
+import time
+
+
+def http_req(port: int, path: str, method: str = "GET") -> tuple[int, str]:
+    """One request against a local daemon; returns ``(status, body)``."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        conn.request(method, path)
+        resp = conn.getresponse()
+        return resp.status, resp.read().decode("utf-8")
+    finally:
+        conn.close()
+
+
+def http_json(port: int, path: str, method: str = "GET"):
+    status, body = http_req(port, path, method)
+    return status, json.loads(body)
+
+
+def wait_ready(port: int, timeout: float = 30.0) -> None:
+    """Poll ``/readyz`` until ingest is drained and flows are fresh."""
+    deadline = time.monotonic() + timeout
+    last = None
+    while time.monotonic() < deadline:
+        try:
+            status, last = http_req(port, "/readyz")
+        except OSError:
+            status = None
+        if status == 200:
+            return
+        time.sleep(0.05)
+    raise TimeoutError(f"server not ready in {timeout}s: {last}")

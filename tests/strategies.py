@@ -16,6 +16,8 @@ import string
 
 from hypothesis import strategies as st
 
+from repro.core.diagnosis import LossCause, LossReport
+from repro.core.event_flow import EventFlow
 from repro.events.codec import encode_event
 from repro.events.event import Event
 from repro.events.log import NodeLog
@@ -70,6 +72,43 @@ def node_logs(node: int, *, max_events: int = 20):
             ],
         )
     )
+
+
+loss_reports = st.builds(
+    LossReport,
+    cause=st.sampled_from(list(LossCause)),
+    position=st.none() | st.integers(min_value=0, max_value=9999),
+    anchor=st.none() | events,
+)
+
+
+@st.composite
+def event_flows(draw) -> EventFlow:
+    """A populated :class:`EventFlow`: entries with provenance, order
+    edges, omissions, anomalies and per-node engine state."""
+    flow = EventFlow(draw(st.none() | packet_keys))
+    for event in draw(st.lists(events, max_size=8)):
+        flow.append(
+            event,
+            inferred=draw(st.booleans()),
+            provenance=draw(st.sampled_from(["logged", "inferred", "premise"])),
+        )
+    n = len(flow.entries)
+    if n >= 2:
+        for _ in range(draw(st.integers(min_value=0, max_value=6))):
+            before = draw(st.integers(min_value=0, max_value=n - 1))
+            after = draw(st.integers(min_value=0, max_value=n - 1))
+            if before != after:
+                flow.add_order(before, after)
+    flow.omitted.extend(draw(st.lists(events, max_size=3)))
+    flow.anomalies.extend(draw(st.lists(SAFE_TEXT, max_size=3)))
+    for node in draw(
+        st.lists(st.integers(min_value=0, max_value=9999), unique=True, max_size=4)
+    ):
+        states = draw(st.lists(SAFE_TEXT, min_size=1, max_size=4, unique=True))
+        flow.visited_states[node] = frozenset(states)
+        flow.final_states[node] = draw(st.sampled_from(states))
+    return flow
 
 
 #: The garbler's injection alphabet (see ``repro.stress.faults._NOISE``).

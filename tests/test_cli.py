@@ -1,6 +1,7 @@
 """End-to-end tests for the CLI (`refill` / `python -m repro`)."""
 
 import json
+import pathlib
 
 import pytest
 
@@ -146,3 +147,80 @@ class TestParser:
     def test_defaults(self):
         args = build_parser().parse_args(["simulate"])
         assert args.nodes == 100 and args.days == 5
+
+
+class TestVersion:
+    def test_version_flag_prints_version_and_exits_zero(self, capsys):
+        from repro.cli import _version_string
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out.strip()
+        assert out.endswith(_version_string())
+        assert out.split()[-1][0].isdigit()  # looks like a version number
+
+    def test_version_string_falls_back_to_source_tree(self, monkeypatch):
+        from importlib import metadata
+
+        from repro import __version__
+        from repro.cli import _version_string
+
+        def missing(_name):
+            raise metadata.PackageNotFoundError
+
+        monkeypatch.setattr(metadata, "version", missing)
+        assert _version_string() == __version__
+
+
+class TestBrokenPipe:
+    def test_broken_pipe_exits_with_sigpipe_status(self, monkeypatch, capsys):
+        """`refill analyze | head` must die quietly with 128 + SIGPIPE.
+
+        capsys keeps the handler's dup2-to-devnull away from pytest's
+        fd-level capture (an in-memory stdout has no fileno, which the
+        handler tolerates — same as an already-closed real stdout).
+        """
+        from repro import cli
+
+        def reader_went_away(_args):
+            raise BrokenPipeError
+
+        monkeypatch.setattr(cli, "_cmd_analyze", reader_went_away)
+        assert main(["analyze", "-q", "--logs", "ignored"]) == 141
+
+    def test_broken_pipe_in_real_pipeline(self, log_dir):
+        """End to end: a reader that hangs up never produces a traceback."""
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        root = pathlib.Path(__file__).resolve().parent.parent
+        env["PYTHONPATH"] = str(root / "src")
+        script = (
+            "import sys\n"
+            "from repro.cli import main\n"
+            "class Burst:\n"
+            "    @staticmethod\n"
+            "    def run(args):\n"
+            "        for _ in range(100000):\n"
+            "            print('x' * 80)\n"
+            "        return 0\n"
+            "import repro.cli as cli\n"
+            "cli._cmd_analyze = Burst.run\n"
+            f"sys.exit(main(['analyze', '-q', '--logs', {str(log_dir)!r}]))\n"
+        )
+        writer = subprocess.Popen(
+            [sys.executable, "-c", script],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+        )
+        assert writer.stdout is not None
+        writer.stdout.read(80)  # take one line's worth, then hang up
+        writer.stdout.close()
+        _, err = writer.communicate(timeout=60)
+        assert writer.returncode == 141
+        assert b"Traceback" not in err
+        assert b"Exception ignored" not in err
