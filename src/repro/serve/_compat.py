@@ -1,0 +1,68 @@
+"""Interpreter-version shims for the serve layer.
+
+``asyncio.timeout`` arrived in Python 3.11, but the project supports 3.10
+(``requires-python >= 3.10`` and the CI matrix runs it).  The serve layer
+deliberately does not use ``wait_for`` instead: ``wait_for`` wraps the
+awaited coroutine in a child task, and a real cancellation that races the
+timeout's reap of that child can be lost (the bpo-42130 family) — which
+would deadlock the daemon's shutdown path.  :class:`_TimeoutBackport`
+reproduces the piece of the 3.11 contract the daemon relies on: arm a
+timer, cancel *the current task* when it fires, and translate that one
+self-inflicted cancellation into ``TimeoutError`` on exit while letting a
+genuine external cancellation through untouched.
+
+The backport class is defined unconditionally so the 3.10 code path stays
+under test on every interpreter; :data:`timeout` is what the serve layer
+imports, and resolves to the stdlib implementation where it exists.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+from typing import Optional
+
+
+class _TimeoutBackport:
+    """``async with`` deadline for Python 3.10 (see module docstring)."""
+
+    __slots__ = ("_delay", "_task", "_handle", "_expired")
+
+    def __init__(self, delay: float) -> None:
+        self._delay = delay
+        self._task: Optional[asyncio.Task] = None
+        self._handle: Optional[asyncio.TimerHandle] = None
+        self._expired = False
+
+    async def __aenter__(self) -> "_TimeoutBackport":
+        self._task = asyncio.current_task()
+        if self._task is None:
+            raise RuntimeError("timeout() must be used inside a task")
+        loop = asyncio.get_running_loop()
+        self._handle = loop.call_later(self._delay, self._on_timeout)
+        return self
+
+    def _on_timeout(self) -> None:
+        self._expired = True
+        assert self._task is not None
+        self._task.cancel()
+
+    async def __aexit__(self, exc_type, exc, tb) -> bool:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+        if self._expired and exc_type is asyncio.CancelledError:
+            # Our own cancellation coming back to us: absorb it (3.11+
+            # tracks requested cancellations, so un-count it there) and
+            # surface the deadline instead.
+            uncancel = getattr(self._task, "uncancel", None)
+            if uncancel is not None:
+                uncancel()
+            raise TimeoutError from exc
+        return False
+
+
+if sys.version_info >= (3, 11):
+    timeout = asyncio.timeout
+else:  # pragma: no cover - exercised by the 3.10 CI lane
+    timeout = _TimeoutBackport

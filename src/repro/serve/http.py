@@ -45,6 +45,7 @@ from repro.core.serialize import (
 from repro.events.packet import PacketKey
 from repro.obs.registry import get_registry, timer
 from repro.obs.structlog import get_logger
+from repro.serve._compat import timeout
 
 if TYPE_CHECKING:
     from repro.serve.server import RefillServer
@@ -60,6 +61,17 @@ class QueryApi:
 
     def __init__(self, server: "RefillServer") -> None:
         self.server = server
+        #: Live handler tasks; shutdown cancels them because from Python
+        #: 3.12.1 ``Server.wait_closed()`` waits for in-flight handlers, and
+        #: an idle client parked in the read timeout would stall it.
+        self.handler_tasks: set[asyncio.Task] = set()
+
+    def cancel_handlers(self) -> list[asyncio.Task]:
+        """Cancel every live request handler; returns the tasks to reap."""
+        tasks = [task for task in self.handler_tasks if not task.done()]
+        for task in tasks:
+            task.cancel()
+        return tasks
 
     # ------------------------------------------------------------------ #
     # transport
@@ -67,8 +79,23 @@ class QueryApi:
     async def handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self.handler_tasks.add(task)
         try:
-            async with asyncio.timeout(30.0):
+            await self._handle(reader, writer)
+        except asyncio.CancelledError:
+            writer.close()
+            raise
+        finally:
+            if task is not None:
+                self.handler_tasks.discard(task)
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            async with timeout(30.0):
                 request = await self._read_request(reader)
         except (TimeoutError, ValueError, ConnectionError,
                 asyncio.IncompleteReadError):

@@ -31,6 +31,7 @@ from repro.events.event import Event
 from repro.events.store import read_complete_lines
 from repro.obs.structlog import get_logger
 from repro.serve import protocol
+from repro.serve._compat import timeout
 from repro.serve.config import ServeConfig
 
 _log = get_logger("refill.serve.ingest")
@@ -121,11 +122,36 @@ class IngestHub:
             maxsize=config.ingest_queue_batches
         )
         self.connections_total = 0
+        #: Live connection-reader tasks; shutdown cancels them so a reader
+        #: parked on a full queue (or an idle socket) cannot stall the drain.
+        self.reader_tasks: set[asyncio.Task] = set()
+        #: Sources with an active HELLO'd connection — one pusher at a time,
+        #: or two clients handed the same offset would double-ingest.
+        self._active_sources: set[str] = set()
+
+    def cancel_readers(self) -> list[asyncio.Task]:
+        """Cancel every live connection reader; returns the tasks to reap."""
+        tasks = [task for task in self.reader_tasks if not task.done()]
+        for task in tasks:
+            task.cancel()
+        return tasks
 
     # ------------------------------------------------------------------ #
     # connection reader
 
     async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self.reader_tasks.add(task)
+        try:
+            await self._read_connection(reader, writer)
+        finally:
+            if task is not None:
+                self.reader_tasks.discard(task)
+
+    async def _read_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         """One ingest connection: optional HELLO, data lines, optional BYE.
@@ -143,7 +169,7 @@ class IngestHub:
         try:
             while True:
                 try:
-                    async with asyncio.timeout(self.config.flush_interval):
+                    async with timeout(self.config.flush_interval):
                         chunk = await reader.read(65536)
                 except TimeoutError:
                     # slow producer: ship what we have instead of sitting on it
@@ -163,6 +189,18 @@ class IngestHub:
                             writer.write(f"ERR {exc}\n".encode())
                             await writer.drain()
                             return
+                        if hello.source in self._active_sources:
+                            # a second pusher would get the same offset and
+                            # double-ingest the suffix — refuse it outright
+                            writer.write(
+                                f"ERR source {hello.source} already has an"
+                                " active connection\n".encode()
+                            )
+                            await writer.drain()
+                            return
+                        self._active_sources.add(hello.source)
+                        # from here `source` marks ownership: the finally
+                        # below releases exactly what this connection claimed
                         source, node_bind = hello.source, hello.node
                         offset = self.book.received.get(source, 0)
                         writer.write(
@@ -189,11 +227,19 @@ class IngestHub:
                     if len(pending) >= self.config.ingest_batch_lines:
                         await self._enqueue(source, node_bind, pending)
                         pending = []
+        except asyncio.CancelledError:
+            # server shutdown: drop the un-enqueued tail instead of blocking
+            # on the queue — the checkpoint records only *ingested* offsets,
+            # so a reconnecting client is told to resend exactly these lines
+            pending = []
+            raise
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # mid-stream disconnects are normal operation
         except Exception as exc:  # noqa: BLE001 - isolate hostile peers
             _log.warning("ingest.connection-error", error=str(exc))
         finally:
+            if source is not None:
+                self._active_sources.discard(source)
             if pending:
                 await self._enqueue(source, node_bind, pending)
             writer.close()
@@ -235,7 +281,7 @@ class IngestHub:
                         lines[start : start + self.config.ingest_batch_lines],
                     )
             try:
-                async with asyncio.timeout(self.config.tail_interval):
+                async with timeout(self.config.tail_interval):
                     await stop.wait()
             except TimeoutError:
                 continue

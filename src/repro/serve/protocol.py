@@ -22,8 +22,17 @@ killing the connection — or one of two **control lines**:
 
 Offsets count every complete framed line — blank, corrupt or valid — so a
 client's resume arithmetic is simply "skip the first *k* lines of my file".
-Control words are reserved: a data line always contains ``=`` tokens and
-starts with ``node=``, so the grammar cannot collide.
+Control recognition is deliberately narrow, because garbled data lines are
+expected input on this path: ``BYE`` is honored only when it is the *entire*
+line, and ``HELLO`` only as the first line of a connection.  Any other line
+— including a damaged one that happens to start with a control token —
+falls through to the tolerant decoder and is counted, never silently
+honored as control.
+
+A source may have at most one active connection: the server answers a
+``HELLO`` for a source that already has a live pusher with ``ERR`` and
+closes, because two connections handed the same resume offset would ingest
+the same suffix twice.
 """
 
 from __future__ import annotations
@@ -52,9 +61,20 @@ class Hello:
 
 
 def control_word(line: str) -> Optional[str]:
-    """``HELLO``/``BYE`` when ``line`` is a control line, else ``None``."""
-    word = line.split(" ", 1)[0]
-    return word if word in (HELLO, BYE) else None
+    """``HELLO``/``BYE`` when ``line`` is a control line, else ``None``.
+
+    ``BYE`` must be the entire line (modulo surrounding whitespace): a
+    garbled data line that merely *starts* with the token is data, and
+    must reach the tolerant decoder rather than end the stream.  ``HELLO``
+    matches on its first token — it is only honored as a connection's
+    first line, where the server always owes a reply (``OK`` or ``ERR``).
+    """
+    stripped = line.strip()
+    if stripped == BYE:
+        return BYE
+    if stripped.split(" ", 1)[0] == HELLO:
+        return HELLO
+    return None
 
 
 def parse_hello(line: str) -> Hello:

@@ -19,7 +19,9 @@ a query issued mid-refresh waits; per-packet flows are tiny, so stalls are
 bounded by one batch, not the corpus.
 
 Graceful shutdown (SIGTERM/SIGINT or ``POST /shutdown``): stop accepting,
-drain the queued batches into the session, refresh, checkpoint, exit.
+cancel live connections and tails, drain the queued batches into the
+session (concurrently with reaping, so a reader parked on a full queue can
+always finish), refresh, checkpoint, exit.
 Evidence still in a connection's socket buffer is *not* consumed — that is
 what per-source offsets are for: the restarted server tells each
 reconnecting source how much to skip, so nothing is lost and nothing is
@@ -38,6 +40,7 @@ from repro.core.backends.incremental import IncrementalBackend
 from repro.core.session import ReconstructionSession
 from repro.obs.registry import MetricsRegistry, get_registry, use_registry
 from repro.obs.structlog import get_logger
+from repro.serve._compat import timeout
 from repro.serve.checkpoint import Checkpoint, load_checkpoint, save_checkpoint
 from repro.serve.config import ServeConfig
 from repro.serve.http import QueryApi
@@ -161,6 +164,11 @@ class RefillServer:
             registry.counter("codec.corrupt_lines", source=source).inc(corrupt)
         self._dirty_since_checkpoint = True
 
+    def _drain_queue(self) -> None:
+        """Ingest everything queued right now (shutdown; consumer stopped)."""
+        while not self.hub.queue.empty():
+            self._ingest_item(self.hub.queue.get_nowait())
+
     def _update_gauges(self) -> None:
         registry = get_registry()
         registry.gauge("serve.ingest.lag_lines").set(self.book.lag_lines())
@@ -178,11 +186,12 @@ class RefillServer:
         next_checkpoint = time.monotonic() + interval if interval > 0 else None
         while True:
             try:
-                # asyncio.timeout, not wait_for: wait_for wraps the get in a
-                # child task, and a cancellation arriving while it reaps that
-                # child on timeout is lost (bpo-42130 family) — the shutdown
-                # path then deadlocks awaiting a task that never finishes
-                async with asyncio.timeout(self.config.flush_interval):
+                # timeout() (asyncio.timeout / its 3.10 backport), not
+                # wait_for: wait_for wraps the get in a child task, and a
+                # cancellation arriving while it reaps that child on timeout
+                # is lost (bpo-42130 family) — the shutdown path then
+                # deadlocks awaiting a task that never finishes
+                async with timeout(self.config.flush_interval):
                     item = await self.hub.queue.get()
             except TimeoutError:
                 if self.session.pending:
@@ -252,13 +261,37 @@ class RefillServer:
         _log.info("serve.draining", queued=self.hub.queue.qsize())
         for server in servers:
             server.close()
+        # Cancel every producer and the consumer *before* reaping: a reader
+        # parked in _enqueue() on a full queue can only finish once cancelled
+        # or drained, and from Python 3.12.1 wait_closed() waits for
+        # connection handlers — an idle connection sitting in its read
+        # timeout would stall shutdown forever.
+        consumer.cancel()
+        for tail in tails:
+            tail.cancel()
+        workers = [
+            consumer,
+            *tails,
+            *self.hub.cancel_readers(),
+            *self.api.cancel_handlers(),
+        ]
+        pending_workers = set(workers)
+        while pending_workers:
+            # drain concurrently with the reap so a producer caught mid-put
+            # always finds a free slot to complete its cancellation through
+            _done, pending_workers = await asyncio.wait(
+                pending_workers, timeout=0.05
+            )
+            self._drain_queue()
+        for worker in workers:
+            if not worker.cancelled() and worker.exception() is not None:
+                _log.warning(
+                    "serve.worker-error", error=str(worker.exception())
+                )
         for server in servers:
             await server.wait_closed()
-        consumer.cancel()
-        await asyncio.gather(consumer, *tails, return_exceptions=True)
-        # drain whatever the readers got onto the queue before we stopped
-        while not self.hub.queue.empty():
-            self._ingest_item(self.hub.queue.get_nowait())
+        # whatever the readers got onto the queue before they stopped
+        self._drain_queue()
         if self.session.pending:
             self.session.refresh()
         self._update_gauges()

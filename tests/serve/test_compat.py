@@ -1,0 +1,81 @@
+"""The ``asyncio.timeout`` backport that keeps the daemon on Python 3.10.
+
+The backport class is exercised directly on every interpreter so the 3.10
+code path cannot rot on the 3.11+ lanes that develop it.
+"""
+
+import asyncio
+import sys
+
+import pytest
+
+from repro.serve import _compat
+from repro.serve._compat import _TimeoutBackport
+
+
+class TestTimeoutBackport:
+    def test_expired_wait_raises_builtin_timeout_error(self):
+        async def main():
+            async with _TimeoutBackport(0.01):
+                await asyncio.Event().wait()
+
+        with pytest.raises(TimeoutError):
+            asyncio.run(main())
+
+    def test_fast_body_passes_result_through(self):
+        async def main():
+            async with _TimeoutBackport(30.0):
+                return 41 + 1
+
+        assert asyncio.run(main()) == 42
+
+    def test_body_exceptions_propagate_unchanged(self):
+        async def main():
+            async with _TimeoutBackport(30.0):
+                raise KeyError("boom")
+
+        with pytest.raises(KeyError):
+            asyncio.run(main())
+
+    def test_external_cancellation_is_not_swallowed(self):
+        """A real cancel must come out as CancelledError, not TimeoutError —
+        the daemon's shutdown path cancels tasks parked inside timeouts."""
+
+        async def main():
+            started = asyncio.Event()
+
+            async def body():
+                async with _TimeoutBackport(30.0):
+                    started.set()
+                    await asyncio.Event().wait()
+
+            task = asyncio.create_task(body())
+            await started.wait()
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+
+        asyncio.run(main())
+
+    def test_timer_is_disarmed_on_clean_exit(self):
+        """After a fast body, the pending timer must not cancel the task."""
+
+        async def main():
+            async with _TimeoutBackport(0.01):
+                pass
+            await asyncio.sleep(0.05)  # outlive the (disarmed) timer
+            return "alive"
+
+        assert asyncio.run(main()) == "alive"
+
+    def test_requires_a_running_task(self):
+        coro = _TimeoutBackport(1.0).__aenter__()
+        with pytest.raises(RuntimeError):
+            coro.send(None)
+
+
+def test_module_exports_stdlib_on_modern_interpreters():
+    if sys.version_info >= (3, 11):
+        assert _compat.timeout is asyncio.timeout
+    else:
+        assert _compat.timeout is _TimeoutBackport

@@ -78,6 +78,13 @@ class TestControlLines:
         assert control_word("node=3 type=send pkt=p1.3") is None
         assert control_word("") is None
 
+    def test_bye_must_be_the_entire_line(self):
+        """A garbled data line that merely starts with the token is data —
+        honoring it would silently drop the rest of the client's stream."""
+        assert control_word("BYE node=1 type=send pkt=p1.1") is None
+        assert control_word("BYEBYE") is None
+        assert control_word("BYE ") == "BYE"  # framing whitespace only
+
     def test_ok_round_trip_and_err(self):
         assert parse_ok(format_ok(offset=41)) == {"offset": "41"}
         assert parse_ok("OK") == {}
@@ -136,3 +143,37 @@ class TestWireHandshake:
         )
         # the late HELLO is treated as a data line (counted, not honored)
         assert replies[0] == "OK accepted=2"
+
+    def test_garbled_bye_prefix_line_does_not_end_stream(self, server):
+        replies = self._talk(
+            server.tcp_port,
+            b"HELLO source=gbye\n"
+            b"BYE node=1 type=send pkt=p4.1\n"  # damaged data line
+            b"node=1 type=send pkt=p4.1\n"
+            b"BYE\n",
+            replies=2,
+        )
+        assert replies[0] == "OK offset=0"
+        # both lines after HELLO were accepted; the damaged one is merely
+        # counted corrupt by the tolerant decoder, not honored as control
+        assert replies[1] == "OK accepted=2"
+
+    def test_second_connection_for_active_source_is_rejected(self, server):
+        with socket.create_connection(
+            ("127.0.0.1", server.tcp_port), timeout=30
+        ) as first, first.makefile("rb") as rfile:
+            first.sendall(b"HELLO source=dup\n")
+            assert rfile.readline().strip() == b"OK offset=0"
+            # a concurrent pusher would be handed the same offset and
+            # double-ingest; it must be turned away while the first lives
+            with socket.create_connection(
+                ("127.0.0.1", server.tcp_port), timeout=30
+            ) as second, second.makefile("rb") as rfile2:
+                second.sendall(b"HELLO source=dup\n")
+                assert rfile2.readline().startswith(b"ERR")
+            first.sendall(b"node=1 type=send pkt=p5.1\nBYE\n")
+            assert rfile.readline().strip() == b"OK accepted=1"
+        # the source is released once its connection finishes
+        replies = self._talk(server.tcp_port, b"HELLO source=dup\nBYE\n",
+                             replies=2)
+        assert replies[0] == "OK offset=1"

@@ -5,6 +5,7 @@ same thing here as in the fault-injection campaigns."""
 import random
 import shutil
 import socket
+import threading
 import time
 
 import pytest
@@ -135,6 +136,51 @@ class TestBrokenPeers:
         assert status == 200
         _, summary = http_json(server.http_port, "/summary")
         assert summary["lines_ingested"] == 50
+
+
+class TestShutdownUnderLoad:
+    def test_shutdown_completes_with_idle_peers_and_full_queue(self, tmp_path):
+        """Shutdown must not deadlock when (a) readers are parked in
+        _enqueue() on a full 1-batch queue — the old sequence cancelled the
+        only drainer first — and (b) idle ingest/HTTP connections are open,
+        which from Python 3.12.1 would stall ``Server.wait_closed()``."""
+        config = ServeConfig(
+            checkpoint_path=str(tmp_path / "cp.json"),
+            flush_interval=0.05,
+            ingest_queue_batches=1,
+            ingest_batch_lines=1,
+        )
+        thread = ServerThread(config).start()
+
+        def spam(port: int) -> None:
+            try:
+                with socket.create_connection(
+                    ("127.0.0.1", port), timeout=30
+                ) as sock:
+                    for _ in range(500):
+                        sock.sendall(b"node=1 type=send pkt=p1.1\n" * 50)
+            except OSError:
+                pass  # reset mid-shutdown is the expected outcome
+
+        idle_ingest = socket.create_connection(
+            ("127.0.0.1", thread.tcp_port), timeout=30
+        )
+        idle_http = socket.create_connection(
+            ("127.0.0.1", thread.http_port), timeout=30
+        )
+        pusher = threading.Thread(
+            target=spam, args=(thread.tcp_port,), daemon=True
+        )
+        pusher.start()
+        time.sleep(0.2)  # let the queue fill and a reader block on it
+        try:
+            thread.stop(timeout=15.0)  # raises TimeoutError on deadlock
+        finally:
+            idle_ingest.close()
+            idle_http.close()
+        pusher.join(timeout=15.0)
+        assert not pusher.is_alive()
+        assert (tmp_path / "cp.json").exists()
 
 
 class TestBackpressure:
