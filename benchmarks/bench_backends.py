@@ -8,6 +8,8 @@ materialized at most ``batch_size`` at a time (asserted), at the price of
 re-scanning the corpus once per key window.
 """
 
+import json
+import pathlib
 import resource
 import time
 import tracemalloc
@@ -20,7 +22,9 @@ from repro.lognet.collector import collect_logs
 from repro.simnet.scenarios import citysee
 from repro.util.tables import render_table
 
-from benchmarks.conftest import bench_seed
+from benchmarks.conftest import BENCH_SCHEMA, bench_seed, run_metadata
+
+BASELINE_PATH = pathlib.Path(__file__).parent.parent / "BENCH_backends.json"
 
 
 def prepare(n_nodes=120, days=1, seed=None):
@@ -63,12 +67,19 @@ def test_backend_throughput(emit):
     }
     rows = []
     baseline = None
+    measured: dict[str, dict] = {}
     for name, fn in runs.items():
         flows, elapsed, peak = timed(fn)
         if baseline is None:
             baseline = {p: f.labels() for p, f in flows.items()}
         else:  # cost table only makes sense over identical work
             assert {p: f.labels() for p, f in flows.items()} == baseline, name
+        measured[name] = {
+            "packets": len(flows),
+            "seconds": round(elapsed, 4),
+            "packets_per_s": round(len(flows) / elapsed, 1),
+            "py_peak_mb": round(peak / 1e6, 2),
+        }
         rows.append(
             (
                 name,
@@ -83,6 +94,23 @@ def test_backend_throughput(emit):
         ["backend", "packets", "wall_s", "pkt_per_s", "py_peak_MB"], rows
     )
     emit("bench_backends", table + f"\nprocess ru_maxrss {rss_mb:.0f} MB")
+
+    corpus = {"n_nodes": 120, "days": 1, "packets": len(baseline)}
+    BASELINE_PATH.write_text(
+        json.dumps(
+            {
+                "schema": BENCH_SCHEMA,
+                "run": run_metadata(
+                    "backends", seed=bench_seed("backends", 51), corpus=corpus
+                ),
+                "corpus": corpus,
+                "backends": measured,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
 
 
 def test_streaming_bounds_group_materialization():

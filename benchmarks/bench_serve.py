@@ -17,13 +17,15 @@ import time
 
 from repro.analysis.pipeline import default_loss_spec, run_simulation
 from repro.lognet.collector import collect_logs
-from repro.obs import MetricsRegistry
-from repro.serve import ServeConfig, ServerThread
+from repro.obs import FlightRecorder, MetricsRegistry, NullRegistry, use_recorder
+from repro.obs.registry import use_registry
+from repro.serve import RefillServer, ServeConfig, ServerThread
 from repro.serve.client import push_lines
+from repro.serve.ingest import IngestItem
 from repro.simnet.scenarios import citysee
 from repro.util.tables import render_table
 
-from benchmarks.conftest import bench_seed
+from benchmarks.conftest import BENCH_SCHEMA, bench_seed, run_metadata
 
 BASELINE_PATH = pathlib.Path(__file__).parent.parent / "BENCH_serve.json"
 
@@ -108,8 +110,11 @@ def test_serve_ingest_and_query_latency(emit):
         ),
     )
 
+    corpus = {"n_nodes": N_NODES, "days": 2, "lines": len(lines)}
     baseline = {
-        "corpus": {"n_nodes": N_NODES, "days": 2, "lines": len(lines)},
+        "schema": BENCH_SCHEMA,
+        "run": run_metadata("serve", seed=bench_seed("serve", 17), corpus=corpus),
+        "corpus": corpus,
         "ingest": {
             "seconds": round(ingest_elapsed, 4),
             "lines_per_s": round(lines_per_s, 1),
@@ -132,3 +137,78 @@ def test_serve_ingest_and_query_latency(emit):
     flows_p95 = latency["flows"]["p95"]
     assert flows_p95 < 5.0
     assert latency["flow"]["p95"] < flows_p95  # single packet beats bulk
+
+
+#: Instrumentation may cost at most this fraction of the uninstrumented
+#: ingest path (same contract as ``bench_measurement.py``); the absolute
+#: floor keeps sub-50ms timing jitter from failing the ratio.
+OVERHEAD_RATIO = 1.05
+OVERHEAD_FLOOR_S = 0.05
+
+
+def _ingest_direct(lines, sink, registry, recorder):
+    """Seconds to push the corpus through the consumer's ingest path.
+
+    Bypasses the sockets: the batches are fed straight to
+    ``RefillServer._ingest_item`` (decode -> session -> refresh), which is
+    exactly the code the tracing spans instrument — so the measured delta
+    is instrumentation cost, not network noise.
+    """
+    config = ServeConfig(
+        flush_interval=0.05, delivery_node=sink, checkpoint_interval=0.0
+    )
+    server = RefillServer(config, registry=registry)
+    batch = config.ingest_batch_lines
+    items = [
+        IngestItem(
+            "bench",
+            None,
+            lines[start : start + batch],
+            trace_id="bench-overhead",
+            enqueued_at=time.perf_counter(),
+        )
+        for start in range(0, len(lines), batch)
+    ]
+    with use_registry(registry), use_recorder(recorder):
+        start = time.perf_counter()
+        for item in items:
+            server._ingest_item(item)
+        server.session.refresh()
+        elapsed = time.perf_counter() - start
+    return elapsed, len(server.session.packets())
+
+
+def test_serve_ingest_overhead(emit):
+    """Tracing on (registry + flight recorder) vs off, same ingest work.
+
+    Interleaved best-of-N, like ``bench_measurement.py``'s overhead guard:
+    best-case wall time is the right estimator for "what does the
+    instrumentation itself cost" because scheduler noise only ever adds.
+    """
+    lines, sink = prepare_lines()
+    base_times, traced_times = [], []
+    packets_base = packets_traced = 0
+    for _ in range(5):
+        elapsed, packets_base = _ingest_direct(lines, sink, NullRegistry(), None)
+        base_times.append(elapsed)
+        elapsed, packets_traced = _ingest_direct(
+            lines, sink, MetricsRegistry(), FlightRecorder()
+        )
+        traced_times.append(elapsed)
+    base, traced = min(base_times), min(traced_times)
+    assert packets_base == packets_traced  # tracing never changes the work
+    emit(
+        "bench_serve_overhead",
+        render_table(
+            ["path", "best_s", "lines_per_s"],
+            [
+                ("NullRegistry", f"{base:.4f}", int(len(lines) / base)),
+                ("traced", f"{traced:.4f}", int(len(lines) / traced)),
+            ],
+            title="serve ingest instrumentation overhead (best of 5)",
+        ),
+    )
+    assert traced <= max(base * OVERHEAD_RATIO, base + OVERHEAD_FLOOR_S), (
+        f"serve ingest instrumentation overhead too high: "
+        f"{base:.4f}s uninstrumented vs {traced:.4f}s traced"
+    )

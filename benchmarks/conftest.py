@@ -12,7 +12,9 @@ the files are the convenient place to read the reproduced figures).
 from __future__ import annotations
 
 import pathlib
+import platform
 import re
+import time
 
 import pytest
 
@@ -42,6 +44,31 @@ def pytest_addoption(parser):
             "published per-benchmark seeds."
         ),
     )
+
+
+#: Schema version stamped into every committed ``BENCH_*.json`` baseline.
+#: ``bench_history.py`` keys its parsing on it; bump when the payload shape
+#: changes.  (Version 1 is the unstamped pre-schema format.)
+BENCH_SCHEMA = 2
+
+
+def run_metadata(bench: str, *, seed: int, corpus: dict | None = None) -> dict:
+    """Provenance block for a ``BENCH_*.json`` baseline.
+
+    Records what produced the numbers — the scenario seed, interpreter and
+    platform, and the corpus shape — so a trajectory diff can distinguish
+    "the code got slower" from "the workload or machine changed".
+    """
+    meta: dict = {
+        "bench": bench,
+        "seed": seed,
+        "python": platform.python_version(),
+        "platform": platform.system().lower(),
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+    if corpus is not None:
+        meta["corpus"] = dict(corpus)
+    return meta
 
 
 def bench_seed(name: str, published: int) -> int:

@@ -399,6 +399,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         tail=tuple(args.tail or ()),
         tail_interval=args.tail_interval,
         delivery_node=args.delivery_node,
+        metrics_out=args.metrics_out,
+        trace_out=args.trace_out,
+        trace_capacity=args.trace_capacity,
     )
     server = RefillServer(config)
 
@@ -652,6 +655,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument(
         "--print-ports", action="store_true",
         help="print the bound ports as one JSON line on stdout at startup",
+    )
+    p_srv.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write the final metrics snapshot on graceful shutdown "
+             "(same JSON contract as `refill analyze --metrics-out`)",
+    )
+    p_srv.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="dump the flight recorder as JSON Lines on graceful shutdown",
+    )
+    p_srv.add_argument(
+        "--trace-capacity", type=int, default=1024, metavar="N",
+        help="flight-recorder ring size (recent spans/events retained)",
     )
     p_srv.set_defaults(fn=_cmd_serve)
 

@@ -1,0 +1,198 @@
+"""Flight recorder: a bounded ring of recently completed spans and events.
+
+The metrics registry answers *how much* and *how long on average*; the
+flight recorder answers *what just happened*: the last N completed spans
+(with their trace ids, durations and outcomes) and structured events, in
+arrival order, queryable while the process runs.  The serve daemon exposes
+it at ``GET /debug/trace`` and dumps it with ``refill serve --trace-out``
+(JSON Lines) — the first place to look when a live daemon is slow.
+
+Design constraints mirror the registry's:
+
+1. **Bounded.**  A ``deque(maxlen=capacity)`` — recording is O(1), memory
+   is flat forever, and the oldest records fall off silently (the
+   ``recorded`` total minus the ring length says how many were dropped).
+2. **Passive.**  Recording never raises into instrumented code and never
+   touches the data being measured — tracing a flow cannot perturb it.
+3. **Context-local activation.**  Like the registry, the *active* recorder
+   is a contextvar (:func:`get_recorder` / :func:`use_recorder`), default
+   ``None`` — batch runs pay nothing unless a recorder is installed.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from collections import deque
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+#: Default ring capacity (completed spans + events combined).
+DEFAULT_CAPACITY = 1024
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed (or failed, or cancelled) traced stage."""
+
+    name: str
+    #: Wall-clock start, epoch seconds.
+    start: float
+    #: Seconds the stage took.
+    duration: float
+    #: ``ok`` | ``error`` | ``cancelled``.
+    status: str = "ok"
+    trace_id: Optional[str] = None
+    #: Sorted ``(key, value)`` label pairs, registry-style.
+    labels: tuple[tuple[str, str], ...] = ()
+    #: Slash-joined chain of enclosing span names (``outer/inner``).
+    path: Optional[str] = None
+
+    def to_json(self) -> dict:
+        record: dict = {
+            "kind": "span",
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "status": self.status,
+        }
+        if self.trace_id is not None:
+            record["trace"] = self.trace_id
+        if self.labels:
+            record["labels"] = dict(self.labels)
+        if self.path is not None and self.path != self.name:
+            record["path"] = self.path
+        return record
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """One structured point-in-time event (connection opened, restore, ...)."""
+
+    name: str
+    time: float
+    trace_id: Optional[str] = None
+    fields: tuple[tuple[str, str], ...] = ()
+
+    def to_json(self) -> dict:
+        record: dict = {"kind": "event", "name": self.name, "time": self.time}
+        if self.trace_id is not None:
+            record["trace"] = self.trace_id
+        if self.fields:
+            record["fields"] = dict(self.fields)
+        return record
+
+
+class FlightRecorder:
+    """Bounded in-memory ring of :class:`SpanRecord` / :class:`EventRecord`."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError("recorder capacity must be positive")
+        self.capacity = capacity
+        self._ring: deque = deque(maxlen=capacity)
+        #: Total records ever offered (``recorded - len(ring)`` were dropped).
+        self.recorded = 0
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def dropped(self) -> int:
+        return self.recorded - len(self._ring)
+
+    # ------------------------------------------------------------------ #
+    # recording
+
+    def record(self, record: "SpanRecord | EventRecord") -> None:
+        self._ring.append(record)
+        self.recorded += 1
+
+    def record_event(
+        self, name: str, *, trace_id: Optional[str] = None, **fields: object
+    ) -> EventRecord:
+        event = EventRecord(
+            name=name,
+            time=time.time(),
+            trace_id=trace_id,
+            fields=tuple(sorted((k, str(v)) for k, v in fields.items())),
+        )
+        self.record(event)
+        return event
+
+    # ------------------------------------------------------------------ #
+    # querying
+
+    def snapshot(
+        self,
+        *,
+        limit: Optional[int] = None,
+        name: Optional[str] = None,
+        trace_id: Optional[str] = None,
+        kind: Optional[str] = None,
+    ) -> list[dict]:
+        """Most-recent-first JSON records, optionally filtered.
+
+        ``name`` matches exactly or as a dotted prefix (``serve`` matches
+        ``serve.decode``); ``kind`` is ``span`` or ``event``.
+        """
+        out: list[dict] = []
+        for record in reversed(self._ring):
+            data = record.to_json()
+            if kind is not None and data["kind"] != kind:
+                continue
+            if trace_id is not None and data.get("trace") != trace_id:
+                continue
+            if name is not None:
+                got = data["name"]
+                if got != name and not got.startswith(name + "."):
+                    continue
+            out.append(data)
+            if limit is not None and len(out) >= limit:
+                break
+        return out
+
+    def dump_jsonl(self, path) -> int:
+        """Write the ring, oldest first, one JSON object per line."""
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        records = [record.to_json() for record in self._ring]
+        with path.open("w") as fh:
+            for data in records:
+                fh.write(json.dumps(data, sort_keys=True) + "\n")
+        return len(records)
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self.recorded = 0
+
+
+# --------------------------------------------------------------------- #
+# the active recorder (context-local, off by default)
+
+_ACTIVE: ContextVar[Optional[FlightRecorder]] = ContextVar(
+    "repro_obs_recorder", default=None
+)
+
+
+def get_recorder() -> Optional[FlightRecorder]:
+    """The recorder traced spans report into right now (``None``: off)."""
+    return _ACTIVE.get()
+
+
+def set_recorder(recorder: Optional[FlightRecorder]) -> None:
+    """Replace the active recorder for the current context."""
+    _ACTIVE.set(recorder)
+
+
+@contextmanager
+def use_recorder(recorder: Optional[FlightRecorder]) -> Iterator[Optional[FlightRecorder]]:
+    """Scope the active recorder to a ``with`` block (restores on exit)."""
+    token = _ACTIVE.set(recorder)
+    try:
+        yield recorder
+    finally:
+        _ACTIVE.reset(token)

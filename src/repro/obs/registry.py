@@ -13,7 +13,8 @@ constraints, in order:
 2. **Mergeable.**  ``core/parallel.py`` workers collect into private
    registries and the parent folds them back with :meth:`MetricsRegistry.merge`
    — counters add, gauges keep the incoming value, histogram samples
-   concatenate (up to the sample cap; count/sum/min/max stay exact).
+   concatenate and re-compact to the sample cap (count/sum/min/max stay
+   exact).
 3. **Deterministic snapshots.**  :meth:`MetricsRegistry.snapshot` returns a
    :class:`MetricsSnapshot` whose JSON form has sorted keys and a stable
    ``name{label=value,...}`` flat-key scheme, so two runs over the same
@@ -37,8 +38,11 @@ from typing import Iterator, Mapping, Optional
 LabelKey = tuple[tuple[str, str], ...]
 
 #: Histograms keep at most this many raw samples for quantile estimation;
-#: count/sum/min/max remain exact past the cap (first-N retention keeps the
-#: registry deterministic — no reservoir RNG).
+#: count/sum/min/max remain exact past the cap.  Retention is a systematic
+#: stride subsample (keep every 2^k-th observation, doubling k whenever the
+#: buffer fills) — deterministic (no reservoir RNG), bounded for
+#: arbitrarily long-running processes, and covering the whole stream rather
+#: than just its first minutes.
 HISTOGRAM_SAMPLE_CAP = 4096
 
 
@@ -113,9 +117,29 @@ class HistogramSummary:
 
 
 class Histogram:
-    """Streaming value distribution with nearest-rank quantiles."""
+    """Streaming value distribution with nearest-rank quantiles.
 
-    __slots__ = ("name", "labels", "count", "total", "min", "max", "_samples")
+    Memory is bounded for long-running processes (a serve daemon observing
+    request latency for days): the retained-sample buffer never exceeds
+    :data:`HISTOGRAM_SAMPLE_CAP`.  Below the cap every observation is kept
+    and quantiles are exact.  When the buffer fills it is compacted to every
+    other sample and the retention stride doubles, so the survivors are
+    always observations ``0, s, 2s, ...`` for the current stride ``s`` — a
+    systematic subsample of the *entire* stream, reproducible for identical
+    observation sequences.
+    """
+
+    __slots__ = (
+        "name",
+        "labels",
+        "count",
+        "total",
+        "min",
+        "max",
+        "_samples",
+        "_stride",
+        "_next_index",
+    )
 
     def __init__(self, name: str, labels: LabelKey = ()) -> None:
         self.name = name
@@ -125,17 +149,33 @@ class Histogram:
         self.min: Optional[float] = None
         self.max: Optional[float] = None
         self._samples: list[float] = []
+        #: Keep every ``_stride``-th observation; doubles on compaction.
+        self._stride = 1
+        #: Observation index (0-based) of the next sample to retain.
+        self._next_index = 0
 
     def observe(self, value: float) -> None:
         value = float(value)
+        index = self.count
         self.count += 1
         self.total += value
         if self.min is None or value < self.min:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
-        if len(self._samples) < HISTOGRAM_SAMPLE_CAP:
+        if index == self._next_index:
             self._samples.append(value)
+            self._next_index = index + self._stride
+            if len(self._samples) >= HISTOGRAM_SAMPLE_CAP:
+                self._compact()
+
+    def _compact(self) -> None:
+        """Halve the retained samples and double the stride (deterministic)."""
+        self._samples = self._samples[::2]
+        self._stride *= 2
+        # Survivors sit at observation indices 0, s, ..., (n-1)*s for the
+        # new stride s; the next aligned index follows the last survivor.
+        self._next_index = len(self._samples) * self._stride
 
     def quantile(self, q: float) -> Optional[float]:
         """Nearest-rank quantile over the retained samples, ``0 <= q <= 1``.
@@ -151,15 +191,25 @@ class Histogram:
         return ordered[rank - 1]
 
     def merge_from(self, other: "Histogram") -> None:
+        """Fold ``other``'s aggregates and retained samples into this one.
+
+        Samples concatenate and re-compact down to the cap; after a merge the
+        buffer is a systematic subsample of the concatenation (index
+        alignment to a single stream no longer holds, so retention simply
+        resumes from the combined count).
+        """
         self.count += other.count
         self.total += other.total
         if other.min is not None and (self.min is None or other.min < self.min):
             self.min = other.min
         if other.max is not None and (self.max is None or other.max > self.max):
             self.max = other.max
-        room = HISTOGRAM_SAMPLE_CAP - len(self._samples)
-        if room > 0:
-            self._samples.extend(other._samples[:room])
+        self._samples.extend(other._samples)
+        self._stride = max(self._stride, other._stride)
+        while len(self._samples) >= HISTOGRAM_SAMPLE_CAP:
+            self._samples = self._samples[::2]
+            self._stride *= 2
+        self._next_index = self.count
 
     def summary(self) -> HistogramSummary:
         return HistogramSummary(

@@ -1,0 +1,129 @@
+"""Trace context: trace ids, request ids, and recorded (traced) spans.
+
+A **trace id** names one logical flow of work end to end — a client push,
+a tailed file's ingest session, a stress campaign — across task, thread
+and connection boundaries.  The id is *metadata only*: it rides in the
+ingest protocol's ``HELLO`` line (never in data lines) and in span
+records, so correlating a slow flow never perturbs the bytes being
+reconstructed — served flows stay byte-identical to ``refill analyze``
+with tracing on.
+
+The current trace is context-local (a :class:`~contextvars.ContextVar`),
+so asyncio tasks inherit it at creation and cannot leak it into siblings:
+the consumer task can process batch A under trace A while a reader
+accepts batch B under trace B, interleaved on one loop.
+
+:func:`traced` is the instrumented-stage primitive built on top of
+:class:`repro.obs.spans.Span`:
+
+    with traced("serve.decode", source=name):
+        ...
+
+On exit the duration lands in the active registry's ``span.<name>``
+histogram exactly like a plain span, **and** a
+:class:`~repro.obs.recorder.SpanRecord` — stamped with the current trace
+id and an ``ok`` / ``error`` / ``cancelled`` status — is appended to the
+active flight recorder (when one is installed).  Under a
+:class:`~repro.obs.registry.NullRegistry` the whole thing is a no-op:
+tracing rides the same kill switch as the metrics substrate, which is
+what the serve-ingest overhead benchmark measures.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator, Optional
+
+from repro.obs.recorder import SpanRecord, get_recorder
+from repro.obs.registry import get_registry
+from repro.obs.spans import Span
+
+#: Wire-safe trace id shape: one token, no spaces, bounded length — safe to
+#: embed in a ``HELLO`` control line and in ``key=value`` log output.
+_TRACE_ID = re.compile(r"^[A-Za-z0-9_.:-]{1,64}$")
+
+_CURRENT_TRACE: ContextVar[Optional[str]] = ContextVar(
+    "repro_obs_trace", default=None
+)
+
+
+def mint_trace_id() -> str:
+    """A fresh 16-hex-char trace id (random; uniqueness, not secrecy)."""
+    return os.urandom(8).hex()
+
+
+def mint_request_id() -> str:
+    """A fresh 8-hex-char per-request id (HTTP access-log correlation)."""
+    return os.urandom(4).hex()
+
+
+def valid_trace_id(trace_id: str) -> bool:
+    """Whether ``trace_id`` is safe to carry as protocol/log metadata."""
+    return bool(_TRACE_ID.match(trace_id))
+
+
+def current_trace_id() -> Optional[str]:
+    """The trace id attributed to work in this context, or ``None``."""
+    return _CURRENT_TRACE.get()
+
+
+def set_trace_id(trace_id: Optional[str]) -> None:
+    """Set the current trace id for the rest of this context (task-local)."""
+    _CURRENT_TRACE.set(trace_id)
+
+
+@contextmanager
+def use_trace(trace_id: Optional[str]) -> Iterator[Optional[str]]:
+    """Scope the current trace id to a ``with`` block (restores on exit)."""
+    token = _CURRENT_TRACE.set(trace_id)
+    try:
+        yield trace_id
+    finally:
+        _CURRENT_TRACE.reset(token)
+
+
+@contextmanager
+def traced(name: str, **labels: object) -> Iterator[Optional[Span]]:
+    """A span that also lands in the flight recorder with the current trace.
+
+    Exceptions pass through untouched; the record's ``status`` says how the
+    stage ended (``error`` for exceptions, ``cancelled`` for
+    ``CancelledError``-family BaseExceptions — reader/consumer teardown is
+    normal operation and must still be visible in the recorder).
+    """
+    registry = get_registry()
+    if not registry.enabled:
+        yield None
+        return
+    recorder = get_recorder()
+    start_wall = time.time()
+    status = "ok"
+    inner: Optional[Span] = None
+    try:
+        with Span(name, registry=registry, **labels) as inner:
+            yield inner
+    except Exception:
+        status = "error"
+        raise
+    except BaseException:
+        status = "cancelled"
+        raise
+    finally:
+        if recorder is not None and inner is not None:
+            recorder.record(
+                SpanRecord(
+                    name=name,
+                    start=start_wall,
+                    # duration is None only if Span.__enter__ itself blew
+                    # up; record 0.0 rather than losing the failure
+                    duration=inner.duration if inner.duration is not None else 0.0,
+                    status=status,
+                    trace_id=_CURRENT_TRACE.get(),
+                    labels=tuple(sorted((k, str(v)) for k, v in labels.items())),
+                    path=inner.path,
+                )
+            )

@@ -16,6 +16,13 @@ Writes go through a plain blocking socket on purpose: when the server's
 ingest queue is full its reader stops draining, the TCP window closes, and
 ``sendall`` here simply blocks — the protocol's backpressure reaches all
 the way into this function without any extra machinery.
+
+Every named push also mints a **trace id** (:mod:`repro.obs.tracing`) and
+carries it as ``trace=`` metadata in the ``HELLO`` line, so the daemon's
+flight recorder can attribute decode/refresh time back to the push that
+caused it.  The id travels only in the control line — data lines are
+untouched — and old servers that reject the unknown key can be accommodated
+by passing ``trace=False``.
 """
 
 from __future__ import annotations
@@ -23,9 +30,10 @@ from __future__ import annotations
 import pathlib
 import socket
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Union
 
 from repro.events.store import read_complete_lines
+from repro.obs.tracing import mint_trace_id
 from repro.serve import protocol
 from repro.serve.ingest import tail_node_bind
 
@@ -43,6 +51,8 @@ class PushResult:
     skipped: int
     #: The server's ``BYE`` acknowledgement count (== ``sent``).
     accepted: int
+    #: Trace id sent in ``HELLO`` (``None`` for anonymous/untraced pushes).
+    trace: Optional[str] = None
 
 
 class LineSender:
@@ -93,9 +103,16 @@ class LineSender:
     # ------------------------------------------------------------------ #
     # protocol
 
-    def hello(self, source: str, node: Optional[int] = None) -> int:
+    def hello(
+        self,
+        source: str,
+        node: Optional[int] = None,
+        trace: Optional[str] = None,
+    ) -> int:
         """Declare a resumable source; returns the server's resume offset."""
-        self._send_text(protocol.Hello(source=source, node=node).format() + "\n")
+        self._send_text(
+            protocol.Hello(source=source, node=node, trace=trace).format() + "\n"
+        )
         return int(protocol.parse_ok(self._read_line()).get("offset", 0))
 
     def send_lines(self, lines: Iterable[str]) -> int:
@@ -133,6 +150,15 @@ class LineSender:
         return raw.decode("utf-8", errors="replace").rstrip("\r\n")
 
 
+def _resolve_trace(trace: Union[str, bool, None]) -> Optional[str]:
+    """``True``/``None`` mint a fresh id, ``False`` disables, str passes."""
+    if trace is False:
+        return None
+    if trace is True or trace is None:
+        return mint_trace_id()
+    return trace
+
+
 def push_lines(
     lines: list[str],
     *,
@@ -142,21 +168,30 @@ def push_lines(
     source: Optional[str] = None,
     node: Optional[int] = None,
     timeout: Optional[float] = 30.0,
+    trace: Union[str, bool, None] = None,
 ) -> PushResult:
     """Push a list of complete lines over one connection.
 
     With a ``source`` name the transfer is resumable: the server's ``HELLO``
     offset is skipped, so calling this again with the same (or a grown)
     list sends only the tail.  Anonymous pushes send everything.
+
+    ``trace`` controls the ``HELLO`` trace metadata: by default a fresh id
+    is minted per push; pass an explicit id to correlate several pushes
+    under one trace, or ``False`` to omit the key (e.g. against an old
+    server).  Anonymous pushes send no ``HELLO`` and are never traced.
     """
+    trace_id = _resolve_trace(trace) if source is not None else None
     with LineSender(host, port, unix_socket=unix_socket, timeout=timeout) as sender:
         skipped = 0
         if source is not None:
-            skipped = sender.hello(source, node)
+            skipped = sender.hello(source, node, trace_id)
         to_send = lines[skipped:]
         sender.send_lines(to_send)
         accepted = sender.bye()
-    return PushResult(sent=len(to_send), skipped=skipped, accepted=accepted)
+    return PushResult(
+        sent=len(to_send), skipped=skipped, accepted=accepted, trace=trace_id
+    )
 
 
 def push_store(
@@ -167,6 +202,7 @@ def push_store(
     unix_socket: Optional[str] = None,
     source_prefix: str = "",
     timeout: Optional[float] = 30.0,
+    trace: Union[str, bool, None] = None,
 ) -> dict[str, PushResult]:
     """Replay every shard of an on-disk store at a daemon.
 
@@ -174,8 +210,13 @@ def push_store(
     ``<source_prefix><filename>``; only newline-terminated lines are sent
     (a shard mid-write is picked up on the next push).  Returns per-source
     results keyed by source name.
+
+    One trace id spans the whole replay (all shards) so the daemon sees the
+    store push as a single logical flow; ``trace=False`` disables the
+    metadata entirely.
     """
     store = pathlib.Path(store)
+    push_trace = _resolve_trace(trace)
     results: dict[str, PushResult] = {}
     for shard in sorted(store.glob("node_*.log")):
         source = source_prefix + shard.name
@@ -187,5 +228,6 @@ def push_store(
             source=source,
             node=tail_node_bind(shard),
             timeout=timeout,
+            trace=push_trace if push_trace is not None else False,
         )
     return results

@@ -63,6 +63,15 @@ class ServeConfig:
     delivery_node:
         Overrides the store metadata's base-station id (``None`` + no store
         disables delivery detection).
+    metrics_out:
+        Optional path: write the final :class:`MetricsSnapshot` (JSON, same
+        contract as ``refill analyze --metrics-out``) on graceful shutdown —
+        SIGTERM/SIGINT and ``POST //shutdown`` alike.
+    trace_out:
+        Optional path: dump the flight recorder (JSON Lines, oldest first)
+        on graceful shutdown.
+    trace_capacity:
+        Flight-recorder ring size (completed spans + events retained).
     """
 
     store: Optional[str] = None
@@ -80,6 +89,9 @@ class ServeConfig:
     tail: tuple[str, ...] = field(default_factory=tuple)
     tail_interval: float = 0.25
     delivery_node: Optional[int] = None
+    metrics_out: Optional[str] = None
+    trace_out: Optional[str] = None
+    trace_capacity: int = 1024
 
     def __post_init__(self) -> None:
         if self.ingest_queue_batches <= 0:
@@ -88,6 +100,8 @@ class ServeConfig:
             raise ValueError("ingest_batch_lines must be positive")
         if self.flush_interval <= 0:
             raise ValueError("flush_interval must be positive")
+        if self.trace_capacity <= 0:
+            raise ValueError("trace_capacity must be positive")
 
     def resolved_checkpoint(self) -> Optional[pathlib.Path]:
         """The checkpoint file path, or ``None`` when checkpointing is off."""

@@ -20,18 +20,33 @@ GET     ``/reports``            all loss reports
 GET     ``/summary``            diagnosis summary + ingest progress
 GET     ``/offsets``            per-source ingest offsets / corrupt counts
 GET     ``/metrics``            the run's metrics-registry snapshot
+GET     ``/debug/trace``        the flight recorder (recent spans/events)
 POST    ``/checkpoint``         write a checkpoint now
 POST    ``/shutdown``           graceful drain + checkpoint + exit
 ======  ======================  =============================================
 
+``/metrics`` content-negotiates: JSON by default, Prometheus text
+exposition when the ``Accept`` header asks for ``text/plain`` (or with
+``?format=prometheus`` for curl convenience) — the daemon is scrapeable by
+stock Prometheus without breaking existing JSON consumers.
+
+``/debug/trace`` filters with query parameters: ``limit`` (newest-first
+cap), ``name`` (exact or dotted-prefix span/event name), ``trace`` (one
+trace id), ``kind`` (``span``/``event``).
+
 Every request lands in ``serve.requests{route=,code=}`` and its latency in
 ``serve.request.seconds{route=}`` (the p50/p95 the bench baseline reports).
+Each request is also assigned a request id, echoed as ``X-Request-Id`` and
+written to the access log (``http.access``), so a slow query in the log
+joins to the span records around it.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import time
+import urllib.parse
 from typing import TYPE_CHECKING, Any, Optional
 
 from repro.analysis.causes import cause_shares, sink_split
@@ -43,8 +58,11 @@ from repro.core.serialize import (
     reports_to_json,
 )
 from repro.events.packet import PacketKey
+from repro.obs.promtext import CONTENT_TYPE as PROM_CONTENT_TYPE
+from repro.obs.promtext import render_snapshot
 from repro.obs.registry import get_registry, timer
 from repro.obs.structlog import get_logger
+from repro.obs.tracing import mint_request_id
 from repro.serve._compat import timeout
 
 if TYPE_CHECKING:
@@ -54,6 +72,27 @@ _log = get_logger("refill.serve.http")
 
 _MAX_REQUEST_LINE = 8192
 _MAX_HEADERS = 100
+
+_JSON_CONTENT_TYPE = "application/json"
+
+#: Every route the query API answers — the doc-coverage test holds
+#: ``docs/SERVING.md`` to this list, so a new endpoint cannot ship
+#: undocumented.
+ROUTES = (
+    "/healthz",
+    "/readyz",
+    "/packets",
+    "/flow/<packet>",
+    "/flows",
+    "/report/<packet>",
+    "/reports",
+    "/summary",
+    "/offsets",
+    "/metrics",
+    "/debug/trace",
+    "/checkpoint",
+    "/shutdown",
+)
 
 
 class QueryApi:
@@ -104,18 +143,38 @@ class QueryApi:
         if request is None:
             writer.close()
             return
-        method, path = request
+        method, path, query, accept = request
+        request_id = mint_request_id()
         route = self._route_label(path)
         registry = get_registry()
+        started = time.perf_counter()
         with timer(registry.histogram("serve.request.seconds", route=route)):
             try:
-                code, body = self._dispatch(method, path)
+                code, body, content_type = self._dispatch(
+                    method, path, query, accept
+                )
             except Exception as exc:  # noqa: BLE001 - a query never kills the daemon
-                _log.warning("http.handler-error", path=path, error=str(exc))
+                _log.warning(
+                    "http.handler-error",
+                    path=path,
+                    request=request_id,
+                    error=str(exc),
+                )
                 code, body = 500, dumps_canonical({"error": "internal error"})
+                content_type = _JSON_CONTENT_TYPE
         registry.counter("serve.requests", route=route, code=code).inc()
+        _log.info(
+            "http.access",
+            request=request_id,
+            method=method,
+            path=path,
+            code=code,
+            seconds=round(time.perf_counter() - started, 6),
+        )
         try:
-            writer.write(_response_bytes(code, body))
+            writer.write(
+                _response_bytes(code, body, content_type, request_id=request_id)
+            )
             await writer.drain()
         except (ConnectionError, OSError):
             pass  # client went away mid-response; their problem, not ours
@@ -129,7 +188,7 @@ class QueryApi:
     @staticmethod
     async def _read_request(
         reader: asyncio.StreamReader,
-    ) -> Optional[tuple[str, str]]:
+    ) -> Optional[tuple[str, str, dict[str, str], str]]:
         request_line = await reader.readline()
         if not request_line:
             return None
@@ -140,20 +199,30 @@ class QueryApi:
             raise ValueError("malformed request line")
         method, target, _version = parts
         content_length = 0
+        accept = ""
         for _ in range(_MAX_HEADERS):
             header = await reader.readline()
             if header in (b"\r\n", b"\n", b""):
                 break
             name, sep, value = header.decode("latin-1").partition(":")
-            if sep and name.strip().lower() == "content-length":
+            if not sep:
+                continue
+            name = name.strip().lower()
+            if name == "content-length":
                 try:
                     content_length = int(value.strip())
                 except ValueError:
                     raise ValueError("bad content-length") from None
+            elif name == "accept":
+                accept = value.strip()
         if content_length:
             await reader.readexactly(min(content_length, 1 << 20))
-        path = target.split("?", 1)[0]
-        return method.upper(), path
+        path, _, raw_query = target.partition("?")
+        query = {
+            key: value
+            for key, value in urllib.parse.parse_qsl(raw_query, keep_blank_values=True)
+        }
+        return method.upper(), path, query, accept
 
     # ------------------------------------------------------------------ #
     # routing
@@ -164,7 +233,68 @@ class QueryApi:
         head = path.strip("/").split("/", 1)[0]
         return head or "root"
 
-    def _dispatch(self, method: str, path: str) -> tuple[int, str]:
+    def _dispatch(
+        self, method: str, path: str, query: dict[str, str], accept: str
+    ) -> tuple[int, str, str]:
+        """Route one request; returns ``(code, body, content_type)``."""
+        if method == "GET" and path == "/metrics":
+            return self._metrics_response(query, accept)
+        if method == "GET" and path == "/debug/trace":
+            return self._debug_trace(query)
+        code, body = self._dispatch_json(method, path)
+        return code, body, _JSON_CONTENT_TYPE
+
+    def _metrics_response(
+        self, query: dict[str, str], accept: str
+    ) -> tuple[int, str, str]:
+        """JSON by default; Prometheus text when the client asks for it."""
+        snapshot = get_registry().snapshot()
+        wants_text = query.get("format") == "prometheus" or (
+            "text/plain" in accept or "openmetrics-text" in accept
+        )
+        if wants_text:
+            return 200, render_snapshot(snapshot), PROM_CONTENT_TYPE
+        return (
+            200,
+            json.dumps(snapshot.to_json(), sort_keys=True),
+            _JSON_CONTENT_TYPE,
+        )
+
+    def _debug_trace(self, query: dict[str, str]) -> tuple[int, str, str]:
+        """The flight recorder's recent records, newest first, filtered."""
+        recorder = self.server.recorder
+        limit: Optional[int] = None
+        if "limit" in query:
+            try:
+                limit = int(query["limit"])
+            except ValueError:
+                body = dumps_canonical(
+                    {"error": f"bad limit {query['limit']!r}"}
+                )
+                return 400, body, _JSON_CONTENT_TYPE
+        kind = query.get("kind")
+        if kind not in (None, "span", "event"):
+            body = dumps_canonical({"error": f"bad kind {kind!r}"})
+            return 400, body, _JSON_CONTENT_TYPE
+        records = recorder.snapshot(
+            limit=limit,
+            name=query.get("name"),
+            trace_id=query.get("trace"),
+            kind=kind,
+        )
+        body = json.dumps(
+            {
+                "records": records,
+                "returned": len(records),
+                "recorded": recorder.recorded,
+                "dropped": recorder.dropped,
+                "capacity": recorder.capacity,
+            },
+            sort_keys=True,
+        )
+        return 200, body, _JSON_CONTENT_TYPE
+
+    def _dispatch_json(self, method: str, path: str) -> tuple[int, str]:
         server = self.server
         parts = [p for p in path.split("/") if p]
         if method == "GET":
@@ -194,10 +324,6 @@ class QueryApi:
                         "corrupt_lines": dict(sorted(book.corrupt.items())),
                         "lines_ingested": book.lines_ingested,
                     }
-                )
-            if path == "/metrics":
-                return 200, json.dumps(
-                    get_registry().snapshot().to_json(), sort_keys=True
                 )
         elif method == "POST":
             if path == "/checkpoint":
@@ -252,17 +378,27 @@ class QueryApi:
         return summary
 
 
-def _response_bytes(code: int, body: str) -> bytes:
+def _response_bytes(
+    code: int,
+    body: str,
+    content_type: str = _JSON_CONTENT_TYPE,
+    *,
+    request_id: Optional[str] = None,
+) -> bytes:
     reason = {
         200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
         405: "Method Not Allowed", 409: "Conflict", 500: "Internal Server Error",
         503: "Service Unavailable",
     }.get(code, "OK")
-    payload = (body + "\n").encode("utf-8")
+    if not body.endswith("\n"):
+        body = body + "\n"
+    payload = body.encode("utf-8")
     head = (
         f"HTTP/1.1 {code} {reason}\r\n"
-        f"Content-Type: application/json\r\n"
+        f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(payload)}\r\n"
-        f"Connection: close\r\n\r\n"
     )
+    if request_id is not None:
+        head += f"X-Request-Id: {request_id}\r\n"
+    head += "Connection: close\r\n\r\n"
     return head.encode("latin-1") + payload

@@ -23,13 +23,16 @@ from __future__ import annotations
 import asyncio
 import pathlib
 import re
+import time
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.events.codec import DecodeIssue, LineAssembler, scan_log_text
 from repro.events.event import Event
 from repro.events.store import read_complete_lines
+from repro.obs.recorder import get_recorder
 from repro.obs.structlog import get_logger
+from repro.obs.tracing import current_trace_id, mint_trace_id, set_trace_id, traced
 from repro.serve import protocol
 from repro.serve._compat import timeout
 from repro.serve.config import ServeConfig
@@ -50,6 +53,13 @@ class IngestItem:
     source: Optional[str]
     node_bind: Optional[int]
     lines: list[str]
+    #: Trace id of the connection/tail that produced the batch (metadata
+    #: only — carried so the consumer's decode/ingest spans attribute to
+    #: the originating push; never consulted when decoding the lines).
+    trace_id: Optional[str] = None
+    #: ``time.perf_counter()`` at enqueue; the consumer's dequeue observes
+    #: the difference as ``serve.queue.wait.seconds``.
+    enqueued_at: float = 0.0
 
 
 @dataclass
@@ -64,6 +74,9 @@ class SourceBook:
     corrupt: dict[str, int] = field(default_factory=dict)
     #: Total ingested lines across every source, anonymous included.
     lines_ingested: int = 0
+    #: Wall time a source last delivered lines (runtime-only — never
+    #: checkpointed; feeds the per-source staleness gauges).
+    last_seen: dict[str, float] = field(default_factory=dict)
 
     def restore(self, offsets: dict[str, int], corrupt: dict[str, int],
                 lines_ingested: int) -> None:
@@ -179,7 +192,13 @@ class IngestHub:
                     continue
                 if not chunk:
                     break  # disconnect; partial tail (if any) is discarded
-                for line in assembler.feed(chunk):
+                with traced("serve.frame"):
+                    framed = list(assembler.feed(chunk))
+                if framed and source is not None:
+                    # once per chunk, not per line — staleness needs chunk
+                    # granularity and time.time() is hot-loop poison
+                    self.book.last_seen[source] = time.time()
+                for line in framed:
                     word = protocol.control_word(line)
                     if word == protocol.HELLO and first_line:
                         first_line = False
@@ -202,6 +221,17 @@ class IngestHub:
                         # from here `source` marks ownership: the finally
                         # below releases exactly what this connection claimed
                         source, node_bind = hello.source, hello.node
+                        # the trace id is task-local: this reader's spans
+                        # and batches attribute to it, siblings are unaffected
+                        set_trace_id(hello.trace)
+                        recorder = get_recorder()
+                        if recorder is not None:
+                            recorder.record_event(
+                                "ingest.hello",
+                                trace_id=hello.trace,
+                                source=source,
+                                offset=self.book.received.get(source, 0),
+                            )
                         offset = self.book.received.get(source, 0)
                         writer.write(
                             (protocol.format_ok(offset=offset) + "\n").encode()
@@ -251,7 +281,16 @@ class IngestHub:
     async def _enqueue(
         self, source: Optional[str], node_bind: Optional[int], lines: list[str]
     ) -> None:
-        await self.queue.put(IngestItem(source, node_bind, list(lines)))
+        item = IngestItem(
+            source,
+            node_bind,
+            list(lines),
+            trace_id=current_trace_id(),
+            enqueued_at=time.perf_counter(),
+        )
+        # the span times backpressure: a full queue parks this reader here
+        with traced("serve.enqueue"):
+            await self.queue.put(item)
 
     # ------------------------------------------------------------------ #
     # file tailing
@@ -266,6 +305,14 @@ class IngestHub:
         path = pathlib.Path(path)
         source = path.name
         node_bind = tail_node_bind(path)
+        # one trace spans the tail session — every batch this task enqueues
+        # attributes to it, exactly like a pushing client's HELLO trace
+        set_trace_id(mint_trace_id())
+        recorder = get_recorder()
+        if recorder is not None:
+            recorder.record_event(
+                "ingest.tail.start", trace_id=current_trace_id(), source=source
+            )
         while not stop.is_set():
             offset = self.book.received.get(source, 0)
             try:
@@ -274,6 +321,7 @@ class IngestHub:
                 lines = []
             if lines:
                 self.book.received[source] = offset + len(lines)
+                self.book.last_seen[source] = time.time()
                 for start in range(0, len(lines), self.config.ingest_batch_lines):
                     await self._enqueue(
                         source,

@@ -5,7 +5,7 @@ Every line is either a **data line** — the :mod:`repro.events.codec` format,
 tolerantly decoded, so garbled lines are counted and skipped instead of
 killing the connection — or one of two **control lines**:
 
-``HELLO source=<id> [node=<n>]``
+``HELLO source=<id> [node=<n>] [trace=<id>]``
     Optional, first line only.  Declares a resumable *source*.  The server
     replies ``OK offset=<k>``: the number of complete lines it has already
     accepted from that source (across restarts, via the checkpoint), and the
@@ -13,7 +13,13 @@ killing the connection — or one of two **control lines**:
     source to one node id: data lines decoding to a different node are
     counted corrupt and dropped, mirroring the store loader's treatment of
     misfiled lines — pushing a store's shards therefore reconstructs
-    byte-identically to loading the store from disk.
+    byte-identically to loading the store from disk.  ``trace=<id>`` is
+    optional observability metadata (a wire-safe token, see
+    :mod:`repro.obs.tracing`): the server attributes this connection's
+    ingest spans to that trace id and nothing else — trace metadata rides
+    only in this control line, never in data lines, so tracing cannot
+    perturb the ingested bytes.  Servers that predate the key reject it as
+    unknown; clients omit it for compatibility by passing ``trace=None``.
 
 ``BYE``
     Polite end of stream.  The server replies ``OK accepted=<n>`` (lines
@@ -40,6 +46,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.obs.tracing import valid_trace_id
+
 HELLO = "HELLO"
 BYE = "BYE"
 OK = "OK"
@@ -52,11 +60,15 @@ class Hello:
 
     source: str
     node: Optional[int] = None
+    #: Optional trace id (observability metadata only; never affects ingest).
+    trace: Optional[str] = None
 
     def format(self) -> str:
         parts = [HELLO, f"source={self.source}"]
         if self.node is not None:
             parts.append(f"node={self.node}")
+        if self.trace is not None:
+            parts.append(f"trace={self.trace}")
         return " ".join(parts)
 
 
@@ -84,6 +96,7 @@ def parse_hello(line: str) -> Hello:
         raise ValueError(f"not a HELLO line: {line!r}")
     source: Optional[str] = None
     node: Optional[int] = None
+    trace: Optional[str] = None
     for token in tokens[1:]:
         key, sep, value = token.partition("=")
         if not sep or not value:
@@ -92,11 +105,15 @@ def parse_hello(line: str) -> Hello:
             source = value
         elif key == "node":
             node = int(value)
+        elif key == "trace":
+            if not valid_trace_id(value):
+                raise ValueError(f"malformed HELLO trace id {value!r}")
+            trace = value
         else:
             raise ValueError(f"unknown HELLO key {key!r}")
     if source is None:
         raise ValueError("HELLO line missing source=")
-    return Hello(source=source, node=node)
+    return Hello(source=source, node=node, trace=trace)
 
 
 def format_ok(**fields: object) -> str:

@@ -38,8 +38,10 @@ from typing import Any, Callable, Optional
 
 from repro.core.backends.incremental import IncrementalBackend
 from repro.core.session import ReconstructionSession
+from repro.obs.recorder import FlightRecorder, use_recorder
 from repro.obs.registry import MetricsRegistry, get_registry, use_registry
 from repro.obs.structlog import get_logger
+from repro.obs.tracing import traced, use_trace
 from repro.serve._compat import timeout
 from repro.serve.checkpoint import Checkpoint, load_checkpoint, save_checkpoint
 from repro.serve.config import ServeConfig
@@ -54,6 +56,25 @@ from repro.serve.ingest import (
 
 _log = get_logger("refill.serve")
 
+#: Every metric family the daemon emits — the doc-coverage test in
+#: ``tests/stress/test_docs.py`` holds ``docs/OBSERVABILITY.md`` to this
+#: list, so a new gauge cannot ship undocumented.
+SERVE_METRIC_NAMES = (
+    "serve.ingest.lines",
+    "serve.ingest.lag_lines",
+    "serve.ingest.lag_seconds",
+    "serve.ingest.pending_packets",
+    "serve.ingest.queue_batches",
+    "serve.ingest.queue_saturation",
+    "serve.queue.wait.seconds",
+    "serve.source.staleness_seconds",
+    "serve.checkpoint.age_seconds",
+    "serve.checkpoint.duration_seconds",
+    "serve.checkpoints",
+    "serve.requests",
+    "serve.request.seconds",
+)
+
 
 class RefillServer:
     """A long-running reconstruction service over one streaming session."""
@@ -63,6 +84,7 @@ class RefillServer:
     ) -> None:
         self.config = config
         self.registry = registry if registry is not None else MetricsRegistry()
+        self.recorder = FlightRecorder(config.trace_capacity)
         self.metadata = config.metadata()
         self.book = SourceBook()
         self.hub = IngestHub(config, self.book)
@@ -80,6 +102,11 @@ class RefillServer:
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._shutdown: Optional[asyncio.Event] = None
         self._dirty_since_checkpoint = False
+        self._started_at = time.monotonic()
+        #: ``time.monotonic()`` of the last checkpoint write (age gauge).
+        self._last_checkpoint_at: Optional[float] = None
+        #: Queue wait of the most recently ingested batch (lag gauge).
+        self._last_queue_wait = 0.0
 
     # ------------------------------------------------------------------ #
     # checkpoint / restore
@@ -108,14 +135,21 @@ class RefillServer:
         path = self.config.resolved_checkpoint()
         if path is None:
             return None
-        checkpoint = Checkpoint(
-            session_state=self.session.export_state(),
-            offsets=dict(self.book.ingested),
-            corrupt_lines=dict(self.book.corrupt),
-            lines_ingested=self.book.lines_ingested,
+        started = time.perf_counter()
+        with traced("serve.checkpoint"):
+            checkpoint = Checkpoint(
+                session_state=self.session.export_state(),
+                offsets=dict(self.book.ingested),
+                corrupt_lines=dict(self.book.corrupt),
+                lines_ingested=self.book.lines_ingested,
+            )
+            save_checkpoint(path, checkpoint)
+        registry = get_registry()
+        registry.counter("serve.checkpoints").inc()
+        registry.gauge("serve.checkpoint.duration_seconds").set(
+            time.perf_counter() - started
         )
-        save_checkpoint(path, checkpoint)
-        get_registry().counter("serve.checkpoints").inc()
+        self._last_checkpoint_at = time.monotonic()
         self._dirty_since_checkpoint = False
         _log.debug("serve.checkpointed", path=str(path))
         return path
@@ -124,7 +158,13 @@ class RefillServer:
     # state probes
 
     def readiness(self) -> tuple[bool, dict[str, Any]]:
-        """Whether ingest is drained and every flow is fresh."""
+        """Whether ingest is drained and every flow is fresh.
+
+        The detail dict mirrors the pipeline-health gauges so a probe (or a
+        human with ``curl``) sees the same numbers Prometheus scrapes: line
+        lag, the dirty set, queue depth/saturation, the last batch's queue
+        wait, and checkpoint age.
+        """
         lag = self.book.lag_lines()
         pending = self.session.pending
         queued = self.hub.queue.qsize()
@@ -134,7 +174,19 @@ class RefillServer:
             "lag_lines": lag,
             "pending_packets": pending,
             "queued_batches": queued,
+            "queue_saturation": queued / self.hub.queue.maxsize,
+            "lag_seconds": 0.0 if ready else self._last_queue_wait,
+            "checkpoint_age_seconds": self._checkpoint_age(),
         }
+
+    def _checkpoint_age(self) -> float:
+        """Seconds since the last checkpoint (since start-up if none yet)."""
+        anchor = (
+            self._last_checkpoint_at
+            if self._last_checkpoint_at is not None
+            else self._started_at
+        )
+        return max(0.0, time.monotonic() - anchor)
 
     def request_shutdown(self) -> None:
         """Trigger graceful shutdown; safe from any thread."""
@@ -147,9 +199,20 @@ class RefillServer:
     # the consumer
 
     def _ingest_item(self, item: IngestItem) -> None:
-        events_by_node, corrupt = decode_lines(item.lines, item.node_bind)
-        if events_by_node:
-            self.session.ingest(events_by_node)
+        registry = get_registry()
+        if item.enqueued_at and registry.enabled:
+            wait = time.perf_counter() - item.enqueued_at
+            self._last_queue_wait = wait
+            registry.histogram("serve.queue.wait.seconds").observe(wait)
+            registry.gauge("serve.ingest.lag_seconds").set(wait)
+        # the batch's spans attribute to the trace that produced it — the
+        # ids ride entirely outside the decoded lines
+        with use_trace(item.trace_id):
+            with traced("serve.decode", source=item.source or ANONYMOUS_SOURCE):
+                events_by_node, corrupt = decode_lines(item.lines, item.node_bind)
+            if events_by_node:
+                with traced("serve.ingest.batch"):
+                    self.session.ingest(events_by_node)
         n = len(item.lines)
         source = item.source if item.source is not None else ANONYMOUS_SOURCE
         self.book.lines_ingested += n
@@ -157,7 +220,6 @@ class RefillServer:
             self.book.ingested[item.source] = (
                 self.book.ingested.get(item.source, 0) + n
             )
-        registry = get_registry()
         registry.counter("serve.ingest.lines").inc(n)
         if corrupt:
             self.book.corrupt[source] = self.book.corrupt.get(source, 0) + corrupt
@@ -171,9 +233,26 @@ class RefillServer:
 
     def _update_gauges(self) -> None:
         registry = get_registry()
-        registry.gauge("serve.ingest.lag_lines").set(self.book.lag_lines())
+        if not registry.enabled:
+            return
+        lag = self.book.lag_lines()
+        queued = self.hub.queue.qsize()
+        registry.gauge("serve.ingest.lag_lines").set(lag)
         registry.gauge("serve.ingest.pending_packets").set(self.session.pending)
-        registry.gauge("serve.ingest.queue_batches").set(self.hub.queue.qsize())
+        registry.gauge("serve.ingest.queue_batches").set(queued)
+        registry.gauge("serve.ingest.queue_saturation").set(
+            queued / self.hub.queue.maxsize
+        )
+        if lag == 0 and queued == 0:
+            # drained: the last batch's wait no longer describes the present
+            self._last_queue_wait = 0.0
+            registry.gauge("serve.ingest.lag_seconds").set(0.0)
+        registry.gauge("serve.checkpoint.age_seconds").set(self._checkpoint_age())
+        now = time.time()
+        for source, seen in self.book.last_seen.items():
+            registry.gauge("serve.source.staleness_seconds", source=source).set(
+                max(0.0, now - seen)
+            )
 
     async def _consume(self) -> None:
         """Single writer of session state: dequeue, decode, ingest.
@@ -195,7 +274,8 @@ class RefillServer:
                     item = await self.hub.queue.get()
             except TimeoutError:
                 if self.session.pending:
-                    self.session.refresh()
+                    with traced("serve.refresh", pending=self.session.pending):
+                        self.session.refresh()
                 self._update_gauges()
             else:
                 self._ingest_item(item)
@@ -293,11 +373,13 @@ class RefillServer:
         # whatever the readers got onto the queue before they stopped
         self._drain_queue()
         if self.session.pending:
-            self.session.refresh()
+            with traced("serve.refresh", pending=self.session.pending):
+                self.session.refresh()
         self._update_gauges()
         written = self.write_checkpoint()
         if self.config.unix_socket is not None:
             pathlib.Path(self.config.unix_socket).unlink(missing_ok=True)
+        self._write_final_outputs()
         _log.info(
             "serve.stopped",
             packets=len(self.session.packets()),
@@ -305,12 +387,33 @@ class RefillServer:
             checkpoint=str(written) if written else "-",
         )
 
+    def _write_final_outputs(self) -> None:
+        """Dump ``--metrics-out`` / ``--trace-out`` on graceful shutdown.
+
+        The metrics file follows the ``refill analyze --metrics-out``
+        contract exactly (sorted-key JSON snapshot plus trailing newline);
+        the trace file is the flight recorder as JSON Lines, oldest first.
+        """
+        if self.config.metrics_out is not None:
+            path = pathlib.Path(self.config.metrics_out)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(self.registry.snapshot().to_json_str() + "\n")
+            _log.info("serve.metrics-written", path=str(path))
+        if self.config.trace_out is not None:
+            count = self.recorder.dump_jsonl(self.config.trace_out)
+            _log.info(
+                "serve.trace-written", path=self.config.trace_out, records=count
+            )
+
     def run(self, ready: Optional[Callable[["RefillServer"], None]] = None) -> int:
         """Blocking entry point: serve until SIGTERM/SIGINT or ``/shutdown``.
 
         All instrumentation of the daemon (and of the reconstruction it
-        hosts) lands in ``self.registry`` — what ``GET /metrics`` serves.
+        hosts) lands in ``self.registry`` — what ``GET /metrics`` serves —
+        and every completed traced span lands in ``self.recorder`` — what
+        ``GET /debug/trace`` serves.  Both contexts are installed before the
+        loop starts, so every task the daemon spawns inherits them.
         """
-        with use_registry(self.registry):
+        with use_registry(self.registry), use_recorder(self.recorder):
             asyncio.run(self._main(ready))
         return 0

@@ -1,0 +1,114 @@
+"""Flight recorder: bounded ring semantics, filtering, dumping."""
+
+import json
+
+import pytest
+
+from repro.obs.recorder import (
+    EventRecord,
+    FlightRecorder,
+    SpanRecord,
+    get_recorder,
+    use_recorder,
+)
+
+
+def span(name, start=1.0, **kw):
+    return SpanRecord(name=name, start=start, duration=0.5, **kw)
+
+
+class TestRing:
+    def test_capacity_bounds_memory(self):
+        recorder = FlightRecorder(capacity=8)
+        for i in range(20):
+            recorder.record(span(f"s{i}"))
+        assert len(recorder) == 8
+        assert recorder.recorded == 20
+        assert recorder.dropped == 12
+        # the survivors are the newest 8
+        names = [r["name"] for r in recorder.snapshot()]
+        assert names == [f"s{i}" for i in range(19, 11, -1)]
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_clear_resets_counts(self):
+        recorder = FlightRecorder(capacity=4)
+        recorder.record(span("s"))
+        recorder.clear()
+        assert len(recorder) == 0 and recorder.recorded == 0
+
+
+class TestSnapshotFilters:
+    @pytest.fixture()
+    def recorder(self):
+        recorder = FlightRecorder()
+        recorder.record(span("serve.decode", trace_id="t1"))
+        recorder.record(span("serve.decode", trace_id="t2", status="error"))
+        recorder.record(span("serve.refresh", trace_id="t1"))
+        recorder.record_event("ingest.hello", trace_id="t2", source="a")
+        return recorder
+
+    def test_newest_first(self, recorder):
+        names = [r["name"] for r in recorder.snapshot()]
+        assert names == [
+            "ingest.hello", "serve.refresh", "serve.decode", "serve.decode",
+        ]
+
+    def test_limit(self, recorder):
+        assert len(recorder.snapshot(limit=2)) == 2
+
+    def test_filter_by_trace(self, recorder):
+        records = recorder.snapshot(trace_id="t1")
+        assert {r["name"] for r in records} == {"serve.decode", "serve.refresh"}
+
+    def test_filter_by_kind(self, recorder):
+        assert [r["name"] for r in recorder.snapshot(kind="event")] == [
+            "ingest.hello"
+        ]
+
+    def test_name_matches_exact_or_dotted_prefix(self, recorder):
+        assert len(recorder.snapshot(name="serve")) == 3
+        assert len(recorder.snapshot(name="serve.decode")) == 2
+        assert len(recorder.snapshot(name="serve.dec")) == 0
+
+
+class TestSerialization:
+    def test_span_json_omits_defaults(self):
+        data = span("s").to_json()
+        assert data == {
+            "kind": "span", "name": "s", "start": 1.0,
+            "duration": 0.5, "status": "ok",
+        }
+
+    def test_event_fields_round_trip(self):
+        event = EventRecord(
+            name="e", time=2.0, trace_id="t", fields=(("k", "v"),)
+        )
+        assert event.to_json() == {
+            "kind": "event", "name": "e", "time": 2.0,
+            "trace": "t", "fields": {"k": "v"},
+        }
+
+    def test_dump_jsonl_oldest_first(self, tmp_path):
+        recorder = FlightRecorder(capacity=4)
+        for i in range(6):
+            recorder.record(span(f"s{i}", start=float(i)))
+        out = tmp_path / "sub" / "trace.jsonl"
+        assert recorder.dump_jsonl(out) == 4
+        lines = out.read_text().splitlines()
+        assert [json.loads(line)["name"] for line in lines] == [
+            "s2", "s3", "s4", "s5",
+        ]
+
+
+class TestContext:
+    def test_default_is_off(self):
+        assert get_recorder() is None
+
+    def test_use_recorder_scopes(self):
+        recorder = FlightRecorder()
+        with use_recorder(recorder):
+            assert get_recorder() is recorder
+        assert get_recorder() is None

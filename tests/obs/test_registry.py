@@ -74,7 +74,33 @@ class TestHistogramQuantiles:
         assert h.count == n
         assert h.total == sum(range(n))
         assert h.max == float(n - 1)  # exact even though the sample is capped
-        assert len(h._samples) == HISTOGRAM_SAMPLE_CAP
+        assert len(h._samples) <= HISTOGRAM_SAMPLE_CAP
+
+    def test_retention_stays_bounded_and_covers_the_stream(self):
+        # a long-running daemon's histogram must not grow without limit,
+        # and the retained subsample must span the whole stream (a
+        # first-N policy would freeze quantiles at the first minutes)
+        h = MetricsRegistry().histogram("h")
+        n = HISTOGRAM_SAMPLE_CAP * 8
+        for v in range(n):
+            h.observe(float(v))
+        assert len(h._samples) <= HISTOGRAM_SAMPLE_CAP
+        assert h._samples[0] == 0.0
+        assert max(h._samples) > 0.9 * (n - 1)
+        # quantiles track the full stream, not its prefix
+        assert h.quantile(0.5) == pytest.approx(n / 2, rel=0.01)
+        assert h.quantile(0.95) == pytest.approx(0.95 * n, rel=0.01)
+
+    def test_retention_is_deterministic(self):
+        def build():
+            h = MetricsRegistry().histogram("h")
+            for v in range(HISTOGRAM_SAMPLE_CAP * 3 + 17):
+                h.observe(float(v % 997))
+            return h
+
+        a, b = build(), build()
+        assert a._samples == b._samples
+        assert a.summary() == b.summary()
 
 
 class TestMerge:

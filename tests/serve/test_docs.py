@@ -1,0 +1,37 @@
+"""Serve telemetry must be documented: metrics, routes, and CLI flags.
+
+The source of truth is the code (`SERVE_METRIC_NAMES`, `ROUTES`); the docs
+are held to it so an endpoint or gauge cannot ship undocumented — the same
+pattern as the stress-oracle coverage test in ``tests/stress/test_docs.py``.
+"""
+
+import pathlib
+
+from repro.serve.http import ROUTES
+from repro.serve.server import SERVE_METRIC_NAMES
+
+DOCS = pathlib.Path(__file__).resolve().parents[2] / "docs"
+
+
+def test_every_serve_metric_is_documented():
+    doc = (DOCS / "OBSERVABILITY.md").read_text()
+    missing = [name for name in SERVE_METRIC_NAMES if name not in doc]
+    assert not missing, f"undocumented serve metrics: {missing}"
+
+
+def test_every_route_is_documented():
+    doc = (DOCS / "SERVING.md").read_text()
+    missing = [route for route in ROUTES if route not in doc]
+    assert not missing, f"undocumented routes: {missing}"
+
+
+def test_telemetry_cli_flags_are_documented():
+    doc = (DOCS / "SERVING.md").read_text()
+    for flag in ("--metrics-out", "--trace-out", "--trace-capacity"):
+        assert flag in doc, f"undocumented flag {flag}"
+
+
+def test_debug_trace_filters_are_documented():
+    doc = (DOCS / "SERVING.md").read_text()
+    for param in ("`limit`", "`name`", "`trace`", "`kind`"):
+        assert param in doc, f"undocumented /debug/trace filter {param}"

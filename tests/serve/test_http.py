@@ -32,12 +32,14 @@ class TestProbes:
     def test_readyz_reports_detail(self, server):
         status, body = http_json(server.http_port, "/readyz")
         assert status == 200
-        assert body == {
-            "ready": True,
-            "lag_lines": 0,
-            "pending_packets": 0,
-            "queued_batches": 0,
-        }
+        assert body["ready"] is True
+        assert body["lag_lines"] == 0
+        assert body["pending_packets"] == 0
+        assert body["queued_batches"] == 0
+        # pipeline-health gauges surface in the probe detail
+        assert body["queue_saturation"] == 0.0
+        assert body["lag_seconds"] == 0.0
+        assert body["checkpoint_age_seconds"] >= 0.0
 
 
 class TestQueries:

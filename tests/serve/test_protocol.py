@@ -72,6 +72,20 @@ class TestControlLines:
         with pytest.raises(ValueError):
             parse_hello(bad)
 
+    def test_hello_trace_round_trip(self):
+        hello = Hello(source="s", node=2, trace="push-1:a.b_c")
+        assert parse_hello(hello.format()) == hello
+        # the key is optional — pre-trace clients never send it
+        assert parse_hello("HELLO source=s").trace is None
+
+    @pytest.mark.parametrize("bad", [
+        "HELLO source=x trace=",
+        "HELLO source=x trace=" + "t" * 65,
+    ])
+    def test_malformed_trace_raises(self, bad):
+        with pytest.raises(ValueError):
+            parse_hello(bad)
+
     def test_control_word_never_matches_data_lines(self):
         assert control_word("HELLO source=x") == "HELLO"
         assert control_word("BYE") == "BYE"
