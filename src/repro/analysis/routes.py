@@ -83,7 +83,7 @@ def route_timelines(
     for origin, observations in by_origin.items():
         observations.sort()
         timeline = RouteTimeline(origin, observations)
-        for (seq_a, path_a), (seq_b, path_b) in zip(observations, observations[1:]):
+        for (_seq_a, path_a), (seq_b, path_b) in zip(observations, observations[1:]):
             if path_a != path_b:
                 timeline.changes.append(RouteChange(origin, seq_b, path_a, path_b))
         timelines[origin] = timeline

@@ -1,0 +1,33 @@
+"""Concurrency & determinism code analysis (``refill check --code``).
+
+The third analysis target of the ``refill check`` findings engine,
+alongside the cross-FSM template checks and the log-corpus lint: an AST
+analyzer for the Python sources themselves, encoding the concurrency
+and determinism discipline this reproduction depends on (serve daemon
+shutdown safety, 3.10-compatible timeouts, seed-replayable stress and
+simnet runs, hot-loop clock hygiene).
+
+- :mod:`repro.check.code.modules` — module classification: which
+  modules are async daemons, seed-deterministic, hot paths;
+- :mod:`repro.check.code.rules` — the ``CC0xx`` AST rule visitors;
+- :mod:`repro.check.code.analyzer` — orchestration, inline
+  suppressions, flood caps, the :func:`check_code` entry point.
+
+Every rule code is catalogued in ``docs/STATIC_ANALYSIS.md``.
+"""
+
+from repro.check.code.analyzer import check_code, collect_suppressions, scan_paths
+from repro.check.code.modules import ModuleInfo, classify, load_module, module_name_for
+from repro.check.code.rules import ModuleScanner, scan_module
+
+__all__ = [
+    "ModuleInfo",
+    "ModuleScanner",
+    "check_code",
+    "classify",
+    "collect_suppressions",
+    "load_module",
+    "module_name_for",
+    "scan_module",
+    "scan_paths",
+]

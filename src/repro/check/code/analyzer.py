@@ -1,0 +1,225 @@
+"""``refill check --code`` orchestration: scan, suppress, cap, report.
+
+:func:`check_code` is the third analysis target of the findings engine
+(after cross-FSM templates and the log corpus): it walks Python sources,
+classifies modules (:mod:`repro.check.code.modules`), runs the ``CC0xx``
+rule visitors (:mod:`repro.check.code.rules`) and returns an ordinary
+:class:`~repro.check.findings.CheckReport` — same JSON shape, flood
+caps, and CI exit codes as every other ``refill check`` mode.
+
+Suppressions are inline comments with a *required* reason::
+
+    self.book.last_seen[source] = time.time()  # refill: no-cc010 -- chunk granularity by design
+
+or on their own line directly above the finding.  A suppression without
+a ``-- reason`` is malformed and does not suppress (CC013); a
+well-formed suppression that matches no finding is stale (CC013) so
+fixed code sheds its pragmas.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.obs import get_registry, span
+
+from ..findings import CheckReport, Severity, cap_per_rule
+from .modules import ModuleInfo, classify, load_module
+from .rules import RawFinding, scan_module
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*refill:\s*no-(cc\d{3})\b(?:\s*--\s*(\S.*?))?\s*$", re.IGNORECASE
+)
+
+
+@dataclass
+class Suppression:
+    """One inline ``# refill: no-ccNNN -- reason`` directive."""
+
+    code: str
+    line: int
+    #: Line the suppression applies to (its own, or the next for a
+    #: standalone comment line).
+    target_line: int
+    reason: str | None
+    used: bool = False
+
+    @property
+    def malformed(self) -> bool:
+        return not self.reason
+
+
+@dataclass
+class ScannedModule:
+    info: ModuleInfo
+    raw: list[RawFinding] = field(default_factory=list)
+    suppressions: list[Suppression] = field(default_factory=list)
+
+
+def _comment_tokens(source: str) -> list[tuple[int, int, str]]:
+    """(line, col, text) of every comment, string-literal safe."""
+    out: list[tuple[int, int, str]] = []
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                out.append((tok.start[0], tok.start[1], tok.string))
+        return out
+    except (tokenize.TokenError, IndentationError, SyntaxError, ValueError):
+        pass
+    # Fall back to a naive scan; only parseable files reach the rules
+    # anyway, so this path covers CC000 sources.
+    out = []
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        idx = line.find("#")
+        if idx >= 0:
+            out.append((lineno, idx, line[idx:]))
+    return out
+
+
+def collect_suppressions(source: str) -> list[Suppression]:
+    lines = source.splitlines()
+    found: list[Suppression] = []
+    for lineno, col, text in _comment_tokens(source):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        code = match.group(1).upper()
+        reason = match.group(2)
+        prefix = lines[lineno - 1][:col] if lineno - 1 < len(lines) else ""
+        standalone = not prefix.strip()
+        target = lineno + 1 if standalone else lineno
+        found.append(
+            Suppression(code=code, line=lineno, target_line=target, reason=reason)
+        )
+    return found
+
+
+def _apply_suppressions(module: ScannedModule) -> list[RawFinding]:
+    """Filter suppressed findings; emit CC013 hygiene findings."""
+    by_target: dict[tuple[str, int], list[Suppression]] = {}
+    for sup in module.suppressions:
+        by_target.setdefault((sup.code, sup.target_line), []).append(sup)
+    kept: list[RawFinding] = []
+    for raw in module.raw:
+        matches = by_target.get((raw.code, raw.line), [])
+        active = [s for s in matches if not s.malformed]
+        if active:
+            for s in active:
+                s.used = True
+            continue
+        kept.append(raw)
+    for sup in module.suppressions:
+        if sup.malformed:
+            kept.append(
+                RawFinding(
+                    Severity.WARNING,
+                    "CC013",
+                    sup.line,
+                    f"suppression for {sup.code} is missing its reason: write "
+                    f"`# refill: no-{sup.code.lower()} -- <why this is safe>`"
+                    " (malformed suppressions do not suppress)",
+                )
+            )
+        elif not sup.used and sup.code != "CC013":
+            kept.append(
+                RawFinding(
+                    Severity.WARNING,
+                    "CC013",
+                    sup.line,
+                    f"suppression for {sup.code} matched no finding on line "
+                    f"{sup.target_line}; the defect was fixed — delete the pragma",
+                )
+            )
+    return kept
+
+
+def discover_files(paths: Sequence[Path | str]) -> list[Path]:
+    """Expand *paths* to a sorted, de-duplicated list of ``.py`` files.
+
+    Raises :class:`ValueError` for a path that does not exist, matching
+    the spec/logs loading errors the CLI maps to exit code 2.
+    """
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.update(
+                p
+                for p in path.rglob("*.py")
+                if "__pycache__" not in p.parts
+            )
+        elif path.is_file():
+            files.add(path)
+        else:
+            raise ValueError(f"no such file or directory: {path}")
+    return sorted(files, key=lambda p: str(p))
+
+
+def scan_paths(paths: Sequence[Path | str]) -> list[ScannedModule]:
+    """Load, classify and rule-scan every Python file under *paths*."""
+    infos = [load_module(p) for p in discover_files(paths)]
+    classify(infos)
+    scanned = []
+    for info in infos:
+        module = ScannedModule(info=info, raw=scan_module(info))
+        if info.source:
+            module.suppressions = collect_suppressions(info.source)
+        scanned.append(module)
+    return scanned
+
+
+def check_code(
+    paths: Sequence[Path | str] | Iterable[str],
+    *,
+    max_per_rule: int = 8,
+) -> CheckReport:
+    """Run the concurrency & determinism analyzer over *paths*.
+
+    Returns a :class:`CheckReport` whose ``stats`` record scan breadth
+    (files, async daemons, deterministic/hot modules, suppressions) so
+    the report footer shows coverage alongside the findings.
+    """
+    path_list = list(paths)
+    report = CheckReport()
+    registry = get_registry()
+    with span("check.code"):
+        scanned = scan_paths(path_list)
+        findings = []
+        suppressed = 0
+        for module in scanned:
+            kept = _apply_suppressions(module)
+            suppressed += sum(1 for s in module.suppressions if s.used)
+            findings.extend(raw.bind(module.info.display) for raw in kept)
+        report.extend(cap_per_rule(findings, max_per_rule, summary_code="CC014"))
+        report.stats.update(
+            {
+                "files": len(scanned),
+                "async_daemons": sum(1 for m in scanned if m.info.defines_async),
+                "deterministic_modules": sum(
+                    1 for m in scanned if m.info.deterministic
+                ),
+                "hot_path_modules": sum(1 for m in scanned if m.info.hot_path),
+                "suppressions_used": suppressed,
+            }
+        )
+        registry.counter("check.code.files").inc(len(scanned))
+    for severity in (Severity.ERROR, Severity.WARNING, Severity.INFO):
+        count = sum(1 for f in report.findings if f.severity is severity)
+        if count:
+            registry.counter("check.findings", severity=str(severity)).inc(count)
+    return report
+
+
+__all__ = [
+    "Suppression",
+    "ScannedModule",
+    "check_code",
+    "collect_suppressions",
+    "discover_files",
+    "scan_paths",
+]

@@ -1,0 +1,216 @@
+"""Module classification for the code analyzer.
+
+Rules fire conditionally on *what kind of module* they are looking at:
+wall-clock reads are an error in a seed-deterministic module
+(``repro.stress``, ``repro.simnet``, ``repro.lognet``, the benchmarks)
+but only a hot-loop warning in the serve daemon, and irrelevant in the
+CLI.  This layer derives those classifications once per scan:
+
+* **async daemon** — the module defines at least one ``async def``;
+* **seed-deterministic** — the module sits under a deterministic
+  namespace or pulls :mod:`repro.util.rng` (the named-stream RNG
+  discipline implies the module promises replayability);
+* **hot path** — an async daemon, or a module an async daemon imports
+  directly (per-line serve code such as the parser and structured
+  logger rides the ingest loop even though it is itself sync).
+
+Classification is derived, never annotated — except for an explicit
+module pragma (``# refill: module=deterministic`` / ``hot-path`` /
+``daemon``) used by fixtures and by code whose role the heuristics
+cannot see (e.g. a deterministic helper living outside the usual
+namespaces).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Namespaces whose modules promise bit-replayable output for a seed.
+DETERMINISTIC_PREFIXES: tuple[str, ...] = (
+    "repro.stress",
+    "repro.simnet",
+    "repro.lognet",
+    "benchmarks",
+)
+
+#: Importing the named-stream RNG discipline marks a module deterministic.
+RNG_MODULE = "repro.util.rng"
+
+_PRAGMA_RE = re.compile(r"#\s*refill:\s*module=([a-z-]+)")
+
+#: Pragma values accepted by :func:`module_pragmas`.
+MODULE_PRAGMAS: tuple[str, ...] = ("deterministic", "hot-path", "daemon")
+
+
+@dataclass
+class ModuleInfo:
+    """One scanned source file plus everything classification needs."""
+
+    path: Path
+    #: Dotted module name derived from the path (``repro.serve.ingest``).
+    name: str
+    #: Display path used in finding locations (stable, forward slashes).
+    display: str
+    source: str
+    #: Parse tree; ``None`` when the source failed to parse (CC000).
+    tree: ast.Module | None
+    #: Syntax error message when ``tree`` is None.
+    parse_error: str | None = None
+    #: Modules imported at any level (canonical dotted names).
+    imports: set[str] = field(default_factory=set)
+    pragmas: set[str] = field(default_factory=set)
+    defines_async: bool = False
+    deterministic: bool = False
+    hot_path: bool = False
+
+    @property
+    def is_compat_shim(self) -> bool:
+        """The timeout shim itself may touch asyncio.timeout/wait_for."""
+        return self.name.rsplit(".", 1)[-1] == "_compat"
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name for *path*, anchored at a ``src`` dir if present.
+
+    ``src/repro/serve/ingest.py`` → ``repro.serve.ingest``;
+    ``benchmarks/bench_serve.py`` → ``benchmarks.bench_serve``; a path
+    with no ``src`` component just dots every part.  ``__init__.py``
+    names the package itself.
+    """
+    parts = list(path.parts)
+    if "src" in parts:
+        parts = parts[len(parts) - parts[::-1].index("src"):]
+    parts = [p for p in parts if p not in (".", "")]
+    if not parts:
+        return path.stem
+    leaf = parts[-1]
+    if leaf.endswith(".py"):
+        leaf = leaf[:-3]
+    if leaf == "__init__":
+        parts = parts[:-1]
+    else:
+        parts = parts[:-1] + [leaf]
+    return ".".join(parts) if parts else path.stem
+
+
+def module_pragmas(source: str) -> set[str]:
+    """Module-level ``# refill: module=<kind>`` pragma values in *source*."""
+    found: set[str] = set()
+    for match in _PRAGMA_RE.finditer(source):
+        value = match.group(1)
+        if value in MODULE_PRAGMAS:
+            found.add(value)
+    return found
+
+
+def collect_imports(tree: ast.Module, module_name: str) -> set[str]:
+    """Canonical dotted names of every module *tree* imports.
+
+    ``from M import n`` records both ``M`` and ``M.n`` (the latter in
+    case ``n`` is itself a submodule); relative imports are resolved
+    against *module_name*'s package.
+    """
+    imports: set[str] = set()
+    package_parts = module_name.split(".")[:-1]
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                imports.add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base_parts = package_parts[: len(package_parts) - (node.level - 1)]
+                base = ".".join(base_parts)
+                if node.module:
+                    base = f"{base}.{node.module}" if base else node.module
+            else:
+                base = node.module or ""
+            if base:
+                imports.add(base)
+                for alias in node.names:
+                    if alias.name != "*":
+                        imports.add(f"{base}.{alias.name}")
+    return imports
+
+
+def _is_deterministic(info: ModuleInfo) -> bool:
+    if "deterministic" in info.pragmas:
+        return True
+    for prefix in DETERMINISTIC_PREFIXES:
+        if info.name == prefix or info.name.startswith(prefix + "."):
+            return True
+    return any(
+        imp == RNG_MODULE or imp.startswith(RNG_MODULE + ".")
+        for imp in info.imports
+    )
+
+
+def classify(modules: list[ModuleInfo]) -> None:
+    """Fill the classification flags on every module, in place.
+
+    Hot-path propagation needs the whole scan set: a sync module is hot
+    when an async daemon *in the same scan* imports it directly.
+    """
+    by_name = {m.name: m for m in modules}
+    for info in modules:
+        if info.tree is not None:
+            info.defines_async = any(
+                isinstance(n, ast.AsyncFunctionDef) for n in ast.walk(info.tree)
+            )
+        info.deterministic = _is_deterministic(info)
+        info.hot_path = info.defines_async or "hot-path" in info.pragmas
+        if "daemon" in info.pragmas:
+            info.defines_async = True
+            info.hot_path = True
+    for info in modules:
+        if not info.defines_async:
+            continue
+        for imp in info.imports:
+            target = by_name.get(imp)
+            if target is None and "." in imp:
+                # ``from pkg.mod import name`` also recorded pkg.mod.name;
+                # fall back to the containing module.
+                target = by_name.get(imp.rsplit(".", 1)[0])
+            if target is not None:
+                target.hot_path = True
+
+
+def load_module(path: Path, root: Path | None = None) -> ModuleInfo:
+    """Read and parse *path* into a :class:`ModuleInfo` (CC000 on failure)."""
+    display = str(path if root is None else path).replace("\\", "/")
+    try:
+        source = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as exc:
+        return ModuleInfo(
+            path=path,
+            name=module_name_for(path),
+            display=display,
+            source="",
+            tree=None,
+            parse_error=f"unreadable: {exc}",
+        )
+    name = module_name_for(path)
+    try:
+        tree = ast.parse(source)
+    except (SyntaxError, ValueError, RecursionError) as exc:
+        return ModuleInfo(
+            path=path,
+            name=name,
+            display=display,
+            source=source,
+            tree=None,
+            parse_error=str(exc).splitlines()[0] if str(exc) else type(exc).__name__,
+            pragmas=module_pragmas(source),
+        )
+    info = ModuleInfo(
+        path=path,
+        name=name,
+        display=display,
+        source=source,
+        tree=tree,
+        pragmas=module_pragmas(source),
+    )
+    info.imports = collect_imports(tree, name)
+    return info

@@ -1,0 +1,547 @@
+"""The ``CC0xx`` rule visitors: one AST pass per module.
+
+Every rule here is distilled from a bug this repo actually shipped (and
+fixed by hand) — the PR 5 shutdown deadlocks and leaked reader tasks,
+the ``asyncio.timeout`` 3.10 break and the ``wait_for``
+cancellation-swallow it replaced, the discarded trace-ContextVar token,
+and the per-line ``time.time()`` 34 % ingest regression of PR 6.  The
+scanner is a single :class:`ast.NodeVisitor` walk per module carrying
+enough context (async-function stack, lexical loop depth, alias map,
+module classification) for each rule to fire precisely.
+
+Rules never import or execute the code under scan; everything is
+lexical.  That keeps the analyzer runnable over broken trees and over
+the seeded-defect fixtures without side effects.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from ..findings import Finding, Severity
+from .modules import ModuleInfo
+
+#: Calls that block the event loop outright (error severity).
+BLOCKING_CALLS: dict[str, str] = {
+    "time.sleep": "use `await asyncio.sleep(...)`",
+    "queue.Queue": "use `asyncio.Queue`",
+    "queue.LifoQueue": "use `asyncio.LifoQueue`",
+    "queue.PriorityQueue": "use `asyncio.PriorityQueue`",
+    "queue.SimpleQueue": "use `asyncio.Queue`",
+    "subprocess.run": "use `asyncio.create_subprocess_exec`",
+    "subprocess.call": "use `asyncio.create_subprocess_exec`",
+    "subprocess.check_call": "use `asyncio.create_subprocess_exec`",
+    "subprocess.check_output": "use `asyncio.create_subprocess_exec`",
+    "subprocess.Popen": "use `asyncio.create_subprocess_exec`",
+    "os.system": "use `asyncio.create_subprocess_shell`",
+    "os.popen": "use `asyncio.create_subprocess_shell`",
+    "socket.create_connection": "use `asyncio.open_connection`",
+    "urllib.request.urlopen": "use an async HTTP client or a thread",
+    "requests.get": "use an async HTTP client or a thread",
+    "requests.post": "use an async HTTP client or a thread",
+    "requests.request": "use an async HTTP client or a thread",
+}
+
+#: File-I/O heuristics inside ``async def`` — warning severity, since a
+#: one-shot read at startup is often fine but a per-request one is not.
+BLOCKING_IO_ATTRS: frozenset[str] = frozenset(
+    {"read_text", "write_text", "read_bytes", "write_bytes", "unlink", "mkdir"}
+)
+
+#: Wall-clock reads (as opposed to ``time.monotonic``/``perf_counter``,
+#: which are fine everywhere: they measure durations, not wall time).
+WALL_CLOCK_CALLS: frozenset[str] = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.localtime",
+        "time.gmtime",
+        "time.ctime",
+        "time.asctime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Global (module-state-seeded) RNG draws.  ``random.Random(seed)``
+#: instances and :class:`repro.util.rng.RngStreams` are the sanctioned
+#: alternatives, so only the module-level functions are flagged.
+GLOBAL_RANDOM_CALLS: frozenset[str] = frozenset(
+    {f"random.{fn}" for fn in (
+        "random", "randint", "randrange", "getrandbits", "randbytes",
+        "choice", "choices", "shuffle", "sample", "uniform", "triangular",
+        "gauss", "normalvariate", "expovariate", "betavariate", "seed",
+    )}
+    | {f"numpy.random.{fn}" for fn in (
+        "seed", "rand", "randn", "randint", "random", "random_sample",
+        "choice", "shuffle", "permutation", "normal", "uniform",
+    )}
+)
+
+#: asyncio coroutine functions whose bare call is always a lost coroutine.
+ASYNCIO_COROUTINES: frozenset[str] = frozenset(
+    {
+        "asyncio.sleep",
+        "asyncio.gather",
+        "asyncio.wait",
+        "asyncio.wait_for",
+        "asyncio.open_connection",
+        "asyncio.open_unix_connection",
+        "asyncio.start_server",
+        "asyncio.start_unix_server",
+        "asyncio.to_thread",
+    }
+)
+
+#: Timeout primitives that must route through ``repro.serve._compat``:
+#: ``asyncio.timeout`` is 3.11+ only and ``wait_for`` swallows outer
+#: cancellation on 3.10 (bpo-42130).
+RAW_TIMEOUT_CALLS: frozenset[str] = frozenset(
+    {"asyncio.wait_for", "asyncio.timeout", "asyncio.timeout_at"}
+)
+
+TASK_SPAWNERS: frozenset[str] = frozenset(
+    {"asyncio.create_task", "asyncio.ensure_future"}
+)
+
+
+@dataclass(frozen=True)
+class RawFinding:
+    """A finding before suppression filtering: keeps the line number."""
+
+    severity: Severity
+    code: str
+    line: int
+    message: str
+
+    def bind(self, display: str) -> Finding:
+        return Finding(self.severity, self.code, f"{display}:{self.line}", self.message)
+
+
+class _AliasResolver:
+    """Resolve local names back to canonical dotted module paths.
+
+    ``import asyncio as aio`` and ``from asyncio import wait_for as wf``
+    both land the hazard under a different local name; the resolver maps
+    the leftmost name of any ``Name``/``Attribute`` chain through the
+    module's import aliases so rule tables can key on canonical names
+    like ``asyncio.wait_for``.
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".", 1)[0]
+                    canonical = alias.name if alias.asname else local
+                    self.aliases[local] = canonical
+            elif isinstance(node, ast.ImportFrom) and not node.level and node.module:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.aliases[local] = f"{node.module}.{alias.name}"
+
+    def canonical(self, node: ast.expr) -> str | None:
+        """Canonical dotted name for a Name/Attribute chain, else None."""
+        parts: list[str] = []
+        cur = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if not isinstance(cur, ast.Name):
+            return None
+        base = self.aliases.get(cur.id, cur.id)
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+
+def _mentions_cancelled(resolver: _AliasResolver, node: ast.expr | None) -> bool:
+    if node is None:
+        return False
+    if isinstance(node, ast.Tuple):
+        return any(_mentions_cancelled(resolver, elt) for elt in node.elts)
+    return resolver.canonical(node) == "asyncio.CancelledError"
+
+
+def _mentions_base_exception(resolver: _AliasResolver, node: ast.expr | None) -> bool:
+    if node is None:  # bare except:
+        return True
+    if isinstance(node, ast.Tuple):
+        return any(_mentions_base_exception(resolver, elt) for elt in node.elts)
+    return resolver.canonical(node) == "BaseException"
+
+
+def _raise_in(body: list[ast.stmt]) -> bool:
+    """Whether *body* re-raises, ignoring nested function/class scopes."""
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+class ModuleScanner(ast.NodeVisitor):
+    """One-pass scanner emitting :class:`RawFinding` for every rule."""
+
+    def __init__(self, info: ModuleInfo) -> None:
+        assert info.tree is not None
+        self.info = info
+        self.resolver = _AliasResolver(info.tree)
+        self.findings: list[RawFinding] = []
+        #: Innermost-function asyncness; empty at module level.
+        self._func_stack: list[bool] = []
+        #: Lexical loop depth inside the current function.
+        self._loop_stack: list[int] = [0]
+        self._contextvars = self._collect_contextvars(info.tree)
+        self._async_names = self._collect_async_names(info.tree)
+
+    # -- pre-passes ---------------------------------------------------
+
+    @staticmethod
+    def _collect_contextvars(tree: ast.Module) -> set[str]:
+        names: set[str] = set()
+        for node in tree.body:
+            value = None
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                value, targets = node.value, node.targets
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                value, targets = node.value, [node.target]
+            if value is None or not isinstance(value, ast.Call):
+                continue
+            func = value.func
+            callee = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else None
+            )
+            if callee != "ContextVar":
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        return names
+
+    @staticmethod
+    def _collect_async_names(tree: ast.Module) -> set[str]:
+        """Module-level async def names plus every async method name."""
+        names: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                names.add(node.name)
+        return names
+
+    # -- helpers ------------------------------------------------------
+
+    @property
+    def in_async(self) -> bool:
+        return bool(self._func_stack) and self._func_stack[-1]
+
+    @property
+    def in_loop(self) -> bool:
+        return self._loop_stack[-1] > 0
+
+    def emit(self, severity: Severity, code: str, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            RawFinding(severity, code, getattr(node, "lineno", 1), message)
+        )
+
+    # -- scopes -------------------------------------------------------
+
+    def _visit_function(self, node: ast.AST, is_async: bool) -> None:
+        self._func_stack.append(is_async)
+        self._loop_stack.append(0)
+        self.generic_visit(node)
+        self._loop_stack.pop()
+        self._func_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node, False)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._scan_writer_discipline(node)
+        self._visit_function(node, True)
+
+    def _visit_loop(self, node: ast.AST) -> None:
+        self._loop_stack[-1] += 1
+        self.generic_visit(node)
+        self._loop_stack[-1] -= 1
+
+    def visit_For(self, node: ast.For) -> None:
+        self._visit_loop(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._visit_loop(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        self._visit_loop(node)
+
+    # -- statement-level rules ----------------------------------------
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        if isinstance(node.value, ast.Call):
+            self._check_dropped_task(node.value)
+            self._check_discarded_token(node.value)
+            self._check_unawaited_coroutine(node.value)
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        # ``_ = asyncio.create_task(...)`` drops the handle just as hard.
+        if (
+            isinstance(node.value, ast.Call)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == "_"
+        ):
+            self._check_dropped_task(node.value)
+        self.generic_visit(node)
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if _mentions_cancelled(self.resolver, node.type) and not _raise_in(node.body):
+            self.emit(
+                Severity.ERROR,
+                "CC003",
+                node,
+                "except asyncio.CancelledError without re-raise: cancellation "
+                "is swallowed and shutdown hangs (PR 5 deadlock class); "
+                "clean up, then `raise`",
+            )
+        elif (
+            self.in_async
+            and _mentions_base_exception(self.resolver, node.type)
+            and not _raise_in(node.body)
+        ):
+            self.emit(
+                Severity.WARNING,
+                "CC012",
+                node,
+                "bare/BaseException handler in async code swallows "
+                "CancelledError; catch Exception instead or re-raise",
+            )
+        self.generic_visit(node)
+
+    # -- call-level rules ---------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = self.resolver.canonical(node.func)
+        if (
+            name is None
+            and self.in_async
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in BLOCKING_IO_ATTRS
+        ):
+            # Method call on an unresolvable receiver, e.g.
+            # ``pathlib.Path(sock).unlink()`` — still blocking file I/O.
+            self.emit(
+                Severity.WARNING,
+                "CC001",
+                node,
+                f"possible blocking file I/O (.{node.func.attr}()) inside "
+                "async function; move to a thread or a sync setup/teardown "
+                "path, or suppress with a reason if it is a one-shot "
+                "off-hot-path call",
+            )
+        if name is not None:
+            self._check_raw_timeout(node, name)
+            self._check_blocking(node, name)
+            self._check_clock_and_rng(node, name)
+            if name == "asyncio.get_event_loop":
+                self.emit(
+                    Severity.WARNING,
+                    "CC011",
+                    node,
+                    "asyncio.get_event_loop() is deprecated outside a running "
+                    "loop and behaves differently across 3.10/3.12; use "
+                    "asyncio.get_running_loop() (or asyncio.run at the top)",
+                )
+        self.generic_visit(node)
+
+    def _check_raw_timeout(self, node: ast.Call, name: str) -> None:
+        if name in RAW_TIMEOUT_CALLS and not self.info.is_compat_shim:
+            self.emit(
+                Severity.ERROR,
+                "CC004",
+                node,
+                f"direct {name} call: route through repro.serve._compat.timeout "
+                "(asyncio.timeout is 3.11+ only; wait_for swallows outer "
+                "cancellation on 3.10, bpo-42130)",
+            )
+
+    def _check_blocking(self, node: ast.Call, name: str) -> None:
+        if not self.in_async:
+            return
+        hint = BLOCKING_CALLS.get(name)
+        if hint is not None:
+            self.emit(
+                Severity.ERROR,
+                "CC001",
+                node,
+                f"blocking call {name}() inside async function stalls the "
+                f"event loop and every connected source; {hint}",
+            )
+            return
+        attr = name.rsplit(".", 1)[-1]
+        if name == "open" or (attr in BLOCKING_IO_ATTRS and "." in name):
+            self.emit(
+                Severity.WARNING,
+                "CC001",
+                node,
+                f"possible blocking file I/O ({name}) inside async function; "
+                "move to a thread or a sync setup/teardown path, or suppress "
+                "with a reason if it is a one-shot off-hot-path call",
+            )
+
+    def _check_clock_and_rng(self, node: ast.Call, name: str) -> None:
+        if name in WALL_CLOCK_CALLS:
+            if self.info.deterministic:
+                self.emit(
+                    Severity.ERROR,
+                    "CC008",
+                    node,
+                    f"wall-clock read {name}() in seed-deterministic module "
+                    f"{self.info.name}: replays diverge; derive time from the "
+                    "simulation clock or pass timestamps in",
+                )
+            elif self.info.hot_path and self.in_loop:
+                self.emit(
+                    Severity.WARNING,
+                    "CC010",
+                    node,
+                    f"wall-clock read {name}() inside a hot-path loop: per-line "
+                    "time.time() cost serve ingest 34% in PR 6; hoist to chunk "
+                    "granularity or time.monotonic outside the loop",
+                )
+        elif name in GLOBAL_RANDOM_CALLS and self.info.deterministic:
+            self.emit(
+                Severity.ERROR,
+                "CC009",
+                node,
+                f"global RNG draw {name}() in seed-deterministic module "
+                f"{self.info.name}: draws from shared module state; use a "
+                "named stream from repro.util.rng.RngStreams",
+            )
+
+    def _check_dropped_task(self, node: ast.Call) -> None:
+        name = self.resolver.canonical(node.func)
+        is_spawner = name in TASK_SPAWNERS or (
+            isinstance(node.func, ast.Attribute) and node.func.attr == "create_task"
+        )
+        if is_spawner:
+            self.emit(
+                Severity.ERROR,
+                "CC002",
+                node,
+                "task handle dropped: the task can never be awaited or "
+                "cancelled, and shutdown must hunt it down (PR 5 leaked-reader "
+                "hang class); keep it in a task set and discard on completion",
+            )
+
+    def _check_discarded_token(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "set"
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self._contextvars
+        ):
+            self.emit(
+                Severity.WARNING,
+                "CC006",
+                node,
+                f"ContextVar {func.value.id}.set() token discarded: the "
+                "previous value can never be restored, so state leaks across "
+                "tasks sharing the context; keep the token and reset() it",
+            )
+
+    def _check_unawaited_coroutine(self, node: ast.Call) -> None:
+        func = node.func
+        name: str | None = None
+        if isinstance(func, ast.Name) and func.id in self._async_names:
+            name = func.id
+        elif (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+            and func.attr in self._async_names
+        ):
+            name = f"self.{func.attr}"
+        else:
+            canonical = self.resolver.canonical(func)
+            if canonical in ASYNCIO_COROUTINES:
+                name = canonical
+        if name is not None:
+            self.emit(
+                Severity.ERROR,
+                "CC007",
+                node,
+                f"coroutine {name}(...) called but never awaited: the body "
+                "never runs (RuntimeWarning at runtime, silence in "
+                "production); add `await` or wrap in a tracked task",
+            )
+
+    # -- function-level rule (writer discipline) ----------------------
+
+    def _scan_writer_discipline(self, func: ast.AsyncFunctionDef) -> None:
+        """CC005: a drained stream writer closed without ``wait_closed``.
+
+        Heuristic: within one async function, any name that is awaited
+        on ``.drain()`` is a StreamWriter; if it is ``.close()``d there
+        must also be an ``await <name>.wait_closed()``, else the close
+        never completes before the connection object is dropped (data
+        loss on the final flush, and 3.12.1+ ``Server.wait_closed``
+        waits forever for the half-closed transport).
+        """
+        drained: set[str] = set()
+        closed: dict[str, int] = {}
+        waited: set[str] = set()
+        stack: list[ast.AST] = list(func.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                recv = node.func.value
+                if isinstance(recv, ast.Name):
+                    if node.func.attr == "drain":
+                        drained.add(recv.id)
+                    elif node.func.attr == "close":
+                        closed.setdefault(recv.id, node.lineno)
+                    elif node.func.attr == "wait_closed":
+                        waited.add(recv.id)
+            stack.extend(ast.iter_child_nodes(node))
+        for name in sorted(drained & set(closed)):
+            if name not in waited:
+                self.findings.append(
+                    RawFinding(
+                        Severity.WARNING,
+                        "CC005",
+                        closed[name],
+                        f"stream writer {name!r} closed without `await "
+                        f"{name}.wait_closed()`: the final flush may be lost "
+                        "and 3.12.1+ Server.wait_closed() can hang on the "
+                        "half-closed transport",
+                    )
+                )
+
+
+def scan_module(info: ModuleInfo) -> list[RawFinding]:
+    """Run every rule over one parsed module."""
+    if info.tree is None:
+        return [
+            RawFinding(
+                Severity.ERROR,
+                "CC000",
+                1,
+                f"source failed to parse: {info.parse_error}",
+            )
+        ]
+    scanner = ModuleScanner(info)
+    scanner.visit(info.tree)
+    return scanner.findings

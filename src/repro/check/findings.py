@@ -57,6 +57,22 @@ RULES: dict[str, str] = {
     "LC005": "append-order anomaly within a node log",
     "LC006": "store metadata missing or unreadable",
     "LC007": "additional findings suppressed (per-rule cap reached)",
+    # concurrency & determinism code analysis (refill check --code)
+    "CC000": "source file failed to parse",
+    "CC001": "blocking call inside an async function",
+    "CC002": "asyncio task created but its handle is dropped",
+    "CC003": "asyncio.CancelledError caught without re-raise",
+    "CC004": "asyncio.wait_for/asyncio.timeout used outside the serve compat shim",
+    "CC005": "stream writer closed without awaiting wait_closed",
+    "CC006": "ContextVar.set token discarded",
+    "CC007": "coroutine called but never awaited",
+    "CC008": "wall-clock read in a seed-deterministic module",
+    "CC009": "unseeded global RNG draw in a seed-deterministic module",
+    "CC010": "wall-clock read inside a hot-path loop",
+    "CC011": "asyncio.get_event_loop is deprecated and loop-state dependent",
+    "CC012": "bare/BaseException handler in async code without re-raise",
+    "CC013": "suppression comment malformed or matched no finding",
+    "CC014": "additional code findings suppressed (per-rule cap reached)",
 }
 
 #: Rule catalogues registered by other subsystems (e.g. the stress
@@ -213,14 +229,15 @@ class CheckReport:
 
 
 def cap_per_rule(
-    findings: Iterable[Finding], max_per_rule: int
+    findings: Iterable[Finding], max_per_rule: int, *, summary_code: str = "LC007"
 ) -> list[Finding]:
-    """Bound findings per (code, file) group, appending LC007 summaries.
+    """Bound findings per (code, file) group, appending cap summaries.
 
     A 60 %-corrupt log shard would otherwise drown the report in thousands
     of identical ``LC001`` lines.  Grouping is by code plus the file part of
     the location (text before ``:``), so distinct files keep their own
-    budget.  Suppressed groups gain one :data:`Severity.INFO` summary.
+    budget.  Suppressed groups gain one :data:`Severity.INFO` summary under
+    ``summary_code`` (``LC007`` for corpus lint, ``CC014`` for code lint).
     """
     if max_per_rule <= 0:
         return list(findings)
@@ -237,7 +254,7 @@ def cap_per_rule(
         if n > max_per_rule:
             kept.append(
                 info(
-                    "LC007",
+                    summary_code,
                     file_part,
                     f"{n - max_per_rule} additional {code} "
                     f"({str(worst[(code, file_part)])}) finding(s) suppressed",

@@ -97,6 +97,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
+    if args.code is not None:
+        return _cmd_check_code(args)
     try:
         spec = load_spec(args.spec)
     except (ValueError, ImportError) as exc:
@@ -105,6 +107,33 @@ def _cmd_check(args: argparse.Namespace) -> int:
     registry = MetricsRegistry()
     with use_registry(registry):
         report = run_check(spec, args.logs, max_per_rule=args.max_per_rule)
+    if args.json:
+        print(report.to_json_str())
+    else:
+        print(report.render_text())
+    code = report.exit_code(strict=args.strict)
+    log.info(
+        "check.done",
+        errors=len(report.errors),
+        warnings=len(report.warnings),
+        infos=len(report.infos),
+        exit_code=code,
+    )
+    return code
+
+
+def _cmd_check_code(args: argparse.Namespace) -> int:
+    """``refill check --code [paths]``: the CC0xx source analyzer."""
+    from repro.check.code import check_code
+
+    paths = args.code or ["src/repro"]
+    registry = MetricsRegistry()
+    try:
+        with use_registry(registry):
+            report = check_code(paths, max_per_rule=args.max_per_rule)
+    except ValueError as exc:
+        log.error("check.code.bad-path", error=str(exc))
+        return 2
     if args.json:
         print(report.to_json_str())
     else:
@@ -489,11 +518,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_chk = sub.add_parser(
         "check", parents=[common],
-        help="static-analyze a deployment's templates and log corpus",
+        help="static-analyze a deployment's templates, log corpus, or code",
     )
     p_chk.add_argument(
         "--logs", default=None, metavar="DIR",
         help="log store to lint (omit to check templates only)",
+    )
+    p_chk.add_argument(
+        "--code", nargs="*", default=None, metavar="PATH",
+        help="run the CC0xx concurrency & determinism analyzer over Python "
+             "sources instead of a deployment (default path: src/repro)",
     )
     p_chk.add_argument(
         "--spec", default="ctp",

@@ -106,7 +106,7 @@ def network_stats(
     stats = NetworkStats()
     inferred_sum = 0.0
     delays: list[float] = []
-    for packet, flow in flows.items():
+    for _packet, flow in flows.items():
         s = packet_stats(flow)
         stats.packets += 1
         delivered = delivery_node is not None and any(

@@ -171,7 +171,7 @@ def parse_exposition(
             for pair in _LABEL.finditer(raw):
                 labels.append((pair.group(1), _unescape_label_value(pair.group(2))))
                 consumed = pair.end()
-            leftover = raw[consumed:].strip(", ")
+            leftover = raw[consumed:].strip(", ")  # noqa: B005 - char-set strip of delimiters
             if leftover:
                 raise ValueError(f"line {lineno}: bad label syntax {leftover!r}")
         value = float(match.group("value"))

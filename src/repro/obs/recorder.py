@@ -26,7 +26,7 @@ import pathlib
 import time
 from collections import deque
 from contextlib import contextmanager
-from contextvars import ContextVar
+from contextvars import ContextVar, Token
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
@@ -183,9 +183,14 @@ def get_recorder() -> Optional[FlightRecorder]:
     return _ACTIVE.get()
 
 
-def set_recorder(recorder: Optional[FlightRecorder]) -> None:
-    """Replace the active recorder for the current context."""
-    _ACTIVE.set(recorder)
+def set_recorder(recorder: Optional[FlightRecorder]) -> Token[Optional[FlightRecorder]]:
+    """Replace the active recorder for the current context.
+
+    Returns the reset token so callers can restore the previous recorder
+    (``_ACTIVE.reset(token)``); scoped installs should prefer
+    :func:`use_recorder` (CC006).
+    """
+    return _ACTIVE.set(recorder)
 
 
 @contextmanager

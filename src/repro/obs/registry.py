@@ -30,7 +30,7 @@ import json
 import math
 import time
 from contextlib import contextmanager
-from contextvars import ContextVar
+from contextvars import ContextVar, Token
 from dataclasses import dataclass
 from typing import Iterator, Mapping, Optional
 
@@ -414,9 +414,14 @@ def get_registry() -> MetricsRegistry:
     return _ACTIVE.get()
 
 
-def set_registry(registry: MetricsRegistry) -> None:
-    """Replace the active registry for the current context."""
-    _ACTIVE.set(registry)
+def set_registry(registry: MetricsRegistry) -> Token[MetricsRegistry]:
+    """Replace the active registry for the current context.
+
+    Returns the reset token so callers can restore the previous registry
+    (``_ACTIVE.reset(token)``); scoped installs should prefer
+    :func:`use_registry` (CC006).
+    """
+    return _ACTIVE.set(registry)
 
 
 @contextmanager

@@ -35,7 +35,7 @@ import os
 import re
 import time
 from contextlib import contextmanager
-from contextvars import ContextVar
+from contextvars import ContextVar, Token
 from typing import Iterator, Optional
 
 from repro.obs.recorder import SpanRecord, get_recorder
@@ -71,9 +71,14 @@ def current_trace_id() -> Optional[str]:
     return _CURRENT_TRACE.get()
 
 
-def set_trace_id(trace_id: Optional[str]) -> None:
-    """Set the current trace id for the rest of this context (task-local)."""
-    _CURRENT_TRACE.set(trace_id)
+def set_trace_id(trace_id: Optional[str]) -> Token[Optional[str]]:
+    """Set the current trace id for the rest of this context (task-local).
+
+    Returns the reset token so a caller that *does* want to restore the
+    previous trace can ``_CURRENT_TRACE.reset(token)`` via
+    :func:`use_trace`-style discipline (CC006).
+    """
+    return _CURRENT_TRACE.set(trace_id)
 
 
 @contextmanager

@@ -147,7 +147,7 @@ class LineSender:
         raw = self._rfile.readline()
         if not raw:
             raise ConnectionError("server closed the connection")
-        return raw.decode("utf-8", errors="replace").rstrip("\r\n")
+        return raw.decode("utf-8", errors="replace").rstrip("\r\n")  # noqa: B005 - char-set strip
 
 
 def _resolve_trace(trace: Union[str, bool, None]) -> Optional[str]:

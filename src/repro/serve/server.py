@@ -378,6 +378,7 @@ class RefillServer:
         self._update_gauges()
         written = self.write_checkpoint()
         if self.config.unix_socket is not None:
+            # refill: no-cc001 -- one-shot unlink on the shutdown path, after serving stopped
             pathlib.Path(self.config.unix_socket).unlink(missing_ok=True)
         self._write_final_outputs()
         _log.info(

@@ -80,7 +80,7 @@ def render_spatial_svg(
     canvas.extent = Extent(min(xs) - pad_x, max(xs) + pad_x, min(ys) - pad_y, max(ys) + pad_y)
     canvas.title(title)
     canvas.axes(x_label="x (m)", y_label="y (m)")
-    for node, (x, y) in positions.items():
+    for _node, (x, y) in positions.items():
         canvas.circle(x, y, 1.5, fill="#cccccc")
     top = max((p.count for p in points), default=1)
     for point in points:

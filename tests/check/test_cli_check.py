@@ -63,6 +63,55 @@ class TestCheckCommand:
         assert capsys.readouterr().out == first
 
 
+class TestCheckCodeCommand:
+    """`refill check --code`: the CC0xx analyzer behind the same CLI."""
+
+    def test_self_scan_is_clean(self, capsys):
+        assert main(["check", "--code", "src/repro"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s), 0 warning(s)" in out
+
+    def test_defect_fixtures_fail_with_exit_1(self, capsys):
+        code = main(["check", "--code", str(FIXTURES / "cc_defects"), "--json"])
+        assert code == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["ok"] is False
+        reported = set(data["by_code"])
+        # every detection rule is proven live by its seeded defect
+        expected = {f"CC{n:03d}" for n in range(14)}  # CC000..CC013
+        assert expected <= reported, sorted(expected - reported)
+
+    def test_default_path_is_src_repro(self, capsys):
+        assert main(["check", "--code"]) == 0
+        assert "files=" in capsys.readouterr().out
+
+    def test_missing_path_is_usage_error(self):
+        assert main(["check", "--code", "no/such/dir"]) == 2
+
+    def test_json_report_is_deterministic(self, capsys):
+        main(["check", "--code", str(FIXTURES / "cc_defects"), "--json"])
+        first = capsys.readouterr().out
+        main(["check", "--code", str(FIXTURES / "cc_defects"), "--json"])
+        assert capsys.readouterr().out == first
+
+    def test_strict_promotes_warnings(self, tmp_path, capsys):
+        snippet = tmp_path / "warn_only.py"
+        snippet.write_text(
+            "import asyncio\n\n\ndef f():\n    return asyncio.get_event_loop()\n"
+        )
+        assert main(["check", "--code", str(tmp_path)]) == 0
+        assert main(["check", "--code", str(tmp_path), "--strict"]) == 1
+
+    def test_max_per_rule_caps_with_cc014(self, tmp_path, capsys):
+        lines = ["import asyncio", "", "", "def f():"]
+        lines += ["    asyncio.get_event_loop()"] * 5
+        (tmp_path / "flood.py").write_text("\n".join(lines) + "\n")
+        main(["check", "--code", str(tmp_path), "--max-per-rule", "2", "--json"])
+        data = json.loads(capsys.readouterr().out)
+        assert data["by_code"]["CC011"] == 2
+        assert data["by_code"]["CC014"] == 1
+
+
 class TestAnalyzePreflight:
     def test_analyze_runs_with_gate_on_clean_store(self, clean_store, capsys):
         assert main(["analyze", "--logs", str(clean_store)]) == 0

@@ -1,0 +1,116 @@
+"""Module classification: names, import graphs, daemon/deterministic/hot."""
+
+import pathlib
+
+from repro.check.code.modules import (
+    classify,
+    load_module,
+    module_name_for,
+    module_pragmas,
+)
+
+
+def write(path: pathlib.Path, source: str) -> pathlib.Path:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return path
+
+
+class TestModuleNames:
+    def test_src_anchored(self):
+        assert (
+            module_name_for(pathlib.Path("src/repro/serve/ingest.py"))
+            == "repro.serve.ingest"
+        )
+
+    def test_absolute_src_anchored(self):
+        assert (
+            module_name_for(pathlib.Path("/root/repo/src/repro/cli.py"))
+            == "repro.cli"
+        )
+
+    def test_init_names_the_package(self):
+        assert (
+            module_name_for(pathlib.Path("src/repro/check/__init__.py"))
+            == "repro.check"
+        )
+
+    def test_unanchored_path_dots_every_part(self):
+        assert (
+            module_name_for(pathlib.Path("benchmarks/bench_serve.py"))
+            == "benchmarks.bench_serve"
+        )
+
+
+class TestClassification:
+    def test_async_def_marks_daemon_and_hot(self, tmp_path):
+        info = load_module(write(tmp_path / "d.py", "async def run():\n    pass\n"))
+        classify([info])
+        assert info.defines_async and info.hot_path
+        assert not info.deterministic
+
+    def test_deterministic_by_namespace(self, tmp_path):
+        path = write(tmp_path / "src" / "repro" / "stress" / "camp.py", "x = 1\n")
+        info = load_module(path)
+        classify([info])
+        assert info.name == "repro.stress.camp"
+        assert info.deterministic
+
+    def test_deterministic_by_rng_import(self, tmp_path):
+        info = load_module(
+            write(tmp_path / "gen.py", "from repro.util.rng import RngStreams\n")
+        )
+        classify([info])
+        assert info.deterministic
+
+    def test_import_by_daemon_propagates_hot(self, tmp_path):
+        parser = load_module(
+            write(tmp_path / "src" / "repro" / "x" / "parser.py", "def p():\n    pass\n")
+        )
+        daemon = load_module(
+            write(
+                tmp_path / "src" / "repro" / "x" / "daemon.py",
+                "from repro.x import parser\n\n\nasync def run():\n    parser.p()\n",
+            )
+        )
+        classify([parser, daemon])
+        assert daemon.hot_path
+        assert parser.hot_path, "sync module imported by a daemon rides its loop"
+
+    def test_unimported_sync_module_is_cold(self, tmp_path):
+        cold = load_module(write(tmp_path / "src" / "repro" / "cold.py", "y = 2\n"))
+        daemon = load_module(
+            write(tmp_path / "src" / "repro" / "d.py", "async def run():\n    pass\n")
+        )
+        classify([cold, daemon])
+        assert not cold.hot_path
+
+    def test_pragmas_override(self, tmp_path):
+        info = load_module(
+            write(tmp_path / "helper.py", "# refill: module=deterministic\nx = 1\n")
+        )
+        classify([info])
+        assert info.deterministic
+
+    def test_pragma_values(self):
+        assert module_pragmas("# refill: module=hot-path\n") == {"hot-path"}
+        assert module_pragmas("# refill: module=unknown-kind\n") == set()
+
+    def test_compat_shim_detection(self, tmp_path):
+        info = load_module(write(tmp_path / "_compat.py", "x = 1\n"))
+        assert info.is_compat_shim
+
+    def test_parse_error_recorded_not_raised(self, tmp_path):
+        info = load_module(write(tmp_path / "bad.py", "def broken(:\n"))
+        assert info.tree is None
+        assert info.parse_error
+        classify([info])  # must tolerate unparsed modules
+
+    def test_relative_import_resolution(self, tmp_path):
+        path = write(
+            tmp_path / "src" / "repro" / "pkg" / "mod.py",
+            "from . import sibling\nfrom ..util import rng\n",
+        )
+        info = load_module(path)
+        assert "repro.pkg.sibling" in info.imports
+        assert "repro.util.rng" in info.imports

@@ -1,6 +1,8 @@
 """Unit tests for the shared findings engine."""
 
 import json
+import pathlib
+import re
 
 import pytest
 
@@ -115,15 +117,45 @@ class TestCapPerRule:
         findings = [error("LC001", f"a.log:{i}", "x") for i in range(20)]
         assert len(cap_per_rule(findings, 0)) == 20
 
+    def test_summary_code_is_parameterizable(self):
+        findings = [error("CC011", f"a.py:{i}", "x") for i in range(1, 5)]
+        capped = cap_per_rule(findings, 2, summary_code="CC014")
+        summaries = [f for f in capped if f.code == "CC014"]
+        assert len(summaries) == 1
+        assert not any(f.code == "LC007" for f in capped)
+
 
 class TestRuleCatalogue:
-    def test_every_rule_code_is_documented(self):
-        import pathlib
+    DOC = (
+        pathlib.Path(__file__).resolve().parents[2]
+        / "docs"
+        / "STATIC_ANALYSIS.md"
+    )
 
-        doc = (
-            pathlib.Path(__file__).resolve().parents[2]
-            / "docs"
-            / "STATIC_ANALYSIS.md"
-        ).read_text()
+    def test_every_rule_code_is_documented(self):
+        doc = self.DOC.read_text()
         missing = [code for code in RULES if f"#### {code}" not in doc]
         assert not missing, f"undocumented rule codes: {missing}"
+
+    def test_no_stale_rule_headings(self):
+        """Every ``#### XXnnn`` heading in the doc names a live rule."""
+        doc = self.DOC.read_text()
+        documented = re.findall(r"^#### ([A-Z]{2}\d{3})\b", doc, flags=re.M)
+        stale = [code for code in documented if code not in RULES]
+        assert not stale, f"doc headings for retired rule codes: {stale}"
+
+    def test_code_rules_document_severity_and_trigger(self):
+        """Each CC section carries a severity tag and (for detection
+        rules) a trigger/remediation pair, like the XF/LC catalogue."""
+        doc = self.DOC.read_text()
+        sections = re.split(r"^#### ", doc, flags=re.M)[1:]
+        for section in sections:
+            code = section[:5]
+            if not code.startswith("CC"):
+                continue
+            header = section.splitlines()[0]
+            assert "*(" in header, f"{code} heading lacks a severity tag"
+            if code not in ("CC000", "CC013", "CC014"):
+                assert "*Trigger:*" in section or "*Remediation:*" in section, (
+                    f"{code} section lacks trigger/remediation"
+                )

@@ -1,0 +1,3 @@
+# Seeded defect: this file must not parse (CC000, error, line 1).
+def broken(:
+    pass

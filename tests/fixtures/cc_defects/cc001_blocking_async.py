@@ -1,0 +1,6 @@
+"""Seeded defect: blocking call inside async def (CC001, error)."""
+import time
+
+
+async def handler() -> None:
+    time.sleep(1.0)  # line 6: stalls the event loop

@@ -1,0 +1,6 @@
+"""Seeded defect: task handle dropped (CC002, error)."""
+import asyncio
+
+
+async def spawn() -> None:
+    asyncio.create_task(asyncio.sleep(1))  # line 6: never awaited/cancelled

@@ -1,0 +1,9 @@
+"""Seeded defect: CancelledError caught without re-raise (CC003, error)."""
+import asyncio
+
+
+async def consume(queue: "asyncio.Queue[str]") -> None:
+    try:
+        await queue.get()
+    except asyncio.CancelledError:  # line 8: cancellation swallowed
+        pass

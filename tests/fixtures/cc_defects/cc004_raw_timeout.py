@@ -1,0 +1,6 @@
+"""Seeded defect: raw asyncio timeout outside the compat shim (CC004, error)."""
+import asyncio
+
+
+async def fetch(reader: asyncio.StreamReader) -> bytes:
+    return await asyncio.wait_for(reader.read(1), timeout=5.0)  # line 6

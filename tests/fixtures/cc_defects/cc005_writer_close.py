@@ -1,0 +1,8 @@
+"""Seeded defect: writer closed without wait_closed (CC005, warning)."""
+import asyncio
+
+
+async def reply(writer: asyncio.StreamWriter) -> None:
+    writer.write(b"ok\n")
+    await writer.drain()
+    writer.close()  # line 8: final flush may be lost

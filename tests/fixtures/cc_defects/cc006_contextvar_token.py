@@ -1,0 +1,8 @@
+"""Seeded defect: ContextVar.set token discarded (CC006, warning)."""
+from contextvars import ContextVar
+
+CURRENT: ContextVar[str] = ContextVar("current", default="")
+
+
+def activate(name: str) -> None:
+    CURRENT.set(name)  # line 8: token dropped, previous value unrestorable

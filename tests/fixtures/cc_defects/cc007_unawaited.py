@@ -1,0 +1,9 @@
+"""Seeded defect: coroutine called but never awaited (CC007, error)."""
+
+
+async def flush() -> None:
+    pass
+
+
+async def shutdown() -> None:
+    flush()  # line 9: body never runs

@@ -1,0 +1,7 @@
+"""Seeded defect: wall clock in a deterministic module (CC008, error)."""
+# refill: module=deterministic
+import time
+
+
+def stamp() -> float:
+    return time.time()  # line 7: replays diverge

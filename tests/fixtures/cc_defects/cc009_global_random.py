@@ -1,0 +1,7 @@
+"""Seeded defect: global RNG draw in a deterministic module (CC009, error)."""
+# refill: module=deterministic
+import random
+
+
+def jitter() -> float:
+    return random.random()  # line 7: shared module state, unseeded

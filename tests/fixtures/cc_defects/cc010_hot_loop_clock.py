@@ -1,0 +1,10 @@
+"""Seeded defect: wall-clock read inside a hot-path loop (CC010, warning)."""
+# refill: module=hot-path
+import time
+
+
+def pump(lines: "list[str]") -> "list[float]":
+    seen = []
+    for _line in lines:
+        seen.append(time.time())  # line 9: per-line clock read
+    return seen

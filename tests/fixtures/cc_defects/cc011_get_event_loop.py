@@ -1,0 +1,6 @@
+"""Seeded defect: asyncio.get_event_loop (CC011, warning)."""
+import asyncio
+
+
+def schedule() -> "asyncio.AbstractEventLoop":
+    return asyncio.get_event_loop()  # line 6: loop-state dependent

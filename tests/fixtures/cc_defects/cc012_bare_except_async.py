@@ -1,0 +1,10 @@
+"""Seeded defect: bare except in async code (CC012, warning)."""
+
+
+async def drain(items: "list[str]") -> int:
+    done = 0
+    try:
+        done = len(items)
+    except:  # line 8: swallows CancelledError too # noqa: E722
+        done = -1
+    return done

@@ -1,0 +1,14 @@
+"""Seeded defect: suppression hygiene (CC013, warning).
+
+Line 9's suppression has no ``-- reason`` so it is malformed (and does
+not suppress the CC011 underneath); line 12's is well-formed but stale.
+"""
+import asyncio
+
+
+def schedule() -> "asyncio.AbstractEventLoop":
+    return asyncio.get_event_loop()  # refill: no-cc011
+
+
+# refill: no-cc002 -- stale: nothing spawns a task here
+done = True

@@ -5,11 +5,69 @@ simulation is the expensive part), together with its batch reference: the
 canonical flows JSON a ``refill analyze --backend incremental --flows-out``
 run produces.  Byte equality against that string is the serve layer's
 correctness contract.
+
+``task_ledger`` (autouse) is the runtime complement of the static
+``refill check --code`` rules CC002/CC005: every test in this suite
+fails if an ``asyncio.run`` inside it had to cancel still-pending tasks
+at loop teardown (a leaked task — the PR 5 shutdown-hang class) or left
+a stream writer open.
 """
+
+import asyncio
+import asyncio.runners
+import time
+import weakref
 
 import pytest
 
 from repro.cli import main
+
+
+@pytest.fixture(autouse=True)
+def task_ledger(monkeypatch):
+    """Fail tests that leak asyncio tasks or unclosed stream writers.
+
+    A task still pending when ``asyncio.run`` tears the loop down got
+    cancelled *by the runner*, not by the code under test — exactly how
+    the PR 5 leaked reader tasks hid until shutdown hung.  Writers are
+    tracked via a WeakSet; any writer still alive after the test must at
+    least have ``close()`` called (``is_closing``).
+    """
+    leaked: list[str] = []
+    writers: "weakref.WeakSet[asyncio.StreamWriter]" = weakref.WeakSet()
+
+    real_cancel_all = asyncio.runners._cancel_all_tasks
+
+    def recording_cancel_all(loop):
+        for task in asyncio.all_tasks(loop):
+            if not task.done():
+                coro = task.get_coro()
+                name = getattr(coro, "__qualname__", repr(coro))
+                leaked.append(f"task {task.get_name()} ({name})")
+        real_cancel_all(loop)
+
+    real_writer_init = asyncio.StreamWriter.__init__
+
+    def tracking_writer_init(self, *args, **kwargs):
+        real_writer_init(self, *args, **kwargs)
+        writers.add(self)
+
+    monkeypatch.setattr(asyncio.runners, "_cancel_all_tasks", recording_cancel_all)
+    monkeypatch.setattr(asyncio.StreamWriter, "__init__", tracking_writer_init)
+    yield
+    assert not leaked, (
+        "test leaked asyncio tasks (alive at loop teardown, cancelled by "
+        f"the runner, not the code under test): {leaked}"
+    )
+    # The daemon thread may still be tearing down the server side of a
+    # connection the test just dropped; give it a moment before calling
+    # a still-open writer a leak.
+    deadline = time.monotonic() + 2.0
+    unclosed = [repr(w) for w in writers if not w.is_closing()]
+    while unclosed and time.monotonic() < deadline:
+        time.sleep(0.02)
+        unclosed = [repr(w) for w in writers if not w.is_closing()]
+    assert not unclosed, f"test left stream writers open: {unclosed}"
 
 
 @pytest.fixture(scope="session")

@@ -58,7 +58,7 @@ class TestSmallRun:
         assert all(p.origin != sink for p in small_result.truth.fates)
 
     def test_truth_event_sequences_are_time_ordered(self, small_result):
-        for packet, events in small_result.truth.events.items():
+        for _packet, events in small_result.truth.events.items():
             times = [e.time for e in events]
             assert times == sorted(times)
 

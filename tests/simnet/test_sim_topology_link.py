@@ -74,7 +74,7 @@ class TestTopology:
         cy = sum(p[1] for p in topo.positions.values()) / 49
         sx, sy = topo.positions[topo.sink]
         # the sink is the node closest to the centroid
-        for node, (x, y) in topo.positions.items():
+        for _node, (x, y) in topo.positions.items():
             assert ((sx - cx) ** 2 + (sy - cy) ** 2) <= ((x - cx) ** 2 + (y - cy) ** 2) + 1e-9
 
     def test_neighbors_symmetric_within_range(self):

@@ -12,6 +12,7 @@ never-raise property is exercised over exactly the damage the fault
 injector deals.
 """
 
+import keyword
 import string
 
 from hypothesis import strategies as st
@@ -109,6 +110,89 @@ def event_flows(draw) -> EventFlow:
         flow.visited_states[node] = frozenset(states)
         flow.final_states[node] = draw(st.sampled_from(states))
     return flow
+
+
+#: Building blocks for :func:`python_modules`: statement templates the
+#: code analyzer must survive, spanning every construct its rules touch.
+_PY_IDENT = st.text(string.ascii_lowercase, min_size=1, max_size=8).filter(
+    lambda s: s.isidentifier() and not keyword.iskeyword(s)
+)
+
+_PY_STATEMENTS = (
+    "pass",
+    "x = 1",
+    "_ = asyncio.create_task(noop())",
+    "asyncio.create_task(noop())",
+    "await asyncio.sleep(0)",
+    "time.sleep(0)",
+    "time.time()",
+    "random.random()",
+    "asyncio.get_event_loop()",
+    "try:\n    pass\nexcept asyncio.CancelledError:\n    pass",
+    "try:\n    pass\nexcept asyncio.CancelledError:\n    raise",
+    "try:\n    pass\nexcept:\n    pass",
+    "for i in range(3):\n    time.time()",
+    "while False:\n    datetime.datetime.now()",
+    "writer.write(b'x')",
+    "await writer.drain()",
+    "writer.close()",
+    "await writer.wait_closed()",
+    "VAR.set('x')",
+    "token = VAR.set('x')",
+    "await asyncio.wait_for(noop(), timeout=1)",
+)
+
+_PY_PRAGMAS = (
+    "",
+    "# refill: module=deterministic\n",
+    "# refill: module=hot-path\n",
+    "# refill: no-cc011\n",
+    "# refill: no-cc001 -- generated\n",
+)
+
+
+@st.composite
+def python_modules(draw) -> str:
+    """Syntactically valid Python that stresses every analyzer rule.
+
+    Random-but-valid sources: a pragma prefix, imports, a ContextVar,
+    and functions (sync/async, randomly nested in a class) whose bodies
+    mix the statement templates — including suppression comments in
+    arbitrary positions.  The analyzer must never raise on any of it.
+    """
+    parts = [draw(st.sampled_from(_PY_PRAGMAS))]
+    parts.append(
+        "import asyncio\nimport datetime\nimport random\nimport time\n"
+        "from contextvars import ContextVar\n\n"
+        "VAR = ContextVar('v', default=None)\n\n\n"
+        "async def noop():\n    pass\n"
+    )
+    for _ in range(draw(st.integers(min_value=1, max_value=4))):
+        name = draw(_PY_IDENT)
+        is_async = draw(st.booleans())
+        in_class = draw(st.booleans())
+        body_stmts = draw(
+            st.lists(st.sampled_from(_PY_STATEMENTS), min_size=1, max_size=5)
+        )
+        if not is_async:  # await only parses inside async def
+            body_stmts = [s for s in body_stmts if "await" not in s] or ["pass"]
+        if draw(st.booleans()):
+            body_stmts.append(
+                "pass  # refill: no-cc0%02d%s"
+                % (draw(st.integers(0, 14)), draw(st.sampled_from(["", " -- why"])))
+            )
+        indent = "        " if in_class else "    "
+        body = "\n".join(
+            indent + line
+            for stmt in body_stmts
+            for line in stmt.splitlines()
+        )
+        header = f"{'async ' if is_async else ''}def {name}(writer):\n"
+        if in_class:
+            parts.append(f"class C_{name}:\n    {header}{body}\n")
+        else:
+            parts.append(f"{header}{body}\n")
+    return "\n\n".join(parts)
 
 
 #: The garbler's injection alphabet (see ``repro.stress.faults._NOISE``).
