@@ -1,0 +1,41 @@
+"""Wait for `refill serve --print-ports` output and print the ports.
+
+Usage: wait_ports.py FILE LISTENER [LISTENER ...]
+
+Polls FILE until every requested listener has printed its JSON line,
+then emits the ports space-separated in argument order (shell-friendly:
+`read -r TCP HTTP <<< "$(wait_ports.py ports.jsonl ingest http)"`).
+Exits 1 if the listeners do not appear within the timeout.
+"""
+
+import sys
+import time
+
+sys.path.insert(0, "src")
+
+from repro.serve import read_printed_ports  # noqa: E402
+
+TIMEOUT_SECONDS = 30.0
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path, names = argv[0], argv[1:]
+    deadline = time.monotonic() + TIMEOUT_SECONDS
+    while time.monotonic() < deadline:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                ports = read_printed_ports(fh, expect=set(names))
+        except (FileNotFoundError, ValueError):
+            time.sleep(0.1)
+            continue
+        print(" ".join(str(ports[name]["port"]) for name in names))
+        return 0
+    print(f"listeners {names} never appeared in {path}", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

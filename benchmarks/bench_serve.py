@@ -9,6 +9,11 @@ Besides the printed table, the run writes ``BENCH_serve.json`` at the repo
 root — the serve layer's perf baseline.  Future perf PRs diff against it;
 the assertions here are generous floors so CI noise never fails the build,
 while the JSON captures the real numbers for trend tracking.
+
+``pytest benchmarks/bench_serve.py --serve-shards N`` runs the ingest /
+query benchmark against the N-shard router/worker cluster instead of the
+single daemon; the shard count lands in the snapshot's ``run`` block so a
+``bench_history record`` entry can attribute topology changes.
 """
 
 import json
@@ -53,11 +58,14 @@ def prepare_lines():
     return lines, sim.base_station_node
 
 
-def test_serve_ingest_and_query_latency(emit):
+def test_serve_ingest_and_query_latency(emit, serve_shards):
     lines, sink = prepare_lines()
     registry = MetricsRegistry()
     config = ServeConfig(
-        flush_interval=0.05, delivery_node=sink, checkpoint_interval=0.0
+        flush_interval=0.05,
+        delivery_node=sink,
+        checkpoint_interval=0.0,
+        shards=serve_shards,
     )
     with ServerThread(config, registry=registry) as thread:
         from tests.serve.util import http_json, http_req, wait_ready
@@ -82,8 +90,12 @@ def test_serve_ingest_and_query_latency(emit):
         name.partition("{")[2].rstrip("}").partition("=")[2]: summary
         for name, summary in snap["histograms"].items()
         # the /metrics request that produced this snapshot is still inside
-        # its own timer, so its histogram exists with zero samples — skip
+        # its own timer, so its histogram exists with zero samples — skip;
+        # with --serve-shards N the merged snapshot also carries every
+        # worker's histograms relabeled shard=K — the public latency is the
+        # router's own unlabeled timer, so those are skipped too
         if name.startswith("serve.request.seconds")
+        and "shard=" not in name
         and summary["count"] > 0
     }
 
@@ -106,14 +118,22 @@ def test_serve_ingest_and_query_latency(emit):
         render_table(
             ["operation", "n", "seconds", "rate_or_p50us", "p95us"],
             rows,
-            title=f"S2 — refill serve, {N_NODES}-node corpus",
+            title=(
+                f"S2 — refill serve, {N_NODES}-node corpus, "
+                f"shards={serve_shards}"
+            ),
         ),
     )
 
     corpus = {"n_nodes": N_NODES, "days": 2, "lines": len(lines)}
     baseline = {
         "schema": BENCH_SCHEMA,
-        "run": run_metadata("serve", seed=bench_seed("serve", 17), corpus=corpus),
+        "run": run_metadata(
+            "serve",
+            seed=bench_seed("serve", 17),
+            corpus=corpus,
+            shards=serve_shards,
+        ),
         "corpus": corpus,
         "ingest": {
             "seconds": round(ingest_elapsed, 4),

@@ -44,6 +44,18 @@ def pytest_addoption(parser):
             "published per-benchmark seeds."
         ),
     )
+    parser.addoption(
+        "--serve-shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "Shard count for the serve-layer benchmark: 1 (default) measures "
+            "the single daemon, N>1 the router/worker cluster on the same "
+            "corpus.  The count is stamped into BENCH_serve.json's run block "
+            "so trajectory entries can attribute topology changes."
+        ),
+    )
 
 
 #: Schema version stamped into every committed ``BENCH_*.json`` baseline.
@@ -52,12 +64,15 @@ def pytest_addoption(parser):
 BENCH_SCHEMA = 2
 
 
-def run_metadata(bench: str, *, seed: int, corpus: dict | None = None) -> dict:
+def run_metadata(
+    bench: str, *, seed: int, corpus: dict | None = None, **extra
+) -> dict:
     """Provenance block for a ``BENCH_*.json`` baseline.
 
     Records what produced the numbers — the scenario seed, interpreter and
     platform, and the corpus shape — so a trajectory diff can distinguish
-    "the code got slower" from "the workload or machine changed".
+    "the code got slower" from "the workload or machine changed".  Extra
+    keyword fields (e.g. ``shards=4``) are stamped verbatim.
     """
     meta: dict = {
         "bench": bench,
@@ -68,6 +83,7 @@ def run_metadata(bench: str, *, seed: int, corpus: dict | None = None) -> dict:
     }
     if corpus is not None:
         meta["corpus"] = dict(corpus)
+    meta.update(extra)
     return meta
 
 
@@ -101,6 +117,14 @@ def pytest_configure(config):
             seed=bench_seed("two-day", 11),
             sink_fix_day=None,
         )
+
+
+@pytest.fixture(scope="session")
+def serve_shards(request):
+    value = request.config.getoption("--serve-shards")
+    if value < 1:
+        raise pytest.UsageError("--serve-shards must be >= 1")
+    return value
 
 
 @pytest.fixture(autouse=True)

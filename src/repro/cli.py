@@ -410,7 +410,7 @@ def _cmd_stress(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    from repro.serve import RefillServer, ServeConfig
+    from repro.serve import ServeConfig, make_server
 
     config = ServeConfig(
         store=args.logs,
@@ -431,21 +431,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         metrics_out=args.metrics_out,
         trace_out=args.trace_out,
         trace_capacity=args.trace_capacity,
+        shards=args.shards,
     )
-    server = RefillServer(config)
+    server = make_server(config)
 
-    def _ready(running: "RefillServer") -> None:
+    def _ready(running) -> None:
         if args.print_ports:
-            # machine-readable startup handshake for scripts and CI
-            print(
-                json.dumps(
-                    {
-                        "ingest_port": running.tcp_port,
-                        "http_port": running.http_port,
-                    }
-                ),
-                flush=True,
-            )
+            # machine-readable startup handshake for scripts and CI: one
+            # flushed JSON object per listener (parse with
+            # repro.serve.runner.read_printed_ports)
+            for entry in running.listeners():
+                print(json.dumps(entry, sort_keys=True), flush=True)
 
     return server.run(ready=_ready)
 
@@ -459,6 +455,7 @@ def _cmd_push(args: argparse.Namespace) -> int:
         port=args.port,
         unix_socket=args.unix_socket,
         source_prefix=args.source_prefix,
+        workers=args.workers,
     )
     sent = sum(r.sent for r in results.values())
     skipped = sum(r.skipped for r in results.values())
@@ -688,7 +685,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_srv.add_argument(
         "--print-ports", action="store_true",
-        help="print the bound ports as one JSON line on stdout at startup",
+        help="print each bound listener as its own flushed JSON line on "
+             "stdout at startup (one object per listener, incl. per-shard "
+             "listeners with --shards > 1)",
+    )
+    p_srv.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="shard workers: 1 = single-process daemon (default); N > 1 = "
+             "router + N subprocess workers partitioned by packet key, "
+             "byte-identical output either way",
     )
     p_srv.add_argument(
         "--metrics-out", default=None, metavar="FILE",
@@ -719,6 +724,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_push.add_argument(
         "--source-prefix", default="", metavar="PREFIX",
         help="prepended to each shard's source name (disambiguates stores)",
+    )
+    p_push.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="push up to N sources concurrently (per-source ordering is "
+             "preserved per connection, so results are identical)",
     )
     p_push.set_defaults(fn=_cmd_push)
 

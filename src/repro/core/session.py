@@ -25,7 +25,7 @@ Two driving modes:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterable, Mapping, Optional, Sequence, Union
+from typing import Any, Callable, Iterable, Mapping, Optional, Sequence, Union
 
 from repro.core.backends import ExecutionBackend, ExecutionPlan, SerialBackend
 from repro.core.backends.base import TemplateFactory
@@ -405,3 +405,77 @@ class SessionResult:
 
     flows: dict[PacketKey, EventFlow]
     reports: dict[PacketKey, LossReport]
+
+
+# ---------------------------------------------------------------------- #
+# state partitioning (sharded-cluster checkpoints)
+
+
+def split_session_state(
+    state: Mapping[str, Any],
+    parts: int,
+    assign: Callable[[PacketKey], int],
+) -> list[dict[str, Any]]:
+    """Partition an :meth:`ReconstructionSession.export_state` payload.
+
+    Per-packet independence (the paper's core property) makes session state
+    trivially partitionable: flows, reports, and the backend's accumulated
+    evidence are all keyed by packet, so each lands whole on
+    ``assign(packet)``.  The one cross-packet scalar, ``batches_ingested``,
+    is not per-packet at all — it goes to part 0, and cluster-level
+    consumers only ever read the *sum* across shards.
+    """
+    from repro.core.backends.incremental import IncrementalBackend
+
+    version = state.get("version")
+    if version != SESSION_STATE_VERSION:
+        raise ValueError(f"unsupported session state version {version!r}")
+    backend_parts = IncrementalBackend.split_state(state["backend"], parts, assign)
+    out: list[dict[str, Any]] = [
+        {
+            "version": SESSION_STATE_VERSION,
+            "batches_ingested": 0,
+            "backend": backend_parts[i],
+            "flows": {},
+            "reports": {},
+        }
+        for i in range(parts)
+    ]
+    out[0]["batches_ingested"] = int(state["batches_ingested"])
+    for field in ("flows", "reports"):
+        for packet, payload in state[field].items():
+            out[assign(PacketKey.parse(packet))][field][packet] = payload
+    return out
+
+
+def merge_session_states(states: Sequence[Mapping[str, Any]]) -> dict[str, Any]:
+    """Fold disjoint per-shard session states back into one payload.
+
+    Inverse of :func:`split_session_state` (packets must be disjoint);
+    ``batches_ingested`` is summed.  The merged payload is byte-identical
+    to the export of an unsharded session holding the same evidence — keys
+    are re-sorted the way :meth:`ReconstructionSession.export_state` sorts
+    them.
+    """
+    from repro.core.backends.incremental import IncrementalBackend
+
+    merged: dict[str, Any] = {
+        "version": SESSION_STATE_VERSION,
+        "batches_ingested": 0,
+        "backend": IncrementalBackend.merge_states([s["backend"] for s in states]),
+        "flows": {},
+        "reports": {},
+    }
+    for state in states:
+        version = state.get("version")
+        if version != SESSION_STATE_VERSION:
+            raise ValueError(f"unsupported session state version {version!r}")
+        merged["batches_ingested"] += int(state["batches_ingested"])
+        merged["flows"].update(state["flows"])
+        merged["reports"].update(state["reports"])
+    for field in ("flows", "reports"):
+        merged[field] = {
+            str(packet): merged[field][str(packet)]
+            for packet in sorted(PacketKey.parse(p) for p in merged[field])
+        }
+    return merged

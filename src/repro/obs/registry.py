@@ -32,7 +32,7 @@ import time
 from contextlib import contextmanager
 from contextvars import ContextVar, Token
 from dataclasses import dataclass
-from typing import Iterator, Mapping, Optional
+from typing import Any, Iterator, Mapping, Optional, Sequence
 
 #: Sorted ``(key, value)`` pairs — the canonical form of a label set.
 LabelKey = tuple[tuple[str, str], ...]
@@ -114,6 +114,17 @@ class HistogramSummary:
             "p50": self.p50,
             "p95": self.p95,
         }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "HistogramSummary":
+        return cls(
+            count=int(data["count"]),
+            total=float(data["total"]),
+            min=None if data.get("min") is None else float(data["min"]),
+            max=None if data.get("max") is None else float(data["max"]),
+            p50=None if data.get("p50") is None else float(data["p50"]),
+            p95=None if data.get("p95") is None else float(data["p95"]),
+        )
 
 
 class Histogram:
@@ -249,6 +260,68 @@ class MetricsSnapshot:
 
     def to_json_str(self, *, indent: int = 2) -> str:
         return json.dumps(self.to_json(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "MetricsSnapshot":
+        """Inverse of :meth:`to_json` — lets one process adopt another's
+        snapshot (the sharded serve cluster merges worker ``/metrics``
+        bodies through here)."""
+        return cls(
+            counters={str(k): int(v) for k, v in data.get("counters", {}).items()},
+            gauges={str(k): float(v) for k, v in data.get("gauges", {}).items()},
+            histograms={
+                str(k): HistogramSummary.from_json(v)
+                for k, v in data.get("histograms", {}).items()
+            },
+        )
+
+
+def _parse_flat_key(key: str) -> tuple[str, list[tuple[str, str]]]:
+    """Split a ``name{label=value,...}`` flat key back into name + labels."""
+    name, brace, inner = key.partition("{")
+    if not brace:
+        return name, []
+    pairs: list[tuple[str, str]] = []
+    for part in inner.rstrip("}").split(","):
+        k, _, v = part.partition("=")
+        pairs.append((k, v))
+    return name, pairs
+
+
+def _relabeled(key: str, label: str, value: object) -> str:
+    """``key`` with one extra label folded into the sorted label set."""
+    name, pairs = _parse_flat_key(key)
+    pairs.append((label, str(value)))
+    return _flat_name(name, tuple(sorted(pairs)))
+
+
+def merge_shard_snapshots(
+    local: MetricsSnapshot,
+    shard_snapshots: Sequence[tuple[object, MetricsSnapshot]],
+    *,
+    label: str = "shard",
+) -> MetricsSnapshot:
+    """One cluster-wide snapshot from a front-end's and its workers'.
+
+    Counters are *summed* unlabeled (a cluster total: ``serve.ingest.lines``
+    across shards reads like one daemon's).  Gauges and histogram summaries
+    are point-in-time per-process facts that cannot be meaningfully added,
+    so each worker's keep their identity under an extra ``label=<value>``
+    label — ``serve.ingest.lag_lines{shard=1}`` — while the front-end's own
+    stay unlabeled.  Deterministic: label sets are re-sorted, so merged
+    snapshots diff cleanly run-to-run like plain ones.
+    """
+    counters = dict(local.counters)
+    gauges = dict(local.gauges)
+    histograms = dict(local.histograms)
+    for shard_value, snap in shard_snapshots:
+        for key, value in snap.counters.items():
+            counters[key] = counters.get(key, 0) + value
+        for key, gauge_value in snap.gauges.items():
+            gauges[_relabeled(key, label, shard_value)] = gauge_value
+        for key, summary in snap.histograms.items():
+            histograms[_relabeled(key, label, shard_value)] = summary
+    return MetricsSnapshot(counters=counters, gauges=gauges, histograms=histograms)
 
 
 class MetricsRegistry:

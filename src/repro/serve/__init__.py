@@ -5,30 +5,57 @@ arrive over line-framed TCP/unix-socket connections or tailed files, flow
 through a bounded queue into an incremental
 :class:`~repro.core.session.ReconstructionSession`, and are queryable over a
 small HTTP/JSON API whose flow payloads are byte-identical to a batch
-``refill analyze`` of the same lines.  See ``docs/SERVING.md``.
+``refill analyze`` of the same lines.  With ``--shards N`` the same surface
+fronts a router/worker cluster (:mod:`repro.serve.router`): lines are
+hashed by packet key across ``N`` subprocess workers
+(:mod:`repro.serve.shard`) and queries are scatter-gathered back into the
+identical bytes.  See ``docs/SERVING.md``.
 """
 
 from repro.serve.checkpoint import (
     CHECKPOINT_VERSION,
+    MANIFEST_VERSION,
     Checkpoint,
+    ClusterManifest,
+    ShardMismatchError,
     load_checkpoint,
+    load_manifest,
+    reshard_manifest,
     save_checkpoint,
+    save_manifest,
 )
 from repro.serve.client import LineSender, PushResult, push_lines, push_store
 from repro.serve.config import ServeConfig
-from repro.serve.runner import ServerThread
+from repro.serve.router import ClusterServer
+from repro.serve.runner import ServerThread, make_server, read_printed_ports
 from repro.serve.server import RefillServer
+from repro.serve.shard import ShardSpec, ShardWorker
+from repro.serve.sharding import shard_for_key, shard_for_line, shard_for_packet
 
 __all__ = [
     "CHECKPOINT_VERSION",
+    "MANIFEST_VERSION",
     "Checkpoint",
+    "ClusterManifest",
+    "ClusterServer",
     "LineSender",
     "PushResult",
     "RefillServer",
     "ServeConfig",
     "ServerThread",
+    "ShardMismatchError",
+    "ShardSpec",
+    "ShardWorker",
     "load_checkpoint",
+    "load_manifest",
+    "make_server",
     "push_lines",
     "push_store",
+    "read_printed_ports",
+    "reshard_manifest",
     "save_checkpoint",
+    "save_manifest",
+    "shard_for_key",
+    "shard_for_line",
+    "shard_for_packet",
 ]

@@ -66,3 +66,27 @@ if sys.version_info >= (3, 11):
     timeout = asyncio.timeout
 else:  # pragma: no cover - exercised by the 3.10 CI lane
     timeout = _TimeoutBackport
+
+
+def install_streams_cancel_filter(loop: asyncio.AbstractEventLoop) -> None:
+    """Silence the CPython ≤3.11 cancelled-handler callback wart.
+
+    ``asyncio.streams``'s per-connection protocol attaches a done-callback
+    that calls ``task.exception()`` without checking ``task.cancelled()``
+    first (fixed upstream in gh-110894).  When graceful shutdown cancels an
+    in-flight connection handler — which both serve topologies do on
+    purpose, reaping the tasks afterwards — that callback itself raises
+    ``CancelledError`` and the loop logs a spurious "Exception in callback
+    StreamReaderProtocol.connection_made..." traceback.  Filter exactly
+    that shape and delegate everything else to the default handler.
+    """
+
+    def handler(loop: asyncio.AbstractEventLoop, context: dict) -> None:
+        exc = context.get("exception")
+        if isinstance(exc, asyncio.CancelledError) and (
+            "StreamReaderProtocol.connection_made" in context.get("message", "")
+        ):
+            return
+        loop.default_exception_handler(context)
+
+    loop.set_exception_handler(handler)

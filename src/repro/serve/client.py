@@ -203,6 +203,7 @@ def push_store(
     source_prefix: str = "",
     timeout: Optional[float] = 30.0,
     trace: Union[str, bool, None] = None,
+    workers: int = 1,
 ) -> dict[str, PushResult]:
     """Replay every shard of an on-disk store at a daemon.
 
@@ -214,20 +215,39 @@ def push_store(
     One trace id spans the whole replay (all shards) so the daemon sees the
     store push as a single logical flow; ``trace=False`` disables the
     metadata entirely.
+
+    ``workers > 1`` pushes that many sources concurrently (one connection
+    each, blocking sends on a thread pool).  The daemon only guarantees
+    ordering *within* a source, which each connection preserves on its own,
+    so concurrency never changes the reconstruction — it just keeps a
+    sharded daemon's workers busy in parallel.  The result dict is keyed
+    and ordered by source name either way.
     """
+    if workers < 1:
+        raise ValueError("workers must be positive")
     store = pathlib.Path(store)
     push_trace = _resolve_trace(trace)
-    results: dict[str, PushResult] = {}
-    for shard in sorted(store.glob("node_*.log")):
-        source = source_prefix + shard.name
-        results[source] = push_lines(
+    shards = sorted(store.glob("node_*.log"))
+
+    def _push_one(shard: pathlib.Path) -> PushResult:
+        return push_lines(
             read_complete_lines(shard),
             host=host,
             port=port,
             unix_socket=unix_socket,
-            source=source,
+            source=source_prefix + shard.name,
             node=tail_node_bind(shard),
             timeout=timeout,
             trace=push_trace if push_trace is not None else False,
         )
-    return results
+
+    if workers == 1 or len(shards) <= 1:
+        return {source_prefix + shard.name: _push_one(shard) for shard in shards}
+    from concurrent.futures import ThreadPoolExecutor
+
+    with ThreadPoolExecutor(max_workers=min(workers, len(shards))) as pool:
+        outcomes = list(pool.map(_push_one, shards))
+    return {
+        source_prefix + shard.name: outcome
+        for shard, outcome in zip(shards, outcomes)
+    }

@@ -72,6 +72,13 @@ class ServeConfig:
         on graceful shutdown.
     trace_capacity:
         Flight-recorder ring size (completed spans + events retained).
+    shards:
+        Number of shard workers.  ``1`` (the default) runs today's
+        single-process daemon unchanged; ``N > 1`` runs the router/worker
+        cluster (:class:`~repro.serve.router.ClusterServer`): a router
+        hashing lines by packet key to ``N`` subprocess workers, fronted
+        by a scatter-gather query API.  Output is byte-identical either
+        way.
     """
 
     store: Optional[str] = None
@@ -92,8 +99,11 @@ class ServeConfig:
     metrics_out: Optional[str] = None
     trace_out: Optional[str] = None
     trace_capacity: int = 1024
+    shards: int = 1
 
     def __post_init__(self) -> None:
+        if self.shards <= 0:
+            raise ValueError("shards must be positive")
         if self.ingest_queue_batches <= 0:
             raise ValueError("ingest_queue_batches must be positive")
         if self.ingest_batch_lines <= 0:

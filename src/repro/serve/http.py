@@ -7,6 +7,18 @@ Responses that must be comparable across doors (``/flows``, ``/flow/<p>``,
 — byte-identical to ``refill analyze --flows-out`` on the same lines, which
 is the serve layer's correctness contract.
 
+The router/handler code here is shared by both deployment shapes through
+the :class:`QueryTarget` surface: an async ``api_*`` method per route.  The
+standalone :class:`~repro.serve.server.RefillServer` answers locally and
+immediately; the cluster's :class:`~repro.serve.router.ClusterServer`
+**scatter-gathers** — it fans the request out to every shard worker over
+their private query listeners and merges deterministically (flows/reports
+by canonical-key union, summary counters summed, metrics through the
+mergeable-snapshot path, readiness as the min over shards).  Because the
+dict-union of disjoint per-shard bodies re-serializes through
+``dumps_canonical`` (sorted keys), the merged bytes equal the unsharded
+bytes — the equivalence oracle holds at every ``--shards``.
+
 Routes
 ------
 ======  ======================  =============================================
@@ -21,7 +33,8 @@ GET     ``/summary``            diagnosis summary + ingest progress
 GET     ``/offsets``            per-source ingest offsets / corrupt counts
 GET     ``/metrics``            the run's metrics-registry snapshot
 GET     ``/debug/trace``        the flight recorder (recent spans/events)
-POST    ``/checkpoint``         write a checkpoint now
+POST    ``/checkpoint``         write a checkpoint now (``?epoch=N`` on a
+                                shard worker targets a coordinated epoch)
 POST    ``/shutdown``           graceful drain + checkpoint + exit
 ======  ======================  =============================================
 
@@ -47,26 +60,20 @@ import asyncio
 import json
 import time
 import urllib.parse
-from typing import TYPE_CHECKING, Any, Optional
+from typing import Any, Mapping, Optional, Protocol
 
 from repro.analysis.causes import cause_shares, sink_split
-from repro.core.serialize import (
-    dumps_canonical,
-    flow_to_dict,
-    flows_to_json,
-    report_to_dict,
-    reports_to_json,
-)
+from repro.core.diagnosis import LossReport
+from repro.core.serialize import dumps_canonical
 from repro.events.packet import PacketKey
+from repro.events.store import StoreMetadata
 from repro.obs.promtext import CONTENT_TYPE as PROM_CONTENT_TYPE
 from repro.obs.promtext import render_snapshot
-from repro.obs.registry import get_registry, timer
+from repro.obs.recorder import FlightRecorder
+from repro.obs.registry import MetricsSnapshot, get_registry, timer
 from repro.obs.structlog import get_logger
 from repro.obs.tracing import mint_request_id
 from repro.serve._compat import timeout
-
-if TYPE_CHECKING:
-    from repro.serve.server import RefillServer
 
 _log = get_logger("refill.serve.http")
 
@@ -95,10 +102,75 @@ ROUTES = (
 )
 
 
-class QueryApi:
-    """Routes HTTP requests against a running :class:`RefillServer`."""
+class QueryTarget(Protocol):
+    """What :class:`QueryApi` routes against — one async method per route.
 
-    def __init__(self, server: "RefillServer") -> None:
+    Implemented by :class:`~repro.serve.server.RefillServer` (local answers)
+    and :class:`~repro.serve.router.ClusterServer` (scatter-gather merges).
+    """
+
+    recorder: FlightRecorder
+
+    def request_shutdown(self) -> None: ...
+
+    async def api_readiness(self) -> tuple[bool, dict[str, Any]]: ...
+
+    async def api_packets_body(self) -> str: ...
+
+    async def api_flows_body(self) -> str: ...
+
+    async def api_reports_body(self) -> str: ...
+
+    async def api_packet_body(
+        self, kind: str, packet: PacketKey
+    ) -> tuple[int, str]: ...
+
+    async def api_summary(self) -> dict[str, Any]: ...
+
+    async def api_offsets(self) -> dict[str, Any]: ...
+
+    async def api_metrics_snapshot(self) -> MetricsSnapshot: ...
+
+    async def api_checkpoint(
+        self, epoch: Optional[int]
+    ) -> Optional[dict[str, Any]]: ...
+
+
+def build_summary(
+    reports: Mapping[PacketKey, LossReport],
+    *,
+    pending: int,
+    batches_ingested: int,
+    lines_ingested: int,
+    sources: int,
+    metadata: Optional[StoreMetadata],
+) -> dict[str, Any]:
+    """The ``/summary`` payload, shared by the single server and the merge.
+
+    The cluster computes the same shape from merged shard reports and
+    summed shard counters, so a probe cannot tell the topologies apart.
+    """
+    lost = sum(1 for r in reports.values() if r.lost)
+    summary: dict[str, Any] = {
+        "packets": len(reports),
+        "lost": lost,
+        "cause_shares": {
+            cause.value: share for cause, share in cause_shares(reports).items()
+        },
+        "pending": pending,
+        "batches_ingested": batches_ingested,
+        "lines_ingested": lines_ingested,
+        "sources": sources,
+    }
+    if metadata is not None:
+        summary["sink_split"] = sink_split(reports, metadata.sink)
+    return summary
+
+
+class QueryApi:
+    """Routes HTTP requests against a :class:`QueryTarget`."""
+
+    def __init__(self, server: QueryTarget) -> None:
         self.server = server
         #: Live handler tasks; shutdown cancels them because from Python
         #: 3.12.1 ``Server.wait_closed()`` waits for in-flight handlers, and
@@ -150,9 +222,11 @@ class QueryApi:
         started = time.perf_counter()
         with timer(registry.histogram("serve.request.seconds", route=route)):
             try:
-                code, body, content_type = self._dispatch(
+                code, body, content_type = await self._dispatch(
                     method, path, query, accept
                 )
+            except asyncio.CancelledError:
+                raise
             except Exception as exc:  # noqa: BLE001 - a query never kills the daemon
                 _log.warning(
                     "http.handler-error",
@@ -233,22 +307,22 @@ class QueryApi:
         head = path.strip("/").split("/", 1)[0]
         return head or "root"
 
-    def _dispatch(
+    async def _dispatch(
         self, method: str, path: str, query: dict[str, str], accept: str
     ) -> tuple[int, str, str]:
         """Route one request; returns ``(code, body, content_type)``."""
         if method == "GET" and path == "/metrics":
-            return self._metrics_response(query, accept)
+            return await self._metrics_response(query, accept)
         if method == "GET" and path == "/debug/trace":
             return self._debug_trace(query)
-        code, body = self._dispatch_json(method, path)
+        code, body = await self._dispatch_json(method, path, query)
         return code, body, _JSON_CONTENT_TYPE
 
-    def _metrics_response(
+    async def _metrics_response(
         self, query: dict[str, str], accept: str
     ) -> tuple[int, str, str]:
         """JSON by default; Prometheus text when the client asks for it."""
-        snapshot = get_registry().snapshot()
+        snapshot = await self.server.api_metrics_snapshot()
         wants_text = query.get("format") == "prometheus" or (
             "text/plain" in accept or "openmetrics-text" in accept
         )
@@ -294,88 +368,57 @@ class QueryApi:
         )
         return 200, body, _JSON_CONTENT_TYPE
 
-    def _dispatch_json(self, method: str, path: str) -> tuple[int, str]:
+    async def _dispatch_json(
+        self, method: str, path: str, query: dict[str, str]
+    ) -> tuple[int, str]:
         server = self.server
         parts = [p for p in path.split("/") if p]
         if method == "GET":
             if path == "/healthz":
                 return 200, dumps_canonical({"status": "ok"})
             if path == "/readyz":
-                ready, detail = server.readiness()
+                ready, detail = await server.api_readiness()
                 return (200 if ready else 503), dumps_canonical(detail)
             if path == "/packets":
-                return 200, dumps_canonical(
-                    {"packets": [str(p) for p in server.session.packets()]}
-                )
+                return 200, await server.api_packets_body()
             if path == "/flows":
-                return 200, dumps_canonical(flows_to_json(server.session.flows()))
+                return 200, await server.api_flows_body()
             if path == "/reports":
-                return 200, dumps_canonical(reports_to_json(server.session.reports()))
+                return 200, await server.api_reports_body()
             if len(parts) == 2 and parts[0] in ("flow", "report"):
-                return self._packet_route(parts[0], parts[1])
+                try:
+                    packet = PacketKey.parse(parts[1])
+                except ValueError:
+                    return 400, dumps_canonical(
+                        {"error": f"bad packet key {parts[1]!r}"}
+                    )
+                return await server.api_packet_body(parts[0], packet)
             if path == "/summary":
-                return 200, dumps_canonical(self._summary())
+                return 200, dumps_canonical(await server.api_summary())
             if path == "/offsets":
-                book = server.book
-                return 200, dumps_canonical(
-                    {
-                        "offsets": dict(sorted(book.ingested.items())),
-                        "received": dict(sorted(book.received.items())),
-                        "corrupt_lines": dict(sorted(book.corrupt.items())),
-                        "lines_ingested": book.lines_ingested,
-                    }
-                )
+                return 200, dumps_canonical(await server.api_offsets())
         elif method == "POST":
             if path == "/checkpoint":
-                written = server.write_checkpoint()
+                epoch: Optional[int] = None
+                if "epoch" in query:
+                    try:
+                        epoch = int(query["epoch"])
+                    except ValueError:
+                        return 400, dumps_canonical(
+                            {"error": f"bad epoch {query['epoch']!r}"}
+                        )
+                written = await server.api_checkpoint(epoch)
                 if written is None:
                     return 409, dumps_canonical(
                         {"error": "no checkpoint path configured"}
                     )
-                return 200, dumps_canonical(
-                    {"path": str(written), "packets": len(server.session.packets())}
-                )
+                return 200, dumps_canonical(written)
             if path == "/shutdown":
                 server.request_shutdown()
                 return 202, dumps_canonical({"status": "draining"})
         else:
             return 405, dumps_canonical({"error": f"method {method} not allowed"})
         return 404, dumps_canonical({"error": f"no route for {path}"})
-
-    def _packet_route(self, kind: str, key: str) -> tuple[int, str]:
-        try:
-            packet = PacketKey.parse(key)
-        except ValueError:
-            return 400, dumps_canonical({"error": f"bad packet key {key!r}"})
-        session = self.server.session
-        if kind == "flow":
-            flow = session.flow(packet)
-            if flow is None:
-                return 404, dumps_canonical({"error": f"unknown packet {key}"})
-            return 200, dumps_canonical(flow_to_dict(flow))
-        report = session.reports().get(packet)
-        if report is None:
-            return 404, dumps_canonical({"error": f"unknown packet {key}"})
-        return 200, dumps_canonical(report_to_dict(report))
-
-    def _summary(self) -> dict[str, Any]:
-        server = self.server
-        reports = server.session.reports()
-        lost = sum(1 for r in reports.values() if r.lost)
-        summary: dict[str, Any] = {
-            "packets": len(reports),
-            "lost": lost,
-            "cause_shares": {
-                cause.value: share for cause, share in cause_shares(reports).items()
-            },
-            "pending": server.session.pending,
-            "batches_ingested": server.session.batches_ingested,
-            "lines_ingested": server.book.lines_ingested,
-            "sources": len(server.book.ingested),
-        }
-        if server.metadata is not None:
-            summary["sink_split"] = sink_split(reports, server.metadata.sink)
-        return summary
 
 
 def _response_bytes(

@@ -1,14 +1,13 @@
 """The live reconstruction daemon: ingest + checkpoint + query in one loop.
 
-:class:`RefillServer` wires the pieces together around one streaming
-:class:`~repro.core.session.ReconstructionSession` over an
-:class:`~repro.core.backends.IncrementalBackend`:
+:class:`RefillServer` wires the pieces together around one
+:class:`~repro.serve.shard.ShardWorker` (the session/book/checkpoint core):
 
 - **readers** (:mod:`repro.serve.ingest`) frame connection/tail bytes into
   line batches on a bounded queue;
 - a single **consumer** task decodes batches with the shared tolerant
-  scanner, feeds the session, refreshes dirty flows after an idle gap, and
-  writes periodic checkpoints;
+  scanner, feeds the worker's session, refreshes dirty flows after an idle
+  gap, and writes periodic checkpoints;
 - the **query API** (:mod:`repro.serve.http`) answers from the same session
   (auto-refreshing, so a query never sees stale flows).
 
@@ -17,6 +16,14 @@ only inside synchronous stretches of the consumer or a handler, so state is
 consistent at every ``await`` without locks.  Reconstruction is CPU work —
 a query issued mid-refresh waits; per-packet flows are tiny, so stalls are
 bounded by one batch, not the corpus.
+
+The same class is both deployment shapes' workhorse: the standalone
+``refill serve`` daemon (``shard=None``), and — constructed by
+:func:`repro.serve.shard.run_shard` with a :class:`ShardSpec` — one worker
+subprocess of the sharded cluster (:mod:`repro.serve.router`).  A shard
+instance differs only in coordination: it installs no signal handlers (the
+router owns shutdown) and honors ``POST /checkpoint?epoch=N`` by writing
+the epoch-stamped per-shard file instead of a standalone checkpoint.
 
 Graceful shutdown (SIGTERM/SIGINT or ``POST /shutdown``): stop accepting,
 cancel live connections and tails, drain the queued batches into the
@@ -36,23 +43,28 @@ import signal
 import time
 from typing import Any, Callable, Optional
 
-from repro.core.backends.incremental import IncrementalBackend
-from repro.core.session import ReconstructionSession
-from repro.obs.recorder import FlightRecorder, use_recorder
-from repro.obs.registry import MetricsRegistry, get_registry, use_registry
-from repro.obs.structlog import get_logger
-from repro.obs.tracing import traced, use_trace
-from repro.serve._compat import timeout
-from repro.serve.checkpoint import Checkpoint, load_checkpoint, save_checkpoint
-from repro.serve.config import ServeConfig
-from repro.serve.http import QueryApi
-from repro.serve.ingest import (
-    ANONYMOUS_SOURCE,
-    IngestHub,
-    IngestItem,
-    SourceBook,
-    decode_lines,
+from repro.core.serialize import (
+    dumps_canonical,
+    flow_to_dict,
+    flows_to_json,
+    report_to_dict,
+    reports_to_json,
 )
+from repro.events.packet import PacketKey
+from repro.obs.recorder import FlightRecorder, use_recorder
+from repro.obs.registry import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    get_registry,
+    use_registry,
+)
+from repro.obs.structlog import get_logger
+from repro.obs.tracing import traced
+from repro.serve._compat import install_streams_cancel_filter, timeout
+from repro.serve.config import ServeConfig
+from repro.serve.http import QueryApi, build_summary
+from repro.serve.ingest import IngestHub, IngestItem, SourceBook
+from repro.serve.shard import ShardSpec, ShardWorker
 
 _log = get_logger("refill.serve")
 
@@ -73,6 +85,8 @@ SERVE_METRIC_NAMES = (
     "serve.checkpoints",
     "serve.requests",
     "serve.request.seconds",
+    "serve.shard.up",
+    "serve.shard.lines",
 )
 
 
@@ -80,20 +94,22 @@ class RefillServer:
     """A long-running reconstruction service over one streaming session."""
 
     def __init__(
-        self, config: ServeConfig, *, registry: Optional[MetricsRegistry] = None
+        self,
+        config: ServeConfig,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        shard: Optional[ShardSpec] = None,
     ) -> None:
         self.config = config
         self.registry = registry if registry is not None else MetricsRegistry()
         self.recorder = FlightRecorder(config.trace_capacity)
         self.metadata = config.metadata()
-        self.book = SourceBook()
-        self.hub = IngestHub(config, self.book)
+        #: ``None`` for the standalone daemon; the spec when this server is
+        #: one subprocess worker of a sharded cluster.
+        self.shard = shard
+        self.worker = ShardWorker(config)
+        self.hub = IngestHub(config, self.worker.book)
         self.api = QueryApi(self)
-        self.session = ReconstructionSession(
-            backend=IncrementalBackend(),
-            delivery_node=config.resolved_delivery_node(),
-            batch_size=config.batch_size,
-        )
         #: Bound listener ports, published once the listeners are up.
         self.tcp_port: Optional[int] = None
         self.http_port: Optional[int] = None
@@ -101,92 +117,62 @@ class RefillServer:
         self.restored = False
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._shutdown: Optional[asyncio.Event] = None
-        self._dirty_since_checkpoint = False
-        self._started_at = time.monotonic()
-        #: ``time.monotonic()`` of the last checkpoint write (age gauge).
-        self._last_checkpoint_at: Optional[float] = None
-        #: Queue wait of the most recently ingested batch (lag gauge).
-        self._last_queue_wait = 0.0
 
     # ------------------------------------------------------------------ #
-    # checkpoint / restore
+    # the worker's state, re-exported (tests and embedders use these)
+
+    @property
+    def session(self):
+        return self.worker.session
+
+    @property
+    def book(self) -> SourceBook:
+        return self.worker.book
 
     def restore(self) -> bool:
         """Adopt the configured checkpoint if one exists on disk."""
-        path = self.config.resolved_checkpoint()
-        if path is None or not path.exists():
-            return False
-        checkpoint = load_checkpoint(path)
-        self.session.restore_state(checkpoint.session_state)
-        self.book.restore(
-            checkpoint.offsets, checkpoint.corrupt_lines, checkpoint.lines_ingested
-        )
-        _log.info(
-            "serve.restored",
-            checkpoint=str(path),
-            packets=len(self.session.packets()),
-            sources=len(self.book.ingested),
-            lines=self.book.lines_ingested,
-        )
-        return True
+        return self.worker.restore()
 
     def write_checkpoint(self) -> Optional[pathlib.Path]:
         """Write a checkpoint now; ``None`` when no path is configured."""
-        path = self.config.resolved_checkpoint()
-        if path is None:
-            return None
-        started = time.perf_counter()
-        with traced("serve.checkpoint"):
-            checkpoint = Checkpoint(
-                session_state=self.session.export_state(),
-                offsets=dict(self.book.ingested),
-                corrupt_lines=dict(self.book.corrupt),
-                lines_ingested=self.book.lines_ingested,
-            )
-            save_checkpoint(path, checkpoint)
-        registry = get_registry()
-        registry.counter("serve.checkpoints").inc()
-        registry.gauge("serve.checkpoint.duration_seconds").set(
-            time.perf_counter() - started
-        )
-        self._last_checkpoint_at = time.monotonic()
-        self._dirty_since_checkpoint = False
-        _log.debug("serve.checkpointed", path=str(path))
-        return path
-
-    # ------------------------------------------------------------------ #
-    # state probes
+        return self.worker.write_checkpoint()
 
     def readiness(self) -> tuple[bool, dict[str, Any]]:
-        """Whether ingest is drained and every flow is fresh.
+        """Whether ingest is drained and every flow is fresh."""
+        return self.worker.readiness(self.hub.queue)
 
-        The detail dict mirrors the pipeline-health gauges so a probe (or a
-        human with ``curl``) sees the same numbers Prometheus scrapes: line
-        lag, the dirty set, queue depth/saturation, the last batch's queue
-        wait, and checkpoint age.
+    def listeners(self) -> list[dict[str, Any]]:
+        """One descriptor per bound listener (the ``--print-ports`` shape).
+
+        Each entry carries a unique ``listener`` name plus enough to connect
+        (``port`` for TCP, ``path`` for unix sockets); harnesses parse the
+        emitted lines into a name-keyed dict without positional guessing.
         """
-        lag = self.book.lag_lines()
-        pending = self.session.pending
-        queued = self.hub.queue.qsize()
-        ready = lag == 0 and pending == 0 and queued == 0
-        return ready, {
-            "ready": ready,
-            "lag_lines": lag,
-            "pending_packets": pending,
-            "queued_batches": queued,
-            "queue_saturation": queued / self.hub.queue.maxsize,
-            "lag_seconds": 0.0 if ready else self._last_queue_wait,
-            "checkpoint_age_seconds": self._checkpoint_age(),
-        }
-
-    def _checkpoint_age(self) -> float:
-        """Seconds since the last checkpoint (since start-up if none yet)."""
-        anchor = (
-            self._last_checkpoint_at
-            if self._last_checkpoint_at is not None
-            else self._started_at
+        out: list[dict[str, Any]] = [
+            {
+                "listener": "ingest",
+                "transport": "tcp",
+                "host": self.config.host,
+                "port": self.tcp_port,
+            }
+        ]
+        if self.config.unix_socket is not None:
+            out.append(
+                {
+                    "listener": "ingest-unix",
+                    "transport": "unix",
+                    "path": self.config.unix_socket,
+                }
+            )
+        out.append(
+            {
+                "listener": "http",
+                "transport": "tcp",
+                "host": self.config.http_host,
+                "port": self.http_port,
+            }
         )
-        return max(0.0, time.monotonic() - anchor)
+        return out
 
     def request_shutdown(self) -> None:
         """Trigger graceful shutdown; safe from any thread."""
@@ -196,63 +182,86 @@ class RefillServer:
         loop.call_soon_threadsafe(event.set)
 
     # ------------------------------------------------------------------ #
+    # the query surface (async so the cluster can fan out; here the answers
+    # are local and immediate)
+
+    async def api_readiness(self) -> tuple[bool, dict[str, Any]]:
+        return self.readiness()
+
+    async def api_packets_body(self) -> str:
+        return dumps_canonical(
+            {"packets": [str(p) for p in self.session.packets()]}
+        )
+
+    async def api_flows_body(self) -> str:
+        return dumps_canonical(flows_to_json(self.session.flows()))
+
+    async def api_reports_body(self) -> str:
+        return dumps_canonical(reports_to_json(self.session.reports()))
+
+    async def api_packet_body(self, kind: str, packet: PacketKey) -> tuple[int, str]:
+        if kind == "flow":
+            flow = self.session.flow(packet)
+            if flow is None:
+                return 404, dumps_canonical({"error": f"unknown packet {packet}"})
+            return 200, dumps_canonical(flow_to_dict(flow))
+        report = self.session.reports().get(packet)
+        if report is None:
+            return 404, dumps_canonical({"error": f"unknown packet {packet}"})
+        return 200, dumps_canonical(report_to_dict(report))
+
+    async def api_summary(self) -> dict[str, Any]:
+        return build_summary(
+            self.session.reports(),
+            pending=self.session.pending,
+            batches_ingested=self.session.batches_ingested,
+            lines_ingested=self.book.lines_ingested,
+            sources=len(self.book.ingested),
+            metadata=self.metadata,
+        )
+
+    async def api_offsets(self) -> dict[str, Any]:
+        book = self.book
+        return {
+            "offsets": dict(sorted(book.ingested.items())),
+            "received": dict(sorted(book.received.items())),
+            "corrupt_lines": dict(sorted(book.corrupt.items())),
+            "lines_ingested": book.lines_ingested,
+        }
+
+    async def api_metrics_snapshot(self) -> MetricsSnapshot:
+        return get_registry().snapshot()
+
+    async def api_checkpoint(self, epoch: Optional[int]) -> Optional[dict[str, Any]]:
+        """``POST /checkpoint``: write now; epoch targets a coordinated file.
+
+        ``epoch`` is the cluster protocol — only a shard worker accepts it,
+        writing the epoch-stamped file the router is about to commit via the
+        manifest swap.  Returns the response payload, ``None`` when no
+        checkpoint path is configured (→ 409).
+        """
+        if epoch is not None:
+            if self.shard is None:
+                raise ValueError("epoch checkpoints need a shard worker")
+            written = self.worker.write_checkpoint(self.shard.epoch_path(epoch))
+        else:
+            written = self.worker.write_checkpoint()
+        if written is None:
+            return None
+        return {"path": str(written), "packets": len(self.session.packets())}
+
+    # ------------------------------------------------------------------ #
     # the consumer
 
     def _ingest_item(self, item: IngestItem) -> None:
-        registry = get_registry()
-        if item.enqueued_at and registry.enabled:
-            wait = time.perf_counter() - item.enqueued_at
-            self._last_queue_wait = wait
-            registry.histogram("serve.queue.wait.seconds").observe(wait)
-            registry.gauge("serve.ingest.lag_seconds").set(wait)
-        # the batch's spans attribute to the trace that produced it — the
-        # ids ride entirely outside the decoded lines
-        with use_trace(item.trace_id):
-            with traced("serve.decode", source=item.source or ANONYMOUS_SOURCE):
-                events_by_node, corrupt = decode_lines(item.lines, item.node_bind)
-            if events_by_node:
-                with traced("serve.ingest.batch"):
-                    self.session.ingest(events_by_node)
-        n = len(item.lines)
-        source = item.source if item.source is not None else ANONYMOUS_SOURCE
-        self.book.lines_ingested += n
-        if item.source is not None:
-            self.book.ingested[item.source] = (
-                self.book.ingested.get(item.source, 0) + n
-            )
-        registry.counter("serve.ingest.lines").inc(n)
-        if corrupt:
-            self.book.corrupt[source] = self.book.corrupt.get(source, 0) + corrupt
-            registry.counter("codec.corrupt_lines", source=source).inc(corrupt)
-        self._dirty_since_checkpoint = True
+        self.worker.ingest_item(item)
 
     def _drain_queue(self) -> None:
         """Ingest everything queued right now (shutdown; consumer stopped)."""
-        while not self.hub.queue.empty():
-            self._ingest_item(self.hub.queue.get_nowait())
+        self.worker.drain_queue(self.hub.queue)
 
     def _update_gauges(self) -> None:
-        registry = get_registry()
-        if not registry.enabled:
-            return
-        lag = self.book.lag_lines()
-        queued = self.hub.queue.qsize()
-        registry.gauge("serve.ingest.lag_lines").set(lag)
-        registry.gauge("serve.ingest.pending_packets").set(self.session.pending)
-        registry.gauge("serve.ingest.queue_batches").set(queued)
-        registry.gauge("serve.ingest.queue_saturation").set(
-            queued / self.hub.queue.maxsize
-        )
-        if lag == 0 and queued == 0:
-            # drained: the last batch's wait no longer describes the present
-            self._last_queue_wait = 0.0
-            registry.gauge("serve.ingest.lag_seconds").set(0.0)
-        registry.gauge("serve.checkpoint.age_seconds").set(self._checkpoint_age())
-        now = time.time()
-        for source, seen in self.book.last_seen.items():
-            registry.gauge("serve.source.staleness_seconds", source=source).set(
-                max(0.0, now - seen)
-            )
+        self.worker.update_gauges(self.hub.queue)
 
     async def _consume(self) -> None:
         """Single writer of session state: dequeue, decode, ingest.
@@ -283,7 +292,7 @@ class RefillServer:
                 self._update_gauges()
             if (
                 next_checkpoint is not None
-                and self._dirty_since_checkpoint
+                and self.worker._dirty_since_checkpoint
                 and time.monotonic() >= next_checkpoint
             ):
                 self.write_checkpoint()
@@ -295,12 +304,15 @@ class RefillServer:
     async def _main(self, ready: Optional[Callable[["RefillServer"], None]]) -> None:
         loop = asyncio.get_running_loop()
         self._loop = loop
+        install_streams_cancel_filter(loop)
         self._shutdown = asyncio.Event()
-        for sig in (signal.SIGTERM, signal.SIGINT):
-            try:
-                loop.add_signal_handler(sig, self._shutdown.set)
-            except (NotImplementedError, RuntimeError, ValueError):
-                pass  # non-main thread or unsupported platform
+        if self.shard is None:
+            # a shard subprocess takes orders from the router, not the tty
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(sig, self._shutdown.set)
+                except (NotImplementedError, RuntimeError, ValueError):
+                    pass  # non-main thread or unsupported platform
         self.restored = self.restore()
 
         servers: list[asyncio.AbstractServer] = []
@@ -333,6 +345,7 @@ class RefillServer:
             unix_socket=self.config.unix_socket or "-",
             tails=len(tails),
             restored=self.restored,
+            shard=self.shard.index if self.shard is not None else "-",
         )
         if ready is not None:
             ready(self)

@@ -1,0 +1,65 @@
+"""Deterministic packet-key → shard assignment.
+
+The cluster's one invariant-bearing decision is *which shard owns a packet*:
+the router assigns live lines, the checkpoint reshard assigns restored
+state, and the scatter-gather layer routes single-packet queries — all three
+must agree, across processes and across interpreter restarts.  So the hash
+here is plain integer arithmetic (an xorshift-multiply mix of ``(origin,
+seq)``), never the built-in ``hash()``: ``PYTHONHASHSEED`` randomizes
+``hash(tuple)`` per process, which would scatter one packet's evidence over
+different shards between the router and a restarted worker.
+
+Routing happens on the *raw line*, before any decode: the codec's framing
+puts the packet key on the wire as a ``pkt=p<origin>.<seq>`` token, so a
+compiled regex lifts the key without paying for full event decoding at the
+router.  Lines with no parseable key — packetless boot events, blank lines,
+corrupt bytes — all go to shard 0, again deterministically, so corrupt-line
+accounting stays reproducible.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.events.packet import PacketKey
+
+#: The codec's packet token (``pkt=p<origin>.<seq>``) as it appears between
+#: whitespace-delimited ``k=v`` fields of a data line.
+_PKT_TOKEN = re.compile(r"(?:^|\s)pkt=p(\d+)\.(\d+)(?=\s|$)")
+
+#: Fixed multipliers for the integer mix (fractional parts of well-known
+#: constants, as in splitmix/murmur finalizers).  Arbitrary but frozen:
+#: changing them invalidates every v2 checkpoint manifest's shard layout.
+_MIX_A = 0x9E3779B1
+_MIX_B = 0x85EBCA77
+_MIX_C = 0x045D9F3B
+
+
+def shard_for_key(origin: int, seq: int, shards: int) -> int:
+    """The shard index owning packet ``(origin, seq)`` in an N-shard cluster."""
+    if shards <= 1:
+        return 0
+    h = (origin * _MIX_A + seq * _MIX_B) & 0xFFFFFFFF
+    h ^= h >> 16
+    h = (h * _MIX_C) & 0xFFFFFFFF
+    h ^= h >> 16
+    return h % shards
+
+
+def shard_for_packet(packet: PacketKey, shards: int) -> int:
+    """:func:`shard_for_key` over a parsed :class:`PacketKey`."""
+    return shard_for_key(packet.origin, packet.seq, shards)
+
+
+def shard_for_line(line: str, shards: int) -> int:
+    """Route one raw log line without decoding it.
+
+    Lines carrying no parseable ``pkt=`` token (packetless events, corrupt
+    input) deterministically land on shard 0.
+    """
+    if shards <= 1:
+        return 0
+    match = _PKT_TOKEN.search(line)
+    if match is None:
+        return 0
+    return shard_for_key(int(match.group(1)), int(match.group(2)), shards)

@@ -8,8 +8,10 @@ import pytest
 from repro.obs.registry import (
     HISTOGRAM_SAMPLE_CAP,
     MetricsRegistry,
+    MetricsSnapshot,
     NullRegistry,
     get_registry,
+    merge_shard_snapshots,
     use_registry,
 )
 
@@ -214,3 +216,70 @@ class TestActiveRegistry:
             with use_registry(MetricsRegistry()):
                 raise RuntimeError("boom")
         assert get_registry() is outer
+
+
+class TestSnapshotJsonRoundTrip:
+    def test_from_json_inverts_to_json(self):
+        reg = MetricsRegistry()
+        reg.counter("events", kind="recv").inc(7)
+        reg.gauge("depth").set(2.0)
+        for v in (0.25, 0.5, 4.0):
+            reg.histogram("lat").observe(v)
+        snap = reg.snapshot()
+        clone = MetricsSnapshot.from_json(json.loads(snap.to_json_str()))
+        assert clone.counters == snap.counters
+        assert clone.gauges == snap.gauges
+        assert clone.to_json() == snap.to_json()
+
+    def test_from_json_tolerates_empty_histograms(self):
+        snap = MetricsSnapshot.from_json(
+            {"counters": {}, "gauges": {}, "histograms": {
+                "h": {"count": 0, "total": 0.0, "min": None, "max": None,
+                      "p50": None, "p95": None},
+            }}
+        )
+        assert snap.histograms["h"].count == 0
+        assert snap.histograms["h"].min is None
+
+
+class TestMergeShardSnapshots:
+    def _shard_snap(self, lines: int, lag: float) -> "MetricsSnapshot":
+        reg = MetricsRegistry()
+        reg.counter("serve.ingest.lines").inc(lines)
+        reg.counter("codec.corrupt_lines", source="a.log").inc(1)
+        reg.gauge("serve.ingest.lag_lines").set(lag)
+        reg.histogram("serve.request.seconds", route="/flows").observe(0.1)
+        return reg.snapshot()
+
+    def test_counters_sum_unlabeled(self):
+        local = MetricsRegistry()
+        merged = merge_shard_snapshots(
+            local.snapshot(),
+            [(0, self._shard_snap(10, 1.0)), (1, self._shard_snap(32, 2.0))],
+        )
+        assert merged.counters["serve.ingest.lines"] == 42
+        assert merged.counters["codec.corrupt_lines{source=a.log}"] == 2
+
+    def test_gauges_and_histograms_get_shard_labels(self):
+        local = MetricsRegistry()
+        local.gauge("serve.ingest.lag_lines").set(0.0)  # the router's own
+        merged = merge_shard_snapshots(
+            local.snapshot(),
+            [(0, self._shard_snap(1, 3.0)), (1, self._shard_snap(1, 4.0))],
+        )
+        assert merged.gauges["serve.ingest.lag_lines"] == 0.0
+        assert merged.gauges["serve.ingest.lag_lines{shard=0}"] == 3.0
+        assert merged.gauges["serve.ingest.lag_lines{shard=1}"] == 4.0
+        # existing labels stay, and the label set is re-sorted canonically
+        assert (
+            "serve.request.seconds{route=/flows,shard=0}" in merged.histograms
+        )
+
+    def test_local_counters_also_participate_in_the_sum(self):
+        local = MetricsRegistry()
+        local.counter("serve.requests", route="/flows", code=200).inc(5)
+        merged = merge_shard_snapshots(
+            local.snapshot(), [(0, self._shard_snap(1, 0.0))]
+        )
+        assert merged.counters["serve.requests{code=200,route=/flows}"] == 5
+        assert merged.counters["serve.ingest.lines"] == 1

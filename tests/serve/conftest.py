@@ -15,16 +15,18 @@ a stream writer open.
 
 import asyncio
 import asyncio.runners
+import json
 import time
 import weakref
 
 import pytest
 
 from repro.cli import main
+from repro.serve.shard import TASK_LEDGER_ENV
 
 
 @pytest.fixture(autouse=True)
-def task_ledger(monkeypatch):
+def task_ledger(monkeypatch, tmp_path):
     """Fail tests that leak asyncio tasks or unclosed stream writers.
 
     A task still pending when ``asyncio.run`` tears the loop down got
@@ -32,7 +34,17 @@ def task_ledger(monkeypatch):
     the PR 5 leaked reader tasks hid until shutdown hung.  Writers are
     tracked via a WeakSet; any writer still alive after the test must at
     least have ``close()`` called (``is_closing``).
+
+    The same check crosses the process boundary: ``TASK_LEDGER_ENV``
+    points shard subprocesses (``--shards > 1`` clusters) at a directory
+    where :func:`repro.serve.shard._install_child_task_ledger` reports
+    leaks at *their* loop teardown; any report file collected after the
+    test fails it.  Router tasks run in-process and are covered by the
+    monkeypatched hook directly.
     """
+    ledger_dir = tmp_path / "task-ledger"
+    ledger_dir.mkdir()
+    monkeypatch.setenv(TASK_LEDGER_ENV, str(ledger_dir))
     leaked: list[str] = []
     writers: "weakref.WeakSet[asyncio.StreamWriter]" = weakref.WeakSet()
 
@@ -68,6 +80,13 @@ def task_ledger(monkeypatch):
         time.sleep(0.02)
         unclosed = [repr(w) for w in writers if not w.is_closing()]
     assert not unclosed, f"test left stream writers open: {unclosed}"
+    child_reports = {
+        report.name: json.loads(report.read_text())
+        for report in sorted(ledger_dir.glob("shard-leaks-*.json"))
+    }
+    assert not child_reports, (
+        f"shard subprocesses leaked asyncio tasks: {child_reports}"
+    )
 
 
 @pytest.fixture(scope="session")

@@ -6,14 +6,29 @@ import pytest
 
 from repro.core.backends.incremental import IncrementalBackend
 from repro.core.serialize import dumps_canonical, flows_to_json, reports_to_json
-from repro.core.session import ReconstructionSession
+from repro.core.session import (
+    ReconstructionSession,
+    merge_session_states,
+    split_session_state,
+)
+from repro.events.packet import PacketKey
 from repro.events.store import load_store
 from repro.serve.checkpoint import (
     CHECKPOINT_VERSION,
+    MANIFEST_VERSION,
     Checkpoint,
+    ClusterManifest,
+    gc_shard_files,
     load_checkpoint,
+    load_manifest,
+    merge_checkpoints,
+    reshard_checkpoint,
+    reshard_manifest,
     save_checkpoint,
+    save_manifest,
+    shard_checkpoint_path,
 )
+from repro.serve.sharding import shard_for_key, shard_for_line, shard_for_packet
 
 
 def _session(store_dir, **kwargs):
@@ -102,3 +117,159 @@ class TestSessionStateRoundTrip:
         session = _session(store)
         with pytest.raises(ValueError, match="version"):
             session.restore_state({"version": 999})
+
+
+class TestShardHash:
+    def test_deterministic_and_stable(self):
+        # golden values: the hash is part of the on-disk contract (manifest
+        # shard files were partitioned with it), so it must never drift
+        assert shard_for_key(0, 0, 4) == shard_for_key(0, 0, 4)
+        golden = [shard_for_key(o, s, 4) for o, s in [(1, 1), (1, 2), (2, 1), (7, 99)]]
+        assert golden == [shard_for_key(o, s, 4) for o, s in [(1, 1), (1, 2), (2, 1), (7, 99)]]
+
+    def test_single_shard_is_always_zero(self):
+        assert shard_for_key(123, 456, 1) == 0
+        assert shard_for_line("garbage", 1) == 0
+
+    def test_spreads_across_shards(self):
+        seen = {
+            shard_for_key(origin, seq, 4)
+            for origin in range(8)
+            for seq in range(64)
+        }
+        assert seen == {0, 1, 2, 3}
+
+    def test_line_packet_and_key_forms_agree(self):
+        packet = PacketKey(origin=3, seq=17)
+        line = "node=3 type=send src=3 dst=0 pkt=p3.17 t=12"
+        assert shard_for_line(line, 4) == shard_for_packet(packet, 4)
+        assert shard_for_packet(packet, 4) == shard_for_key(3, 17, 4)
+
+    def test_keyless_lines_go_to_shard_zero(self):
+        assert shard_for_line("node=3 type=boot t=0", 4) == 0
+        # a pkt= substring inside another token is not a packet key
+        assert shard_for_line("node=3 type=x blobpkt=p1.2", 4) == shard_for_line(
+            "node=3 type=x", 4
+        )
+
+
+def _store_checkpoint(store_dir) -> Checkpoint:
+    loaded = load_store(store_dir)
+    session = _session(store_dir)
+    session.ingest({node: list(log) for node, log in loaded.logs.items()})
+    session.refresh()
+    return Checkpoint(
+        session_state=session.export_state(),
+        offsets={"node_0001.log": 42, "node_0002.log": 7},
+        corrupt_lines={"node_0001.log": 1},
+        lines_ingested=49,
+    )
+
+
+class TestClusterManifest:
+    def test_round_trip(self, tmp_path):
+        manifest = ClusterManifest(
+            shards=2,
+            epoch=3,
+            offsets={"a.log": 10},
+            lines_routed=10,
+            shard_files=("cp.shard00.e3.json", "cp.shard01.e3.json"),
+        )
+        path = save_manifest(tmp_path / "cp.json", manifest)
+        assert load_manifest(path) == manifest
+        assert json.loads(path.read_text())["version"] == MANIFEST_VERSION
+
+    def test_v1_file_is_not_a_manifest(self, tmp_path):
+        path = tmp_path / "cp.json"
+        save_checkpoint(path, Checkpoint(session_state={}))
+        with pytest.raises(ValueError, match="single-shard"):
+            load_manifest(path)
+
+    def test_manifest_is_not_a_v1_checkpoint(self, tmp_path):
+        path = save_manifest(
+            tmp_path / "cp.json",
+            ClusterManifest(shards=2, epoch=1, offsets={}, shard_files=()),
+        )
+        with pytest.raises(ValueError, match="--shards 2"):
+            load_checkpoint(path)
+
+    def test_shard_checkpoint_path_layout(self, tmp_path):
+        path = shard_checkpoint_path(tmp_path / "refill-checkpoint.json", 3, 12)
+        assert path.parent == tmp_path
+        assert path.name == "refill-checkpoint.shard03.e12.json"
+
+    def test_gc_removes_only_stale_epochs(self, tmp_path):
+        manifest_path = tmp_path / "cp.json"
+        keep = shard_checkpoint_path(manifest_path, 0, 2)
+        stale = shard_checkpoint_path(manifest_path, 0, 1)
+        other = tmp_path / "unrelated.json"
+        for p in (keep, stale, other):
+            p.write_text("{}")
+        manifest = ClusterManifest(
+            shards=1, epoch=2, offsets={}, shard_files=(keep.name,)
+        )
+        save_manifest(manifest_path, manifest)
+        removed = gc_shard_files(manifest_path, manifest)
+        assert removed == [stale]
+        assert keep.exists() and other.exists() and not stale.exists()
+
+
+class TestReshard:
+    def test_split_then_merge_is_identity(self, store):
+        checkpoint = _store_checkpoint(store)
+        parts = reshard_checkpoint(checkpoint, 3)
+        assert len(parts) == 3
+        merged = merge_checkpoints(parts)
+        assert merged.session_state == checkpoint.session_state
+        assert merged.offsets == checkpoint.offsets
+        assert merged.corrupt_lines == checkpoint.corrupt_lines
+        assert merged.lines_ingested == checkpoint.lines_ingested
+
+    def test_offsets_stay_on_shard_zero(self, store):
+        checkpoint = _store_checkpoint(store)
+        parts = reshard_checkpoint(checkpoint, 3)
+        assert parts[0].offsets == checkpoint.offsets
+        assert parts[0].lines_ingested == checkpoint.lines_ingested
+        for part in parts[1:]:
+            assert part.offsets == {}
+            assert part.lines_ingested == 0
+
+    def test_partition_follows_the_cluster_hash(self, store):
+        checkpoint = _store_checkpoint(store)
+        parts = reshard_checkpoint(checkpoint, 4)
+        for index, part in enumerate(parts):
+            for packet in part.session_state["flows"]:
+                assert shard_for_packet(PacketKey.parse(packet), 4) == index
+
+    def test_split_session_state_rejects_unknown_version(self):
+        with pytest.raises(ValueError, match="version"):
+            split_session_state({"version": 99}, 2, lambda p: 0)
+
+    def test_merge_session_states_restores_canonical_order(self, store):
+        checkpoint = _store_checkpoint(store)
+        state = checkpoint.session_state
+        parts = split_session_state(
+            state, 2, lambda p: shard_for_packet(p, 2)
+        )
+        merged = merge_session_states(list(reversed(parts)))
+        assert dumps_canonical(merged) == dumps_canonical(state)
+
+    def test_reshard_manifest_offline(self, store, tmp_path):
+        """The documented rebalancing runbook: stop, reshard, restart."""
+        path = tmp_path / "cp.json"
+        save_checkpoint(path, _store_checkpoint(store))  # v1 input works too
+        manifest = reshard_manifest(path, 3)
+        assert manifest.shards == 3
+        assert load_manifest(path) == manifest
+        files = [tmp_path / name for name in manifest.shard_files]
+        assert all(f.exists() for f in files)
+        merged = merge_checkpoints([load_checkpoint(f) for f in files])
+        assert merged.session_state == _store_checkpoint(store).session_state
+
+        # rebalance again, manifest → manifest, and check the old epoch's
+        # files are gone
+        second = reshard_manifest(path, 2)
+        assert second.shards == 2
+        assert second.epoch == manifest.epoch + 1
+        remaining = sorted(p.name for p in tmp_path.glob("cp.shard*.json"))
+        assert remaining == sorted(second.shard_files)
