@@ -99,9 +99,34 @@ def test_serve_ingest_and_query_latency(emit, serve_shards):
         and summary["count"] > 0
     }
 
+    # Per-stage span breakdown: the single "ingest" row conflates wire
+    # decode with session/inference time — the daemon's own span histograms
+    # (serve.decode vs serve.ingest.batch vs serve.refresh) attribute the
+    # wall clock to pipeline stages.  Shard-labeled copies (with
+    # --serve-shards) partition the same work and are summed in.
+    stages: dict[str, dict[str, float]] = {}
+    for name, s in snap["histograms"].items():
+        if not name.startswith("span.serve."):
+            continue
+        stage = name[len("span.") :].partition("{")[0]
+        agg = stages.setdefault(stage, {"count": 0, "seconds": 0.0})
+        agg["count"] += s["count"]
+        agg["seconds"] += s["total"]
+
     rows = [
         ("ingest", len(lines), round(ingest_elapsed, 3), int(lines_per_s), "-"),
     ]
+    for stage in sorted(stages):
+        agg = stages[stage]
+        rows.append(
+            (
+                f"  {stage}",
+                int(agg["count"]),
+                round(agg["seconds"], 3),
+                "-",
+                "-",
+            )
+        )
     for route in sorted(latency):
         s = latency[route]
         rows.append(
@@ -138,6 +163,13 @@ def test_serve_ingest_and_query_latency(emit, serve_shards):
         "ingest": {
             "seconds": round(ingest_elapsed, 4),
             "lines_per_s": round(lines_per_s, 1),
+        },
+        "stages": {
+            stage: {
+                "count": int(agg["count"]),
+                "seconds": round(agg["seconds"], 4),
+            }
+            for stage, agg in sorted(stages.items())
         },
         "query_seconds": {
             route: {

@@ -94,10 +94,17 @@ class ExecutionBackend(abc.ABC):
     def _reconstruct_serially(
         self, groups: Iterable[PacketGroup]
     ) -> Iterator[tuple[PacketKey, EventFlow]]:
-        """The one group→flow loop every in-process path shares."""
+        """The one group→flow loop every in-process path shares.
+
+        One :class:`PacketReconstructor` is reused across the whole batch —
+        ``reconstruct`` resets every per-packet structure, so only the packet
+        key needs rebinding, and the template/options plumbing is paid once
+        per batch instead of once per packet.
+        """
         plan = self._plan()
+        reconstructor = PacketReconstructor(plan.template, None, plan.options)
         for packet, events_by_node in groups:
-            reconstructor = PacketReconstructor(plan.template, packet, plan.options)
+            reconstructor.packet = packet
             yield packet, reconstructor.reconstruct(events_by_node)
 
     def _plan(self) -> ExecutionPlan:

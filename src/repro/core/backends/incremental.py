@@ -53,8 +53,13 @@ class IncrementalBackend(ExecutionBackend):
         return ()
 
     def finish(self) -> Iterator[tuple[PacketKey, EventFlow]]:
-        for packet in sorted(self.dirty):
-            yield from self._reconstruct_serially([(packet, self._events[packet])])
+        # One serial pass over the whole dirty set: refresh cost scales with
+        # the dirtied packets, and the per-batch reconstructor setup in
+        # ``_reconstruct_serially`` is paid once instead of once per packet.
+        events = self._events
+        yield from self._reconstruct_serially(
+            (packet, events[packet]) for packet in sorted(self.dirty)
+        )
         self.dirty.clear()
 
     def close(self) -> None:

@@ -24,9 +24,15 @@ class PacketContext:
     transition algorithm processes events in reconstructed order.
     """
 
+    __slots__ = ("_upstream", "_downstream", "version")
+
     def __init__(self) -> None:
         self._upstream: dict[int, int] = {}
         self._downstream: dict[int, int] = {}
+        #: Bumped whenever a relation actually changes.  Engines key their
+        #: cached admissible-edge masks on it: admissibility predicates only
+        #: read the context, so an unchanged version means an unchanged mask.
+        self.version = 0
 
     def upstream(self, node: int) -> Optional[int]:
         """Known sender that forwarded the packet to ``node``."""
@@ -36,19 +42,32 @@ class PacketContext:
         """Known next hop of ``node`` for this packet."""
         return self._downstream.get(node)
 
-    def note(self, event: Event, *, overwrite: bool = True) -> None:
+    def note(self, event: Event, overwrite: bool = True) -> None:
         """Learn neighbour relations from a processed event."""
-        if event.src is None or event.dst is None:
+        src, dst = event.src, event.dst
+        if src is None or dst is None:
             return
-        self._set(self._downstream, event.src, event.dst, overwrite)
-        self._set(self._upstream, event.dst, event.src, overwrite)
+        downstream, upstream = self._downstream, self._upstream
+        if (overwrite or src not in downstream) and downstream.get(src) != dst:
+            downstream[src] = dst
+            self.version += 1
+        if (overwrite or dst not in upstream) and upstream.get(dst) != src:
+            upstream[dst] = src
+            self.version += 1
 
     def preseed(self, events: Iterable[Event]) -> None:
         """Learn from not-yet-processed events without overwriting."""
+        downstream, upstream = self._downstream, self._upstream
+        bumps = 0
         for event in events:
-            self.note(event, overwrite=False)
+            src, dst = event.src, event.dst
+            if src is None or dst is None:
+                continue
+            if src not in downstream:
+                downstream[src] = dst
+                bumps += 1
+            if dst not in upstream:
+                upstream[dst] = src
+                bumps += 1
+        self.version += bumps
 
-    @staticmethod
-    def _set(table: dict[int, int], key: int, value: int, overwrite: bool) -> None:
-        if overwrite or key not in table:
-            table[key] = value

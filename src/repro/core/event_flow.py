@@ -64,6 +64,8 @@ class EventFlow:
         self.visited_states: dict[int, frozenset[str]] = {}
         # happens-before edges between entry indices (i before j).
         self._hb: set[tuple[int, int]] = set()
+        #: Count of inferred entries, maintained by :meth:`append`.
+        self.inferred_count = 0
 
     # ------------------------------------------------------------------ #
     # construction (used by the transition algorithm)
@@ -77,12 +79,17 @@ class EventFlow:
         provenance: str = "logged",
     ) -> int:
         """Append an entry; ``after`` are indices that happen before it."""
-        index = len(self.entries)
-        self.entries.append(FlowEntry(event, inferred, provenance))
-        for i in after:
-            if not 0 <= i < index:
-                raise ValueError(f"happens-before index {i} out of range")
-            self._hb.add((i, index))
+        entries = self.entries
+        index = len(entries)
+        entries.append(FlowEntry(event, inferred, provenance))
+        if inferred:
+            self.inferred_count += 1
+        if after:
+            hb = self._hb
+            for i in after:
+                if not 0 <= i < index:
+                    raise ValueError(f"happens-before index {i} out of range")
+                hb.add((i, index))
         return index
 
     def add_order(self, before: int, after: int) -> None:

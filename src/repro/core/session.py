@@ -36,6 +36,7 @@ from repro.core.transition_algorithm import (
     ReconstructorOptions,
     TemplateFor,
 )
+from repro.events.codec import intern_vocabulary
 from repro.events.event import Event
 from repro.events.log import NodeLog
 from repro.events.merge import (
@@ -357,6 +358,11 @@ class ReconstructionSession:
 
     def _start_backend(self) -> None:
         if not self._started:
+            if isinstance(self.template, FsmTemplate):
+                # Pre-register the template's event vocabulary so the decode
+                # fast path interns every expected label up front (one shared
+                # str per label, bytes spellings included).
+                intern_vocabulary(self.template.graph.events)
             self.backend.start(self.plan())
             self._started = True
 

@@ -25,14 +25,14 @@ the connected inference engines:
 
 from __future__ import annotations
 
-from collections import Counter, deque
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Mapping, Optional, Sequence
 
 from repro.events.event import Event
 from repro.events.packet import PacketKey
 from repro.core.context import PacketContext
-from repro.core.engine import EngineInstance
+from repro.core.engine import EngineInstance, Selection
 from repro.core.event_flow import EventFlow
 from repro.fsm.templates import FsmTemplate
 from repro.obs.registry import MetricsRegistry, get_registry
@@ -126,6 +126,10 @@ class PacketReconstructor:
             self._template_for = template_for
         self.packet = packet
         self.options = options
+        # hot-loop copies of the (frozen) option switches
+        self._intra = options.enable_intra
+        self._inter = options.enable_inter
+        self._max_depth = options.max_depth
 
     # ------------------------------------------------------------------ #
 
@@ -146,7 +150,7 @@ class PacketReconstructor:
             self.ctx.preseed(queue)
         #: Per-consumer prerequisite demand counts; key is
         #: (consumer node, event label, peer node, prerequisite state).
-        self._demands: Counter[tuple[int, str, int, str]] = Counter()
+        self._demands: dict[tuple[int, str, int, tuple[str, ...]], int] = {}
         self._driving: set[tuple[int, str]] = set()
         self._depth = 0
 
@@ -155,24 +159,27 @@ class PacketReconstructor:
             progressed = False
             for node in rotation:
                 queue = self.queues[node]
+                engine = self._engine(node) if queue else None
                 while queue:
-                    engine = self._engine(node)
                     head = queue[0]
-                    if self._select(engine, head.etype) is None:
+                    selection = self._select(engine, head.etype)
+                    if selection is None:
                         break  # temporarily unprocessable; revisit next pass
                     queue.popleft()
-                    self._process(head, inferred=False)
+                    self._process(head, False, None, "logged", selection)
                     progressed = True
             if not progressed:
                 self._omit_one(rotation)
 
         for node, engine in sorted(self.engines.items()):
             self.flow.final_states[node] = engine.state
-            self.flow.visited_states[node] = frozenset(engine.visited)
+            # every state the engine entered: the initial state plus all
+            # fired targets — exactly the visit-count keys
+            self.flow.visited_states[node] = frozenset(engine.visit_count)
 
         m = self.metrics
         m.packets.inc()
-        inferred = sum(1 for entry in self.flow.entries if entry.inferred)
+        inferred = self.flow.inferred_count
         m.events_inferred.inc(inferred)
         m.events_logged.inc(len(self.flow.entries) - inferred)
         m.events_omitted.inc(len(self.flow.omitted))
@@ -201,7 +208,7 @@ class PacketReconstructor:
 
     def _select(self, engine: EngineInstance, label: str):
         selection = engine.select(label)
-        if selection is not None and selection.kind == "intra" and not self.options.enable_intra:
+        if selection is not None and not self._intra and selection.kind == "intra":
             return None
         return selection
 
@@ -217,19 +224,26 @@ class PacketReconstructor:
     def _process(
         self,
         event: Event,
-        *,
         inferred: bool,
         forced_target: Optional[str] = None,
         provenance: str = "logged",
+        selection: Optional[Selection] = None,
     ) -> None:
-        """Steps 1-2 for one event, with recursive prerequisite resolution."""
-        if self._depth >= self.options.max_depth:
+        """Steps 1-2 for one event, with recursive prerequisite resolution.
+
+        ``selection`` lets the caller hand over a selection it already made
+        at the engine's current state (the main loop probes before it pops),
+        saving the re-probe; it is ignored under ``forced_target``.
+        """
+        if self._depth >= self._max_depth:
             self.flow.anomalies.append(f"recursion limit while processing {event}")
             self.flow.omitted.append(event)
             return
         self._depth += 1
         try:
-            engine = self._engine(event.node)
+            engine = self.engines.get(event.node)
+            if engine is None:
+                engine = self._engine(event.node)
             template = engine.template
             label = event.etype
 
@@ -237,7 +251,8 @@ class PacketReconstructor:
                 target = forced_target
                 prefix = []
             else:
-                selection = self._select(engine, label)
+                if selection is None:
+                    selection = self._select(engine, label)
                 if selection is None:
                     self.flow.omitted.append(event)
                     return
@@ -253,16 +268,14 @@ class PacketReconstructor:
             for edge in prefix:
                 lost = template.realize_event(edge.event, event.node, self.packet, self.ctx)
                 self._process(
-                    lost,
-                    inferred=True,
-                    forced_target=edge.dst,
-                    provenance=f"intra: skipped by {event.pair_label()}",
+                    lost, True, edge.dst, f"intra: skipped by {event.pair_label()}"
                 )
 
             # Step 3: inter-node prerequisites of this event.
             prereq_entries: list[int] = []
-            if self.options.enable_inter:
-                for rule in template.prereq_rules(label):
+            rules = template.prereqs.get(label) if self._inter else None
+            if rules:
+                for rule in rules:
                     peers = rule.resolve_nodes(event)
                     if not peers:
                         self.flow.anomalies.append(
@@ -280,14 +293,21 @@ class PacketReconstructor:
                             prereq_entries.append(entry)
 
             # Fire and emit.
-            after = list(prereq_entries)
-            if engine.last_entry is not None:
-                after.append(engine.last_entry)
+            last = engine.last_entry
+            after: Sequence[int]
+            if prereq_entries:
+                if last is not None:
+                    prereq_entries.append(last)
+                after = sorted(set(prereq_entries))
+            elif last is not None:
+                after = (last,)
+            else:
+                after = ()
             index = self.flow.append(
-                event, inferred=inferred, after=sorted(set(after)), provenance=provenance
+                event, inferred=inferred, after=after, provenance=provenance
             )
             engine.fire(target, index)
-            self.ctx.note(event, overwrite=not inferred)
+            self.ctx.note(event, not inferred)
         finally:
             self._depth -= 1
 
@@ -306,10 +326,12 @@ class PacketReconstructor:
         state or the demand could not be met.
         """
         demand_key = (consumer, label, peer, states)
-        self._demands[demand_key] += 1
-        demand = self._demands[demand_key]
+        demand = self._demands.get(demand_key, 0) + 1
+        self._demands[demand_key] = demand
         self.metrics.trans_inter.inc()
-        engine = self._engine(peer)
+        engine = self.engines.get(peer)
+        if engine is None:
+            engine = self._engine(peer)
         if engine.visits_of(states) < demand:
             self._drive(
                 peer, states, demand,
@@ -359,7 +381,7 @@ class PacketReconstructor:
                 edge = path[0]
                 lost = engine.template.realize_event(edge.event, node, self.packet, self.ctx)
                 before = len(engine.trajectory)
-                self._process(lost, inferred=True, forced_target=edge.dst, provenance=reason)
+                self._process(lost, True, edge.dst, reason)
                 if len(engine.trajectory) == before:
                     # the inferred step could not fire (e.g. depth limit):
                     # abort the drive instead of spinning
@@ -391,9 +413,8 @@ class PacketReconstructor:
             if after is None or after >= distance:
                 return False
         queue.popleft()
-        self._process(head, inferred=False)
+        self._process(head, False)
         return True
 
     def _distance_from(self, engine: EngineInstance, start: str, target: str) -> Optional[int]:
-        path = engine.template.reach.shortest_path(start, target, engine.edge_filter(self.ctx))
-        return None if path is None else len(path)
+        return engine.distance_between(start, target, self.ctx)

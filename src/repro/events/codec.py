@@ -8,18 +8,31 @@ format so logs can be written to disk, shipped around and re-parsed:
 
 Fields after ``type`` are optional; unknown keys round-trip through the
 event's ``info`` mapping.
+
+Decoding is two-tiered.  A fast tokenizer handles the canonical field order
+:func:`encode_event` emits (one whitespace split, positional field slices,
+no intermediate dicts) and *refuses* anything irregular — out-of-order or
+duplicate fields, malformed numbers, non-canonical spacing — by returning
+``None``, at which point the legacy token-loop parser re-parses the line
+with byte-identical accept/reject semantics and error messages.  The fast
+path may only ever produce exactly the event the legacy parser would have
+produced; equivalence is pinned by the differential corpus suite and the
+Hypothesis properties in ``tests/events/``.
 """
 
 from __future__ import annotations
 
+import re
+import sys
 from dataclasses import dataclass
-from typing import Any, Iterable, Iterator, Union
+from typing import Any, Iterable, Iterator, Optional, Union
 
 from repro.events.event import Event
 from repro.events.log import NodeLog
 from repro.events.packet import PacketKey
 
 _RESERVED = ("node", "type", "src", "dst", "pkt", "t")
+_RESERVED_SET = frozenset(_RESERVED)
 
 
 @dataclass(frozen=True, slots=True)
@@ -40,13 +53,74 @@ def scan_log_text(text: str) -> Iterator[tuple[int, Union[Event, DecodeIssue]]]:
     tolerant store loader and the ``refill check`` corpus lint, so the two
     always agree on what counts as a corrupt line.
     """
+    fast = _decode_fast
+    strict = _decode_event_strict
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line or line.isspace():
+            continue
+        event = fast(line)
+        if event is not None:
+            yield lineno, event
+        else:
+            try:
+                yield lineno, strict(line)
+            except ValueError as exc:
+                yield lineno, DecodeIssue(lineno, line, str(exc))
+
+
+def scan_log_text_legacy(
+    text: str,
+) -> Iterator[tuple[int, Union[Event, DecodeIssue]]]:
+    """The pre-tokenizer reference scanner (legacy token-loop parser only).
+
+    Semantically identical to :func:`scan_log_text`; kept callable so the
+    differential suites can pin the fast tokenizer against it byte for byte.
+    """
     for lineno, line in enumerate(text.splitlines(), start=1):
         if not line.strip():
             continue
         try:
-            yield lineno, decode_event(line)
+            yield lineno, _decode_event_strict(line)
         except ValueError as exc:
             yield lineno, DecodeIssue(lineno, line, str(exc))
+
+
+#: Bytes whose line-framing or whitespace semantics differ between ``bytes``
+#: and ``str`` (``str.splitlines`` breaks on \\v \\f \\x1c-\\x1e, and
+#: \\x1c-\\x1f are ``str``-whitespace but not ``bytes``-whitespace).  Any
+#: hit sends the whole buffer through the str scanner instead.
+_EXOTIC_BYTES = re.compile(rb"[\r\x0b\x0c\x1c\x1d\x1e\x1f]")
+
+
+def scan_log_bytes(data: bytes) -> Iterator[tuple[int, Union[Event, DecodeIssue]]]:
+    """:func:`scan_log_text` over raw bytes, with a bytes-level fast path.
+
+    One pre-scan decides whether the buffer is plain ASCII framed only by
+    ``\\n``; if so, lines are framed and tokenized as bytes and each field
+    is converted directly (``int``/``float`` accept ASCII bytes), so the
+    only per-line str decode is the short event-type label — or, on any
+    irregular line, the one-off decode feeding the legacy fallback.
+    Buffers that fail the pre-scan take the exact legacy route
+    (``data.decode("utf-8")`` + :func:`scan_log_text`), including its
+    ``UnicodeDecodeError`` on undecodable input.
+    """
+    if not data.isascii() or _EXOTIC_BYTES.search(data) is not None:
+        yield from scan_log_text(data.decode("utf-8"))
+        return
+    fast = _decode_fast_bytes
+    strict = _decode_event_strict
+    for lineno, raw in enumerate(data.split(b"\n"), start=1):
+        if not raw or raw.isspace():
+            continue
+        event = fast(raw)
+        if event is not None:
+            yield lineno, event
+        else:
+            line = raw.decode("ascii")
+            try:
+                yield lineno, strict(line)
+            except ValueError as exc:
+                yield lineno, DecodeIssue(lineno, line, str(exc))
 
 
 class LineAssembler:
@@ -111,7 +185,22 @@ def encode_event(event: Event) -> str:
 def decode_event(line: str) -> Event:
     """Parse one log line back into an :class:`Event`.
 
-    Values of unknown keys are kept as strings in ``info``.
+    Values of unknown keys are kept as strings in ``info``.  Canonical
+    lines take the fast tokenizer; anything irregular falls back to the
+    legacy parser, which raises the same ``ValueError`` it always has.
+    """
+    event = _decode_fast(line)
+    if event is not None:
+        return event
+    return _decode_event_strict(line)
+
+
+def _decode_event_strict(line: str) -> Event:
+    """The legacy token-loop parser — the codec's semantic reference.
+
+    Every irregular line ends up here, so its accept/reject behavior and
+    error messages define the format; the fast tokenizer may only shortcut
+    lines this parser would accept with the identical result.
     """
     fields: dict[str, str] = {}
     info: dict[str, str] = {}
@@ -134,6 +223,153 @@ def decode_event(line: str) -> Event:
         time=float(fields["t"]) if "t" in fields else None,
         **info,
     )
+
+
+#: Interned event-type vocabulary: every decoded label becomes the one
+#: shared string object, so downstream ``(state, label)`` table lookups hit
+#: pointer-equality fast paths.  Sessions pre-register their template's
+#: labels via :func:`intern_vocabulary`.
+_LABELS: dict[Union[str, bytes], str] = {}
+
+#: Memoized ``p<origin>.<seq>`` parses (``str`` and ``bytes`` spellings).
+#: A corpus mentions each packet on many lines; parsing each key once makes
+#: the pkt field a dict hit.  Bounded defensively — a long-lived daemon
+#: fed unbounded distinct keys must not grow without limit.
+_PACKETS: dict[Union[str, bytes], PacketKey] = {}
+_PACKETS_MAX = 1 << 16
+
+
+def intern_vocabulary(labels: Iterable[str]) -> None:
+    """Pre-register event-type labels in the decoder's intern table."""
+    for label in labels:
+        label = sys.intern(label)
+        _LABELS[label] = label
+        if label.isascii():
+            _LABELS[label.encode("ascii")] = label
+
+
+def _intern_label(text: Union[str, bytes]) -> str:
+    label = _LABELS.get(text)
+    if label is None:
+        label = sys.intern(text if isinstance(text, str) else text.decode("ascii"))
+        if len(_LABELS) < _PACKETS_MAX:
+            _LABELS[text] = label
+    return label
+
+
+def _parse_packet(text: Union[str, bytes]) -> PacketKey:
+    packet = _PACKETS.get(text)
+    if packet is None:
+        if len(_PACKETS) >= _PACKETS_MAX:
+            _PACKETS.clear()
+        spelled = text if isinstance(text, str) else text.decode("ascii")
+        packet = PacketKey.parse(spelled)  # ValueError falls through
+        _PACKETS[text] = packet
+    return packet
+
+
+def _decode_fast(line: str) -> Optional[Event]:
+    """Decode a canonical-order line in one pass; ``None`` defers to the
+    legacy parser (never-wrong contract: any returned event is exactly what
+    :func:`_decode_event_strict` would produce for the same line)."""
+    tokens = line.split()
+    n = len(tokens)
+    if n < 2:
+        return None
+    t0, t1 = tokens[0], tokens[1]
+    if t0[:5] != "node=" or t1[:5] != "type=":
+        return None
+    try:
+        node = int(t0[5:])
+    except ValueError:
+        return None
+    etype = _intern_label(t1[5:])
+    src = dst = packet = time_ = None
+    i = 2
+    try:
+        if i < n and tokens[i][:4] == "src=":
+            src = int(tokens[i][4:])
+            i += 1
+        if i < n and tokens[i][:4] == "dst=":
+            dst = int(tokens[i][4:])
+            i += 1
+        if i < n and tokens[i][:4] == "pkt=":
+            packet = _parse_packet(tokens[i][4:])
+            i += 1
+        if i < n and tokens[i][:2] == "t=":
+            time_ = float(tokens[i][2:])
+            i += 1
+    except ValueError:
+        return None
+    if i == n:
+        return Event(etype, node, src, dst, packet, time_)
+    info: list[tuple[str, str]] = []
+    keys: list[str] = []
+    for token in tokens[i:]:
+        eq = token.find("=")
+        if eq < 1:
+            return None
+        key = token[:eq]
+        if key in _RESERVED_SET or key in keys:
+            return None  # non-canonical order or duplicate: legacy decides
+        keys.append(key)
+        info.append((key, token[eq + 1 :]))
+    info.sort()
+    return Event(etype, node, src, dst, packet, time_, tuple(info))
+
+
+def _decode_fast_bytes(raw: bytes) -> Optional[Event]:
+    """Bytes twin of :func:`_decode_fast` for the ASCII corpus fast path.
+
+    Numeric fields convert straight from bytes (``int``/``float`` accept
+    ASCII digits); only the event-type label and any info tail are decoded
+    to str.  Caller guarantees ``raw`` is ASCII with no exotic whitespace,
+    which makes ``bytes.split`` agree with ``str.split`` exactly.
+    """
+    tokens = raw.split()
+    n = len(tokens)
+    if n < 2:
+        return None
+    t0, t1 = tokens[0], tokens[1]
+    if t0[:5] != b"node=" or t1[:5] != b"type=":
+        return None
+    try:
+        node = int(t0[5:])
+    except ValueError:
+        return None
+    etype = _intern_label(t1[5:])
+    src = dst = packet = time_ = None
+    i = 2
+    try:
+        if i < n and tokens[i][:4] == b"src=":
+            src = int(tokens[i][4:])
+            i += 1
+        if i < n and tokens[i][:4] == b"dst=":
+            dst = int(tokens[i][4:])
+            i += 1
+        if i < n and tokens[i][:4] == b"pkt=":
+            packet = _parse_packet(tokens[i][4:])
+            i += 1
+        if i < n and tokens[i][:2] == b"t=":
+            time_ = float(tokens[i][2:])
+            i += 1
+    except ValueError:
+        return None
+    if i == n:
+        return Event(etype, node, src, dst, packet, time_)
+    info: list[tuple[str, str]] = []
+    keys: list[str] = []
+    for token in tokens[i:]:
+        eq = token.find(b"=")
+        if eq < 1:
+            return None
+        key = token[:eq].decode("ascii")
+        if key in _RESERVED_SET or key in keys:
+            return None
+        keys.append(key)
+        info.append((key, token[eq + 1 :].decode("ascii")))
+    info.sort()
+    return Event(etype, node, src, dst, packet, time_, tuple(info))
 
 
 def encode_log(log: NodeLog) -> str:

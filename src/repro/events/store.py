@@ -17,7 +17,7 @@ import pathlib
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping
 
-from repro.events.codec import DecodeIssue, encode_log, scan_log_text
+from repro.events.codec import DecodeIssue, encode_log, scan_log_bytes
 from repro.events.event import Event
 from repro.events.log import NodeLog
 
@@ -103,7 +103,9 @@ def _decode_shard(
     """Decode one ``node_*.log`` file: ``(log, bad_line_count)``."""
     events: list[Event] = []
     bad = 0
-    for _lineno, decoded in scan_log_text(file.read_text()):
+    # bytes in, tolerant scan: the ASCII fast path frames and tokenizes the
+    # raw buffer without a per-field str decode (see codec.scan_log_bytes)
+    for _lineno, decoded in scan_log_bytes(file.read_bytes()):
         if isinstance(decoded, DecodeIssue):
             if strict:
                 raise ValueError(decoded.error)

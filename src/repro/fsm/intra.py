@@ -24,6 +24,21 @@ from repro.fsm.reachability import Reachability
 
 
 @dataclass(frozen=True, slots=True)
+class Selection:
+    """Outcome of transition selection for an event label at a state.
+
+    Selection depends only on the template (normal transitions shadow
+    derived jumps), so templates precompute one frozen instance per
+    ``(state, label)`` pair and every engine shares the table.
+    """
+
+    #: ``"normal"`` or ``"intra"``.
+    kind: str
+    #: Destination state.
+    target: str
+
+
+@dataclass(frozen=True, slots=True)
 class IntraTransition:
     """A derived jump transition ``src --event--> dst``.
 

@@ -26,9 +26,20 @@ from typing import Callable, Mapping, Optional, Protocol, Sequence
 from repro.events.event import Event, EventType
 from repro.events.packet import PacketKey
 from repro.fsm.graph import Transition, TransitionGraph
-from repro.fsm.intra import IntraTransition, derive_intra_transitions
+from repro.fsm.intra import IntraTransition, Selection, derive_intra_transitions
 from repro.fsm.prerequisites import Peer, PrereqRule
-from repro.fsm.reachability import Reachability
+from repro.fsm.reachability import CompiledReachability, Reachability
+
+#: Hoisted label constants: ``EventType.X.value`` is an enum descriptor
+#: access, measurably hot when realizers/admissibility run per inferred
+#: event — the hot paths compare against these plain strings instead.
+_GEN = EventType.GEN.value
+_RECV = EventType.RECV.value
+_TRANS = EventType.TRANS.value
+_ACK = EventType.ACK.value
+_DUP = EventType.DUP.value
+_OVERFLOW = EventType.OVERFLOW.value
+_TIMEOUT = EventType.TIMEOUT.value
 
 
 class NeighborContext(Protocol):
@@ -72,6 +83,17 @@ class FsmTemplate:
         self._admissible = admissible
         self._realize = realize
         self._initial_for = initial_for
+        #: Compiled shortest-path tables shared by every engine instance.
+        self.compiled = CompiledReachability(graph)
+        #: Precomputed transition selection: normal transitions shadow
+        #: derived jumps, and among normal transitions the first declared
+        #: per (state, label) wins — the same precedence engines used to
+        #: re-derive on every select call.
+        self.select_table: dict[tuple[str, str], Selection] = {}
+        for t in graph.transitions:
+            self.select_table.setdefault((t.src, t.event), Selection("normal", t.dst))
+        for key, jump in self.intra.items():
+            self.select_table.setdefault(key, Selection("intra", jump.dst))
 
     # ------------------------------------------------------------------ #
 
@@ -178,9 +200,9 @@ def _forwarder_prereqs() -> dict[str, tuple[PrereqRule, ...]]:
 def _forwarder_admissible(
     t: Transition, node: int, packet: Optional[PacketKey], ctx: NeighborContext
 ) -> bool:
-    if t.event == EventType.GEN.value:
+    if t.event == _GEN:
         return packet is not None and node == packet.origin
-    if t.event == EventType.RECV.value and packet is not None and node == packet.origin:
+    if t.event == _RECV and packet is not None and node == packet.origin:
         # The origin can only "receive" its own packet through a routing
         # loop, which requires a known upstream sender.
         return ctx.upstream(node) is not None
@@ -190,12 +212,11 @@ def _forwarder_admissible(
 def _forwarder_realize(
     label: str, node: int, packet: Optional[PacketKey], ctx: NeighborContext
 ) -> Event:
-    e = EventType
-    if label == e.GEN.value:
+    if label == _GEN:
         return Event.make(label, node, packet=packet)
-    if label in (e.RECV.value, e.DUP.value, e.OVERFLOW.value):
+    if label in (_RECV, _DUP, _OVERFLOW):
         return Event.make(label, node, src=ctx.upstream(node), dst=node, packet=packet)
-    if label in (e.TRANS.value, e.ACK.value, e.TIMEOUT.value):
+    if label in (_TRANS, _ACK, _TIMEOUT):
         return Event.make(label, node, src=node, dst=ctx.downstream(node), packet=packet)
     return Event.make(label, node, packet=packet)
 

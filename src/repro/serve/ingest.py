@@ -60,6 +60,10 @@ class IngestItem:
     #: ``time.perf_counter()`` at enqueue; the consumer's dequeue observes
     #: the difference as ``serve.queue.wait.seconds``.
     enqueued_at: float = 0.0
+    #: True on the last batch of a closing connection: the source is done
+    #: sending, so the consumer may refresh immediately once the queue is
+    #: drained instead of waiting out a ``flush_interval`` idle gap.
+    flush: bool = False
 
 
 @dataclass
@@ -179,6 +183,21 @@ class IngestHub:
         accepted = 0
         first_line = True
         pending: list[str] = []
+        batch_limit = self.config.ingest_batch_lines
+        #: Data lines not yet folded into ``book.received`` — settled before
+        #: every await so concurrently-running coroutines (metrics, lag
+        #: gauges, HELLO offsets) observe exactly the per-line counts.
+        recv_pending = 0
+
+        def settle() -> None:
+            nonlocal recv_pending
+            if recv_pending:
+                if source is not None:
+                    self.book.received[source] = (
+                        self.book.received.get(source, 0) + recv_pending
+                    )
+                recv_pending = 0
+
         try:
             while True:
                 try:
@@ -200,7 +219,13 @@ class IngestHub:
                     # refill: no-cc010 -- one read per network chunk, not per line; the per-line form was the 34% regression
                     self.book.last_seen[source] = time.time()
                 for line in framed:
-                    word = protocol.control_word(line)
+                    # control_word strips and splits every line; a data line
+                    # can only be a control word if it is the first line
+                    # (HELLO) or literally contains "BYE", so skip the rest
+                    if first_line or "BYE" in line:
+                        word = protocol.control_word(line)
+                    else:
+                        word = None
                     if word == protocol.HELLO and first_line:
                         first_line = False
                         try:
@@ -241,9 +266,9 @@ class IngestHub:
                         continue
                     first_line = False
                     if word == protocol.BYE:
-                        if pending:
-                            await self._enqueue(source, node_bind, pending)
-                            pending = []
+                        settle()
+                        await self._enqueue(source, node_bind, pending, flush=True)
+                        pending = []
                         writer.write(
                             (protocol.format_ok(accepted=accepted) + "\n").encode()
                         )
@@ -251,17 +276,17 @@ class IngestHub:
                         return
                     pending.append(line)
                     accepted += 1
-                    if source is not None:
-                        self.book.received[source] = (
-                            self.book.received.get(source, 0) + 1
-                        )
-                    if len(pending) >= self.config.ingest_batch_lines:
+                    recv_pending += 1
+                    if len(pending) >= batch_limit:
+                        settle()
                         await self._enqueue(source, node_bind, pending)
                         pending = []
+                settle()
         except asyncio.CancelledError:
             # server shutdown: drop the un-enqueued tail instead of blocking
             # on the queue — the checkpoint records only *ingested* offsets,
             # so a reconnecting client is told to resend exactly these lines
+            settle()
             pending = []
             raise
         except (ConnectionError, asyncio.IncompleteReadError):
@@ -269,10 +294,11 @@ class IngestHub:
         except Exception as exc:  # noqa: BLE001 - isolate hostile peers
             _log.warning("ingest.connection-error", error=str(exc))
         finally:
+            settle()
             if source is not None:
                 self._active_sources.discard(source)
             if pending:
-                await self._enqueue(source, node_bind, pending)
+                await self._enqueue(source, node_bind, pending, flush=True)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -280,7 +306,11 @@ class IngestHub:
                 pass
 
     async def _enqueue(
-        self, source: Optional[str], node_bind: Optional[int], lines: list[str]
+        self,
+        source: Optional[str],
+        node_bind: Optional[int],
+        lines: list[str],
+        flush: bool = False,
     ) -> None:
         item = IngestItem(
             source,
@@ -288,6 +318,7 @@ class IngestHub:
             list(lines),
             trace_id=current_trace_id(),
             enqueued_at=time.perf_counter(),
+            flush=flush,
         )
         # the span times backpressure: a full queue parks this reader here
         with traced("serve.enqueue"):

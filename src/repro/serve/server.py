@@ -289,6 +289,15 @@ class RefillServer:
             else:
                 self._ingest_item(item)
                 self.hub.queue.task_done()
+                if (
+                    item.flush
+                    and self.hub.queue.empty()
+                    and self.session.pending
+                ):
+                    # last batch of a closed connection and nothing else
+                    # queued: refresh now instead of waiting out an idle gap
+                    with traced("serve.refresh", pending=self.session.pending):
+                        self.session.refresh()
                 self._update_gauges()
             if (
                 next_checkpoint is not None

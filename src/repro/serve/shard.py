@@ -208,6 +208,10 @@ class ShardWorker:
                 with traced("serve.ingest.batch"):
                     self.session.ingest(events_by_node)
         n = len(item.lines)
+        if not n:
+            # an empty flush marker (connection closed with nothing pending)
+            # must not touch the book or dirty the checkpoint
+            return
         source = item.source if item.source is not None else ANONYMOUS_SOURCE
         self.book.lines_ingested += n
         if item.source is not None:

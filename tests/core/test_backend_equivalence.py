@@ -179,6 +179,53 @@ def test_backends_byte_identical_on_corrupted_corpus(corrupted_corpus, config):
         assert inc_reports == serial_reports, label
 
 
+def test_incremental_batched_refresh_with_late_truncation_on_corrupted_corpus(
+    corrupted_corpus,
+):
+    """Regression pin for the batched dirty-set recomputation: ``refresh``
+    reconstructs the whole dirty set in one serial pass with a reused
+    reconstructor.  Refreshing after every shuffled batch — with one node's
+    tail lost after the early rounds and another vanishing entirely — must
+    stay byte-identical to a from-scratch serial run over the evidence that
+    was actually delivered."""
+    logs, bs = corrupted_corpus
+    options = CONFIGS["default"]
+    nodes = sorted(n for n in logs if n != bs and len(logs[n]) >= 3)
+    truncated, vanished = nodes[0], nodes[1]
+
+    batches = shuffled_segments(logs, 5, seed=61)
+    # the first two batches arrive whole; from then on the truncated and
+    # vanished nodes' remaining segments are lost
+    delivered = []
+    for i, batch in enumerate(batches):
+        if i >= 2:
+            batch = {
+                n: evs for n, evs in batch.items() if n not in (truncated, vanished)
+            }
+        if batch:
+            delivered.append(batch)
+
+    session = ReconstructionSession(
+        options=options, backend=IncrementalBackend(), delivery_node=bs
+    )
+    for batch in delivered:
+        session.ingest(batch)
+        session.refresh()  # one dirty-set recomputation per batch
+    inc_flows = session.flows()
+    inc_reports = session.reports()
+
+    union: dict[int, list] = {}
+    for batch in delivered:
+        for node, events in batch.items():
+            union.setdefault(node, []).extend(events)
+    union_logs = {node: NodeLog(node, events) for node, events in union.items()}
+    serial_flows, serial_reports, _ = run_backend(
+        union_logs, bs, options, SerialBackend()
+    )
+    assert canonical(inc_flows) == canonical(serial_flows)
+    assert inc_reports == serial_reports
+
+
 def test_incremental_counters_cover_every_packet(corpus):
     logs, bs = corpus
     _, reports, snap = run_backend(

@@ -4,6 +4,7 @@ The strategies live in :mod:`tests.strategies`, shared with the stress
 harness's tests — same event vocabulary, same garbling model.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -13,13 +14,21 @@ from repro.events.codec import (
     decode_log,
     encode_event,
     encode_log,
+    scan_log_bytes,
     scan_log_text,
+    scan_log_text_legacy,
 )
 from repro.events.event import Event
 from repro.events.log import NodeLog
 from repro.events.merge import group_by_packet, interleave_round_robin
 from repro.events.packet import PacketKey
-from tests.strategies import SAFE_TEXT, events, garbled_lines, packet_keys
+from tests.strategies import (
+    SAFE_TEXT,
+    events,
+    garbled_lines,
+    log_line_bytes,
+    packet_keys,
+)
 
 
 class TestCodecProperties:
@@ -68,6 +77,55 @@ class TestScannerProperties:
             decoded = len(store.logs.get(1, NodeLog(1)))
             corrupt = store.corrupt_lines.get(1, 0)
             assert decoded + corrupt == sum(1 for line in lines if line.strip())
+
+
+#: Raw wire buffers: damaged lines joined by \n, sometimes with a tail
+#: that has no trailing newline.
+_wire_buffers = st.lists(log_line_bytes(), max_size=8).map(b"\n".join)
+
+
+class TestBytesScannerProperties:
+    """The byte-level tokenizer is observationally identical to the legacy
+    str scanner on *arbitrary* byte input — valid, garbled, truncated
+    mid-UTF-8, or framed with exotic separators."""
+
+    @given(_wire_buffers)
+    @settings(max_examples=200)
+    def test_bytes_scanner_matches_legacy_scanner(self, data):
+        """``scan_log_bytes`` and ``scan_log_text`` yield exactly what the
+        legacy scanner yields (repr-compared: events can carry nan).  On
+        undecodable input the bytes scanner raises ``UnicodeDecodeError``
+        exactly like ``data.decode("utf-8")`` would."""
+        try:
+            text = data.decode("utf-8")
+        except UnicodeDecodeError:
+            with pytest.raises(UnicodeDecodeError):
+                list(scan_log_bytes(data))
+            return
+        reference = [
+            (lineno, repr(decoded)) for lineno, decoded in scan_log_text_legacy(text)
+        ]
+        assert [
+            (lineno, repr(decoded)) for lineno, decoded in scan_log_text(text)
+        ] == reference
+        assert [
+            (lineno, repr(decoded)) for lineno, decoded in scan_log_bytes(data)
+        ] == reference
+
+    @given(_wire_buffers)
+    @settings(max_examples=200)
+    def test_bytes_scanner_never_raises_on_decodable_input(self, data):
+        """Full consumption classifies every non-blank line as an Event or
+        a DecodeIssue — no other exception ever escapes."""
+        try:
+            data.decode("utf-8")
+        except UnicodeDecodeError:
+            return
+        for lineno, decoded in scan_log_bytes(data):
+            assert lineno >= 1
+            assert isinstance(decoded, (Event, DecodeIssue))
+            if isinstance(decoded, DecodeIssue):
+                assert decoded.error
 
 
 class TestPacketKeyProperties:

@@ -8,7 +8,7 @@ from hypothesis import strategies as st
 
 from repro.fsm.graph import Transition, TransitionGraph
 from repro.fsm.intra import derive_intra_transitions
-from repro.fsm.reachability import Reachability
+from repro.fsm.reachability import CompiledReachability, Reachability
 
 
 @st.composite
@@ -75,6 +75,73 @@ class TestReachabilityProperties:
                             dist[nxt] = dist[cur] + 1
                             queue.append(nxt)
                 assert len(path) == dist[b]
+
+
+@st.composite
+def graphs_with_masks(draw):
+    """A random graph plus a random admissible-edge subset (as both a
+    bitmask and the equivalent legacy edge filter)."""
+    graph = draw(random_graphs())
+    admissible = set(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=max(len(graph.transitions) - 1, 0)),
+                unique=True,
+            )
+        )
+    ) if graph.transitions else set()
+    edge_index = {t: i for i, t in enumerate(graph.transitions)}
+    mask = 0
+    for i in admissible:
+        mask |= 1 << i
+    return graph, mask, (lambda t: edge_index[t] in admissible)
+
+
+class TestCompiledReachabilityProperties:
+    """The compiled jump tables answer every query exactly like a fresh
+    legacy graph walk — same paths (declaration-order tie-breaks included),
+    same distances, same unreachability."""
+
+    @given(graphs_with_masks())
+    @settings(max_examples=120)
+    def test_path_and_dist_match_fresh_walks(self, case):
+        graph, mask, edge_filter = case
+        reach = Reachability(graph)
+        compiled = CompiledReachability(graph)
+        index = compiled.index
+        for a in graph.states:
+            for b in graph.states:
+                legacy = reach.shortest_path(a, b, edge_filter)
+                fast = compiled.path(index[a], index[b], mask)
+                assert fast == legacy
+                dist = compiled.dist(index[a], index[b], mask)
+                assert dist == (None if legacy is None else len(legacy))
+
+    @given(graphs_with_masks())
+    @settings(max_examples=120)
+    def test_path_via_event_matches_fresh_walks(self, case):
+        graph, mask, edge_filter = case
+        reach = Reachability(graph)
+        compiled = CompiledReachability(graph)
+        index = compiled.index
+        for a in graph.states:
+            for b in graph.states:
+                for event in graph.events:
+                    legacy = reach.shortest_path_via_event(a, b, event, edge_filter)
+                    fast = compiled.path_via_event(index[a], index[b], event, mask)
+                    assert fast == legacy
+
+    @given(random_graphs())
+    @settings(max_examples=60)
+    def test_full_mask_equals_unfiltered_walks(self, graph):
+        reach = Reachability(graph)
+        compiled = CompiledReachability(graph)
+        index = compiled.index
+        for a in graph.states:
+            for b in graph.states:
+                assert compiled.path(index[a], index[b], compiled.full_mask) == (
+                    reach.shortest_path(a, b)
+                )
 
 
 class TestIntraDerivationProperties:

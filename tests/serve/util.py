@@ -25,6 +25,9 @@ def wait_ready(port: int, timeout: float = 30.0) -> None:
     """Poll ``/readyz`` until ingest is drained and flows are fresh."""
     deadline = time.monotonic() + timeout
     last = None
+    # Tight polls at first so latency measurements aren't quantized to the
+    # poll interval, backing off once the server is clearly still busy.
+    delay = 0.002
     while time.monotonic() < deadline:
         try:
             status, last = http_req(port, "/readyz")
@@ -32,5 +35,6 @@ def wait_ready(port: int, timeout: float = 30.0) -> None:
             status = None
         if status == 200:
             return
-        time.sleep(0.05)
+        time.sleep(delay)
+        delay = min(delay * 2, 0.01)
     raise TimeoutError(f"server not ready in {timeout}s: {last}")

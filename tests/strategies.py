@@ -199,6 +199,46 @@ def python_modules(draw) -> str:
 NOISE_CHARS = "=\x00\x7fÿ  \t#"
 
 
+#: Separators whose framing semantics differ between ``str.splitlines``
+#: and byte-level ``\n`` splitting — the cases ``scan_log_bytes``'s
+#: pre-scan must route to the str path.
+_EXOTIC_SEPARATORS = (
+    "\n", "\r\n", "\r", "\x0b", "\x0c",
+    "\x1c", "\x1d", "\x1e", "\x85", "\u2028",
+)
+
+#: Multi-byte UTF-8 encodings to truncate mid-sequence.
+_MULTIBYTE = ("é", "λ", "丁", "🙂")
+
+
+@st.composite
+def log_line_bytes(draw) -> bytes:
+    """One wire "line" as raw bytes, spanning the whole damage spectrum.
+
+    Draws a valid encoded line, a GarbleLines-style mutated line, raw
+    binary garbage, a line truncated mid-UTF-8-sequence, or a valid line
+    with an embedded newline-class separator — everything the byte-level
+    tokenizer must classify exactly like the legacy str scanner.
+    """
+    mode = draw(st.integers(min_value=0, max_value=4))
+    if mode == 0:  # valid canonical line
+        return encode_event(draw(events)).encode("utf-8")
+    if mode == 1:  # garbled but still text
+        return draw(garbled_lines()).encode("utf-8")
+    if mode == 2:  # raw binary garbage
+        return draw(st.binary(max_size=40))
+    if mode == 3:  # truncated mid-UTF-8-sequence
+        raw = (encode_event(draw(events)) + draw(st.sampled_from(_MULTIBYTE))).encode(
+            "utf-8"
+        )
+        return raw[: draw(st.integers(min_value=1, max_value=len(raw) - 1))]
+    # embedded newline-class separator inside an otherwise valid line
+    line = encode_event(draw(events))
+    i = draw(st.integers(min_value=0, max_value=len(line)))
+    sep = draw(st.sampled_from(_EXOTIC_SEPARATORS))
+    return (line[:i] + sep + line[i:]).encode("utf-8")
+
+
 @st.composite
 def garbled_lines(draw) -> str:
     """A valid encoded log line damaged 1–3 times, GarbleLines-style."""
