@@ -81,6 +81,10 @@ METRIC_SPECS: dict[str, tuple[MetricSpec, ...]] = {
         MetricSpec("tokenize.lines_per_s", "higher", 0.40),
         MetricSpec("reachability.lookups_per_s", "higher", 0.40),
     ),
+    "learn": (
+        MetricSpec("mine.traces_per_s", "higher", 0.40),
+        MetricSpec("accuracy.k2.cause_accuracy", "higher", 0.10),
+    ),
 }
 
 

@@ -1,0 +1,145 @@
+"""S4 — model learning: mining throughput and learned-model quality.
+
+Two numbers the ``refill learn`` subsystem stands behind:
+
+- **Mining throughput** — traces/s of the full learning pipeline
+  (extract → k-tails → prerequisite stitching → spec packaging) over a
+  lossless 25-node corpus.  Learning is an offline step, but it sits in
+  the operator loop (learn, check, analyze, adjust ``--k``), so a 10×
+  slowdown is a workflow regression worth gating.
+- **Learned-model quality** — held-out reconstruction accuracy of the
+  learned spec at ``k`` ∈ {1, 2, 3} on a lossy corpus the model never saw,
+  plus bounded-depth graph precision/recall against the hand-written
+  ground-truth template.  ``k=2`` is the default the contract tests pin;
+  the sweep shows the generalization/size trade the flag buys.
+
+The run writes ``BENCH_learn.json`` at the repo root (schema-stamped like
+the other baselines); ``bench_history.py`` gates mining throughput and
+the k=2 cause accuracy so a quality regression needs an attributed
+trajectory entry to land.
+"""
+
+import json
+import pathlib
+import time
+
+from repro.analysis.pipeline import run_simulation
+from repro.learn import learn_from_logs
+from repro.learn.evaluate import evaluate_spec
+from repro.lognet.collector import collect_logs
+from repro.lognet.loss import LogLossSpec
+from repro.simnet.scenarios import small_network
+from repro.util.tables import render_table
+
+from benchmarks.conftest import BENCH_SCHEMA, bench_seed, run_metadata
+
+BASELINE_PATH = pathlib.Path(__file__).parent.parent / "BENCH_learn.json"
+
+N_NODES = 25
+MINUTES = 30.0
+ROUNDS = 3
+HELDOUT_SEED = 777
+LOSS_FACTOR = 0.5
+
+
+def _best_of(fn, rounds=ROUNDS):
+    best = None
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def test_learn_throughput_and_quality(emit):
+    params = small_network(n_nodes=N_NODES, minutes=MINUTES)
+    sim = run_simulation(params)
+    training_logs = collect_logs(
+        sim.true_logs,
+        LogLossSpec.lossless(),
+        bench_seed("learn", 11),
+        perfect_clocks=frozenset({sim.base_station_node}),
+    )
+
+    def learn(k=2):
+        return learn_from_logs(
+            training_logs,
+            k=k,
+            sink=sim.sink,
+            base_station=sim.base_station_node,
+            name="ctp-learned",
+        )
+
+    learn_s, spec = _best_of(learn)
+    n_traces = spec.stats["traces"]
+    traces_per_s = n_traces / learn_s
+
+    rows = [
+        ("learn (full pipeline)", n_traces, f"{learn_s:.4f}", int(traces_per_s)),
+    ]
+    accuracy = {}
+    for k in (1, 2, 3):
+        spec_k = spec if k == 2 else learn(k=k)
+        evaluation = evaluate_spec(
+            spec_k,
+            params,
+            heldout_seed=HELDOUT_SEED,
+            loss_factor=LOSS_FACTOR,
+            sim=sim,
+        )
+        summary = evaluation.summary()
+        accuracy[f"k{k}"] = {
+            "states": len(spec_k.states),
+            "cause_accuracy": summary["cause_accuracy"],
+            "coverage": summary["coverage"],
+            "event_precision": summary["event_precision"],
+            "event_recall": summary["event_recall"],
+            "graph_precision": summary["graph_precision"],
+            "graph_recall": summary["graph_recall"],
+        }
+        rows.append((
+            f"held-out accuracy (k={k})",
+            len(spec_k.states),
+            f"{summary['cause_accuracy']:.4f}",
+            f"gp={summary['graph_precision']:.2f}",
+        ))
+
+    emit(
+        "bench_learn",
+        render_table(
+            ["operation", "n", "best_s / cause_acc", "per_s / detail"],
+            rows,
+            title=(
+                f"S4 — learn pipeline, {N_NODES}-node corpus, "
+                f"held-out loss×{LOSS_FACTOR} (best of {ROUNDS})"
+            ),
+        ),
+    )
+
+    corpus = {
+        "n_nodes": N_NODES,
+        "minutes": MINUTES,
+        "traces": n_traces,
+        "packets": spec.stats["packets"],
+        "heldout_seed": HELDOUT_SEED,
+        "loss_factor": LOSS_FACTOR,
+    }
+    baseline = {
+        "schema": BENCH_SCHEMA,
+        "run": run_metadata("learn", seed=bench_seed("learn", 11), corpus=corpus),
+        "corpus": corpus,
+        "mine": {
+            "best_s": round(learn_s, 4),
+            "traces_per_s": round(traces_per_s, 1),
+        },
+        "accuracy": accuracy,
+    }
+    BASELINE_PATH.write_text(json.dumps(baseline, indent=2, sort_keys=True) + "\n")
+
+    # generous floors — the gate for real drift is bench_history's
+    assert traces_per_s > 50
+    assert accuracy["k2"]["cause_accuracy"] >= 0.9
+    assert accuracy["k2"]["graph_precision"] == 1.0

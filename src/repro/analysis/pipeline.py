@@ -80,6 +80,7 @@ def evaluate(
     sim: Optional[SimulationResult] = None,
     preflight: bool = True,
     backend: ExecutionBackend | str | None = None,
+    template=None,
 ) -> EvalResult:
     """Run the whole pipeline for one scenario.
 
@@ -96,10 +97,16 @@ def evaluate(
     session — an :class:`~repro.core.backends.ExecutionBackend` instance or
     a registry name (``"serial"`` | ``"process"`` | ``"incremental"``);
     the default is serial.  Results are backend-independent by contract.
+
+    ``template`` overrides the inference model (default: the hand-written
+    CTP forwarder) — this is how learned specs are scored against held-out
+    corpora (:mod:`repro.learn.evaluate`).
     """
     if isinstance(backend, str):
         backend = make_backend(backend)
-    session = ReconstructionSession(options=refill_options, backend=backend)
+    session = ReconstructionSession(
+        template, options=refill_options, backend=backend
+    )
     if preflight:  # fail fast on a broken model, before paying for simulation
         session.preflight()
     if sim is None:

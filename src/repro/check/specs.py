@@ -62,17 +62,25 @@ BUILTIN_SPECS: dict[str, Callable[[], DeploymentSpec]] = {
 def load_spec(ref: str) -> DeploymentSpec:
     """Resolve ``ref`` to a :class:`DeploymentSpec`.
 
-    ``ref`` is a built-in name (see :data:`BUILTIN_SPECS`) or a
-    ``module:attribute`` reference; the attribute may be the spec itself or
-    a zero-argument callable returning one.
+    ``ref`` is a built-in name (see :data:`BUILTIN_SPECS`), a path to a
+    serialized :class:`~repro.learn.spec.LearnedSpec` (``*.json``, as
+    written by ``refill learn``), or a ``module:attribute`` reference; the
+    attribute may be the spec itself or a zero-argument callable returning
+    one.
     """
     if ref in BUILTIN_SPECS:
         return BUILTIN_SPECS[ref]()
+    if ref.endswith(".json"):
+        # Lazy: the learn package realizes templates through fsm/, which
+        # must not become an import-time dependency of the check layer.
+        from repro.learn.spec import load_learned_spec
+
+        return load_learned_spec(ref).deployment_spec()
     if ":" not in ref:
         known = ", ".join(sorted(BUILTIN_SPECS))
         raise ValueError(
             f"unknown spec {ref!r}; built-ins: {known} "
-            "(or use the module:attribute form)"
+            "(or a learned-spec *.json path, or the module:attribute form)"
         )
     module_name, _, attr = ref.partition(":")
     module = importlib.import_module(module_name)

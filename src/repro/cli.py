@@ -7,9 +7,13 @@ The subcommands mirror the deployment workflow:
 - ``refill check`` — static-analyze a deployment (FSM templates and/or a
   log corpus) *before* any reconstruction runs; exit 1 on error findings
   (see ``docs/STATIC_ANALYSIS.md`` for the rule catalogue);
+- ``refill learn`` — infer per-node FSM templates and inter-node
+  prerequisite rules from a log store, written as a byte-deterministic
+  declarative spec that ``check --spec`` and ``analyze --spec`` load
+  (see ``docs/LEARNING.md``);
 - ``refill analyze`` — reconstruct event flows from a log directory and
   print the loss diagnosis (a pre-flight check gates the run; skip it with
-  ``--no-check``);
+  ``--no-check``); ``--spec learned.json`` swaps in a learned model;
 - ``refill trace`` — print one packet's reconstructed event flow;
 - ``refill stress`` — run a seeded fault-injection campaign (corrupted
   stores, ground-truth oracles ``ST001``–``ST007``, ddmin case shrinking)
@@ -149,7 +153,65 @@ def _cmd_check_code(args: argparse.Namespace) -> int:
     return code
 
 
-def _preflight_analyze(args: argparse.Namespace) -> bool:
+def _cmd_learn(args: argparse.Namespace) -> int:
+    """``refill learn``: infer a deployment spec from a log store."""
+    from repro.learn import ExtractionOptions, learn_from_store
+    from repro.learn.spec import save_learned_spec
+
+    with span("learn.load"):
+        loaded = load_store(args.logs)
+    log.info(
+        "learn.store-loaded",
+        logs=args.logs,
+        node_logs=len(loaded.logs),
+        corrupt_lines=sum(loaded.corrupt_lines.values()),
+    )
+    options = ExtractionOptions(
+        filter_corrupt_nodes=not args.keep_corrupt,
+        min_trace_support=args.min_trace_support,
+    )
+    try:
+        with span("learn.mine"):
+            spec = learn_from_store(
+                loaded,
+                k=args.k,
+                min_support=args.min_support,
+                name=args.name,
+                options=options,
+            )
+    except ValueError as exc:
+        log.error("learn.failed", error=str(exc))
+        return 2
+    save_learned_spec(spec, args.out)
+    stats = dict(spec.stats)
+    print(
+        f"learned {len(spec.states)} states, {len(spec.transitions)} "
+        f"transitions, {len(spec.prereqs)} prerequisite rules"
+    )
+    for rule in spec.prereqs:
+        alts = f" (alt {', '.join(rule.alt_states)})" if rule.alt_states else ""
+        print(
+            f"  {rule.label:<12} requires peer[{rule.peer}] at {rule.state}"
+            f"{alts}  [{rule.supported}/{rule.observations}]"
+        )
+    print(
+        f"corpus: {stats.get('packets', 0)} packets, "
+        f"{stats.get('traces', 0)} traces "
+        f"({stats.get('dropped_traces', 0)} dropped), "
+        f"{stats.get('unique_sequences', 0)} unique sequences"
+    )
+    print(f"wrote {args.out}")
+    log.info(
+        "learn.done",
+        states=len(spec.states),
+        transitions=len(spec.transitions),
+        prereqs=len(spec.prereqs),
+        out=args.out,
+    )
+    return 0
+
+
+def _preflight_analyze(args: argparse.Namespace, spec) -> bool:
     """Pre-flight gate for ``refill analyze``: abort on *model* errors.
 
     Corpus findings never block — field data is dirty by assumption and the
@@ -157,7 +219,7 @@ def _preflight_analyze(args: argparse.Namespace) -> bool:
     corrupt every reconstructed flow, so those fail fast.
     """
     with span("analyze.preflight"):
-        report = run_check(load_spec("ctp"), args.logs)
+        report = run_check(spec, args.logs)
     errors = model_errors(report)
     corpus_errors = len(report.errors) - len(errors)
     if corpus_errors:
@@ -169,10 +231,36 @@ def _preflight_analyze(args: argparse.Namespace) -> bool:
     return True
 
 
+def _analyze_template(args: argparse.Namespace):
+    """Resolve ``analyze --spec`` to ``(deployment_spec, template)``.
+
+    The inference session drives a single template, so the spec must be
+    uniform-role (the built-in ``ctp`` default and every learned spec are).
+    The default spec resolves to ``template=None`` so the session keeps its
+    module-level factory — required by ``--backend process``, which pickles
+    the factory by reference into workers.
+    """
+    spec = load_spec(args.spec)
+    if args.spec == "ctp":
+        return spec, None
+    if len(spec.roles) != 1:
+        raise ValueError(
+            f"spec {args.spec!r} has {len(spec.roles)} roles; "
+            "refill analyze needs a uniform-role spec"
+        )
+    (template,) = spec.roles.values()
+    return spec, template
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     registry = MetricsRegistry()
+    try:
+        spec, template = _analyze_template(args)
+    except (ValueError, ImportError, OSError) as exc:
+        log.error("analyze.bad-spec", spec=args.spec, error=str(exc))
+        return 2
     with use_registry(registry):
-        if not args.no_check and not _preflight_analyze(args):
+        if not args.no_check and not _preflight_analyze(args, spec):
             log.error("analyze.preflight-failed", hint="rerun with --no-check to force")
             return 1
         with span("analyze"):
@@ -188,6 +276,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 )
                 flows, reports, _est = _diagnose_store(
                     sharded,
+                    template=template,
                     backend_name=args.backend,
                     workers=args.workers,
                     batch_size=args.batch_size,
@@ -213,6 +302,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                 )
                 flows, reports, _est = _diagnose_store(
                     loaded,
+                    template=template,
                     backend_name=args.backend,
                     workers=args.workers,
                     batch_size=args.batch_size,
@@ -256,6 +346,7 @@ def _report_corrupt_lines(registry: MetricsRegistry, corrupt_lines) -> None:
 def _diagnose_store(
     store,
     *,
+    template=None,
     backend_name: str = "serial",
     workers: Optional[int] = None,
     batch_size: int = 256,
@@ -267,6 +358,8 @@ def _diagnose_store(
     is the only variable.  ``store`` is a
     :class:`~repro.events.store.LoadedStore` (in-memory) or a
     :class:`~repro.events.store.ShardedStore` (shard-at-a-time).
+    ``template`` overrides the inference model (``analyze --spec``);
+    ``None`` keeps the hand-written CTP forwarder default.
     """
     meta = store.metadata
     bs = meta.base_station
@@ -277,6 +370,7 @@ def _diagnose_store(
         logs_source = store.logs
         bs_log = store.logs.get(bs, NodeLog(bs))
     session = ReconstructionSession(
+        template,
         backend=make_backend(backend_name, workers=workers),
         delivery_node=bs,
         batch_size=batch_size,
@@ -529,7 +623,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_chk.add_argument(
         "--spec", default="ctp",
         help="deployment spec: a built-in name (ctp, ctp-nogen, "
-             "dissemination, query-flood) or module:attribute",
+             "dissemination, query-flood), a learned-spec *.json path, "
+             "or module:attribute",
     )
     p_chk.add_argument(
         "--json", action="store_true",
@@ -545,11 +640,51 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_chk.set_defaults(fn=_cmd_check)
 
+    p_lrn = sub.add_parser(
+        "learn", parents=[common],
+        help="infer FSM templates and prerequisite rules from a log store",
+    )
+    p_lrn.add_argument(
+        "logs", metavar="DIR",
+        help="log store to learn from (as written by refill simulate)",
+    )
+    p_lrn.add_argument(
+        "--out", default="learned.json", metavar="FILE",
+        help="serialized spec output (canonical JSON, byte-deterministic)",
+    )
+    p_lrn.add_argument(
+        "--k", type=int, default=2, metavar="K",
+        help="k-tails future horizon (larger = less merging, bigger FSM)",
+    )
+    p_lrn.add_argument(
+        "--min-support", type=float, default=0.9, metavar="S",
+        help="minimum supported fraction for a mined prerequisite rule",
+    )
+    p_lrn.add_argument(
+        "--min-trace-support", type=int, default=1, metavar="N",
+        help="unique label sequences seen fewer than N times are excluded "
+             "from FSM training (lossy-corpus noise floor)",
+    )
+    p_lrn.add_argument(
+        "--keep-corrupt", action="store_true",
+        help="train on traces from nodes with undecodable log lines too",
+    )
+    p_lrn.add_argument(
+        "--name", default="learned",
+        help="role/template name recorded in the spec",
+    )
+    p_lrn.set_defaults(fn=_cmd_learn)
+
     p_an = sub.add_parser(
         "analyze", parents=[common],
         help="reconstruct + diagnose a log directory",
     )
     p_an.add_argument("--logs", default="citysee-logs")
+    p_an.add_argument(
+        "--spec", default="ctp",
+        help="inference model: a built-in spec name or a learned-spec "
+             "*.json path (refill learn output); must be uniform-role",
+    )
     p_an.add_argument(
         "--no-check", action="store_true",
         help="skip the pre-flight static analysis gate",

@@ -1,118 +1,17 @@
 """Mining an FSM from complete example traces (paper §IV-A).
 
-"The FSM can be generated manually [21] or with automatic tools [6]" — this
-module is the automatic tool: given complete per-node event-label traces
-(e.g. from a testbed run with reliable logging, or the simulator's ground
-truth), it infers a transition graph by prefix-tree construction followed by
-state merging on k-future equivalence (a classic passive automaton-learning
-scheme à la k-tails).
-
-The mined template can then run as an inference engine on *lossy* field
-logs — tested round-trip against the hand-written forwarder FSM.
+.. deprecated::
+    This module is a compatibility shim.  The mining implementation moved to
+    :mod:`repro.learn.ktails` when the ``refill learn`` subsystem landed —
+    the learner needed determinization, canonical state naming, and replay
+    helpers that belong with the rest of the model-inference pipeline.
+    Import :func:`mine_fsm`, :func:`accepts`, and :func:`traces_from_flows`
+    from :mod:`repro.learn.ktails` in new code; these re-exports are kept so
+    existing callers keep working unchanged.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Iterable, Sequence
+from repro.learn.ktails import accepts, mine_fsm, traces_from_flows
 
-from repro.fsm.graph import Transition, TransitionGraph
-
-
-def mine_fsm(
-    traces: Iterable[Sequence[str]],
-    *,
-    k: int = 2,
-    initial_name: str = "q0",
-) -> TransitionGraph:
-    """Infer a transition graph from complete label sequences.
-
-    Parameters
-    ----------
-    traces:
-        Event-label sequences, each a complete episode starting from the
-        (common) initial state.
-    k:
-        Future horizon for state merging: two states merge when the sets of
-        length-≤k label sequences leaving them are equal (k-tails).  Larger
-        ``k`` merges less and yields bigger machines.
-    """
-    traces = [tuple(t) for t in traces]
-    if not traces:
-        raise ValueError("need at least one trace")
-    if any(len(t) == 0 for t in traces):
-        raise ValueError("traces must be non-empty")
-
-    # 1. prefix tree: state = id, edges labelled
-    children: dict[int, dict[str, int]] = defaultdict(dict)
-    next_id = 1
-    for trace in traces:
-        state = 0
-        for label in trace:
-            nxt = children[state].get(label)
-            if nxt is None:
-                nxt = next_id
-                next_id += 1
-                children[state][label] = nxt
-            state = nxt
-
-    # 2. k-futures per state
-    def futures(state: int, depth: int) -> frozenset[tuple[str, ...]]:
-        if depth == 0:
-            return frozenset({()})
-        out = {()}
-        for label, nxt in children[state].items():
-            for tail in futures(nxt, depth - 1):
-                out.add((label, *tail))
-        return frozenset(out)
-
-    signature = {state: futures(state, k) for state in range(next_id)}
-
-    # 3. merge states by signature; iterate because merging can expose new
-    # equivalences through the representative map
-    representative: dict[int, int] = {}
-    by_signature: dict[frozenset, int] = {}
-    for state in range(next_id):
-        sig = signature[state]
-        if sig in by_signature:
-            representative[state] = by_signature[sig]
-        else:
-            by_signature[sig] = state
-            representative[state] = state
-
-    # 4. build the merged graph
-    merged_edges: set[tuple[int, int, str]] = set()
-    for state in range(next_id):
-        for label, nxt in children[state].items():
-            merged_edges.add((representative[state], representative[nxt], label))
-
-    kept = sorted({representative[s] for s in range(next_id)})
-    names = {state: (initial_name if state == representative[0] else f"q{state}") for state in kept}
-    transitions = [
-        Transition(names[a], names[b], label) for a, b, label in sorted(merged_edges)
-    ]
-    return TransitionGraph([names[s] for s in kept], transitions, names[representative[0]])
-
-
-def traces_from_flows(
-    label_sequences: Iterable[Sequence[str]],
-) -> list[tuple[str, ...]]:
-    """Normalize/validate trace input (deduplicated, order kept)."""
-    seen: dict[tuple[str, ...], None] = {}
-    for seq in label_sequences:
-        seen[tuple(seq)] = None
-    return list(seen)
-
-
-def accepts(graph: TransitionGraph, trace: Sequence[str]) -> bool:
-    """Whether the graph can replay ``trace`` from its initial state.
-
-    State merging can leave multiple same-label edges from one state, so the
-    replay is a nondeterministic subset simulation.
-    """
-    states = {graph.initial}
-    for label in trace:
-        states = {t.dst for s in states for t in graph.transitions_from(s, label)}
-        if not states:
-            return False
-    return True
+__all__ = ["accepts", "mine_fsm", "traces_from_flows"]

@@ -1,0 +1,181 @@
+"""Scoring a learned spec: graph fidelity and end-to-end reconstruction.
+
+Two complementary measures close the learning loop:
+
+- **graph similarity** — the learned transition graph is compared against a
+  reference (normally :func:`repro.simnet.truth.ground_truth_template`) by
+  their bounded-depth *path languages*: every label sequence of length ≤
+  ``depth`` walkable from the initial state.  State names are irrelevant
+  (the learner invents ``q0..qN``); language overlap is what determines
+  whether inference paths exist.  Precision is the fraction of learned
+  behavior the reference admits (low = hallucinated transitions), recall
+  the fraction of reference behavior the learner captured (low = missing
+  protocol paths).
+
+- **reconstruction accuracy** — the realized template is dropped into the
+  full REFILL pipeline (:func:`repro.analysis.pipeline.evaluate`) over a
+  *held-out* lossy corpus (different collection seed than any corpus the
+  spec was trained on) and scored against ground truth with
+  :func:`repro.analysis.accuracy.score_run`.  This is the measure that
+  matters: a learned model is good iff it reconstructs flows and diagnoses
+  losses about as well as the hand-written template it replaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.fsm.graph import TransitionGraph
+from repro.learn.spec import LearnedSpec
+
+#: Path-language depth: deep enough to cover every interesting forwarder
+#: cycle (recv → trans* → ack/timeout with retries) while staying small.
+DEFAULT_DEPTH = 6
+
+#: Cap on enumerated sequences per graph — cycles make languages infinite in
+#: length but bounded depth keeps them finite; the cap guards pathological
+#: graphs (and is logged in the result when hit).
+MAX_SEQUENCES = 200_000
+
+
+@dataclass(frozen=True)
+class GraphSimilarity:
+    """Bounded-depth language overlap between two transition graphs."""
+
+    precision: float
+    recall: float
+    depth: int
+    learned_sequences: int
+    reference_sequences: int
+    #: True when either enumeration hit :data:`MAX_SEQUENCES` (scores are
+    #: then lower bounds over the enumerated portion).
+    truncated: bool = False
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+def graph_language(
+    graph: TransitionGraph,
+    *,
+    depth: int = DEFAULT_DEPTH,
+    start: Optional[str] = None,
+    limit: int = MAX_SEQUENCES,
+) -> tuple[frozenset, bool]:
+    """All label sequences of length ≤ ``depth`` walkable from ``start``.
+
+    Returns ``(sequences, truncated)``; deterministic (labels explored in
+    sorted order, breadth-first) so equal graphs give equal languages.
+    """
+    initial = graph.initial if start is None else start
+    sequences: set[tuple[str, ...]] = {()}
+    frontier: list[tuple[str, tuple[str, ...]]] = [(initial, ())]
+    for _ in range(depth):
+        nxt: list[tuple[str, tuple[str, ...]]] = []
+        for state, prefix in frontier:
+            for t in sorted(graph.outgoing(state), key=lambda t: (t.event, t.dst)):
+                seq = (*prefix, t.event)
+                if len(sequences) >= limit:
+                    return frozenset(sequences), True
+                sequences.add(seq)
+                nxt.append((t.dst, seq))
+        frontier = nxt
+    return frozenset(sequences), False
+
+
+def graph_similarity(
+    learned: TransitionGraph,
+    reference: TransitionGraph,
+    *,
+    depth: int = DEFAULT_DEPTH,
+) -> GraphSimilarity:
+    """Language precision/recall of ``learned`` against ``reference``."""
+    learned_lang, lt = graph_language(learned, depth=depth)
+    reference_lang, rt = graph_language(reference, depth=depth)
+    overlap = len(learned_lang & reference_lang)
+    return GraphSimilarity(
+        precision=overlap / len(learned_lang) if learned_lang else 0.0,
+        recall=overlap / len(reference_lang) if reference_lang else 0.0,
+        depth=depth,
+        learned_sequences=len(learned_lang),
+        reference_sequences=len(reference_lang),
+        truncated=lt or rt,
+    )
+
+
+@dataclass(frozen=True)
+class LearnEvaluation:
+    """Combined score of a learned spec."""
+
+    similarity: GraphSimilarity
+    #: ``AccuracyReport`` from the held-out reconstruction run.
+    accuracy: object
+    heldout_seed: int
+    loss_factor: float
+
+    def summary(self) -> dict:
+        """Flat numbers for benchmarks / CI gates."""
+        acc = self.accuracy
+        return {
+            "graph_precision": round(self.similarity.precision, 4),
+            "graph_recall": round(self.similarity.recall, 4),
+            "graph_f1": round(self.similarity.f1, 4),
+            "coverage": round(acc.coverage, 4),
+            "cause_accuracy": round(acc.cause_accuracy, 4),
+            "event_precision": round(acc.event_precision, 4),
+            "event_recall": round(acc.event_recall, 4),
+            "ordering_accuracy": round(acc.ordering_accuracy, 4),
+        }
+
+
+def evaluate_spec(
+    spec: LearnedSpec,
+    params,
+    *,
+    heldout_seed: int = 424242,
+    loss_factor: float = 0.5,
+    sim=None,
+    depth: int = DEFAULT_DEPTH,
+    reference: Optional[TransitionGraph] = None,
+) -> LearnEvaluation:
+    """Score ``spec`` end to end on a held-out lossy corpus.
+
+    ``params`` is a scenario (:class:`~repro.simnet.scenarios.ScenarioParams`)
+    — pass ``sim`` to reuse a cached simulation.  ``heldout_seed`` seeds the
+    lossy collection (pick one the learner never saw); ``loss_factor``
+    scales the default loss spec (0 = lossless, 1 = full CitySee loss).
+    """
+    from repro.analysis.accuracy import score_run
+    from repro.analysis.pipeline import default_loss_spec, evaluate, run_simulation
+    from repro.simnet.truth import ground_truth_template
+
+    if sim is None:
+        sim = run_simulation(params)
+    if reference is None:
+        reference = ground_truth_template().graph
+    similarity = graph_similarity(spec.graph(), reference, depth=depth)
+
+    template = spec.realize_template()
+    result = evaluate(
+        params,
+        collection_seed=heldout_seed,
+        loss_spec=default_loss_spec(sim).scaled(loss_factor),
+        sim=sim,
+        template=template,
+    )
+    accuracy = score_run(
+        result.flows,
+        result.reports,
+        result.collected_logs,
+        sim.truth,
+        sink=sim.sink,
+    )
+    return LearnEvaluation(
+        similarity=similarity,
+        accuracy=accuracy,
+        heldout_seed=heldout_seed,
+        loss_factor=loss_factor,
+    )

@@ -1,0 +1,191 @@
+"""Prerequisite mining: PRINS-style stitching of per-node FSMs.
+
+The third stage of ``refill learn``: given the mined per-node machine and
+the trace corpus, propose inter-node :class:`~repro.fsm.prerequisites`
+rules ("downstream ``recv`` requires the upstream engine to have visited
+SENT") from cross-node ordering support.  Clock readings are never
+compared — collected logs carry offsets of minutes and independent drift —
+so every signal below is structural:
+
+**Direction.**  A label recorded on the pair's *receiver* (``node == dst``)
+always gets a candidate ``Peer.SRC`` rule: the packet demonstrably came
+from the sender, so the sender's engine moved first.  A label recorded on
+the *sender* (``node == src``) gets a candidate ``Peer.DST`` rule only when
+it is a *confirmation* label — (almost) every occurrence is preceded, in
+the same node's own log for the same packet and pair, by an earlier
+same-pair event.  An ``ack_recvd`` is always preceded by its ``trans`` and
+confirms something happened at the receiver; a first ``trans`` is preceded
+by nothing and asserts nothing about its receiver.  This same-log ordering
+is exact (single-node order survives collection) and keeps causally
+reversed rules like "``trans`` requires the receiver to have RECEIVED" out
+of the candidate set.
+
+**Support.**  Each occurrence of a candidate label is checked against the
+peer's trace for the same packet: does it contain a same-``(src, dst)``
+co-event?  Occurrences whose peer log is missing from the corpus are
+skipped (absence of evidence), while a surviving peer log with no co-event
+counts against the rule — that is exactly the ``timeout`` signature, where
+the receiver usually never saw the packet.  Delivery-hop occurrences (the
+base station's serial link, whose sender side is physically unloggable)
+are excluded from the statistics; the emitted selector rules still apply
+network-wide at inference time, which is what lets the engine re-derive
+the unloggable serial ``trans``.
+
+**Prerequisite state.**  For supported occurrences the peer's trace is
+replayed through the mined deterministic machine (role-aware initial) and
+the state reached immediately after the *first* co-event is recorded — the
+weakest state the peer must have visited.  The most common state becomes
+the rule's primary state; other observed states become ``alt_states``
+(the learned analog of "a queue overflow also satisfies an ack's
+prerequisite").
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.fsm.graph import TransitionGraph
+from repro.learn.ktails import replay_states
+from repro.learn.traces import NodeTrace, TraceCorpus
+
+
+@dataclass(frozen=True)
+class MinedRule:
+    """One learned prerequisite with its supporting evidence."""
+
+    label: str
+    #: Peer selector: ``"src"`` or ``"dst"``.
+    peer: str
+    state: str
+    alt_states: tuple[str, ...] = ()
+    #: Occurrences whose peer trace contained a same-pair co-event.
+    supported: int = 0
+    #: All occurrences counted (peer log present, replay resolvable).
+    observations: int = 0
+
+    @property
+    def support(self) -> float:
+        return self.supported / self.observations if self.observations else 0.0
+
+
+def mine_prereqs(
+    corpus: TraceCorpus,
+    graph: TransitionGraph,
+    initials: Mapping[str, str],
+    *,
+    min_support: float = 0.9,
+    min_observations: int = 3,
+) -> list[MinedRule]:
+    """Propose prerequisite rules for the mined machine.
+
+    Returns rules sorted by label for deterministic serialization; only
+    candidates with ``observations >= min_observations`` and a supported
+    fraction ``>= min_support`` are emitted.
+    """
+    if not 0.0 < min_support <= 1.0:
+        raise ValueError("min_support must be in (0, 1]")
+    by_packet = corpus.by_packet()
+    state_index = {state: i for i, state in enumerate(graph.states)}
+    replay_cache: dict[tuple[tuple[str, ...], str], list[str] | None] = {}
+
+    def states_of(trace: NodeTrace) -> list[str] | None:
+        start = initials.get(trace.role, graph.initial)
+        key = (trace.labels, start)
+        if key not in replay_cache:
+            replay_cache[key] = replay_states(graph, trace.labels, start=start)
+        return replay_cache[key]
+
+    confirmations = _confirmation_labels(corpus, min_fraction=min_support)
+    candidates = sorted(
+        [(label, "src") for label in corpus.receiver_side]
+        + [(label, "dst") for label in corpus.sender_side if label in confirmations]
+    )
+
+    rules: list[MinedRule] = []
+    for label, peer_side in candidates:
+        supported = 0
+        unsupported = 0
+        state_counts: Counter = Counter()
+        for trace in corpus.traces:
+            if trace.role == "delivery":
+                continue  # serial hop: the peer's send side is unloggable
+            for event in trace.events:
+                if event.etype != label or event.src is None or event.dst is None:
+                    continue
+                peer = event.src if peer_side == "src" else event.dst
+                if peer == corpus.base_station:
+                    continue  # serial hop, other direction
+                if peer not in corpus.log_nodes:
+                    continue  # peer log lost: absence of evidence
+                peer_trace = by_packet.get(trace.packet, {}).get(peer)
+                co_index = _first_co_event(peer_trace, event.src, event.dst)
+                if co_index is None:
+                    unsupported += 1
+                    continue
+                peer_states = states_of(peer_trace)  # type: ignore[arg-type]
+                if peer_states is None:
+                    continue  # peer trace not explained by the machine
+                supported += 1
+                state_counts[peer_states[co_index + 1]] += 1
+        observations = supported + unsupported
+        if observations < min_observations or not state_counts:
+            continue
+        if supported / observations < min_support:
+            continue
+        ranked = sorted(
+            state_counts.items(), key=lambda item: (-item[1], state_index[item[0]])
+        )
+        rules.append(
+            MinedRule(
+                label=label,
+                peer=peer_side,
+                state=ranked[0][0],
+                alt_states=tuple(state for state, _count in ranked[1:]),
+                supported=supported,
+                observations=observations,
+            )
+        )
+    return rules
+
+
+def _first_co_event(
+    peer_trace: NodeTrace | None, src: int, dst: int
+) -> int | None:
+    """Index of the peer's first event with the same ``(src, dst)`` pair."""
+    if peer_trace is None:
+        return None
+    for i, event in enumerate(peer_trace.events):
+        if event.src == src and event.dst == dst:
+            return i
+    return None
+
+
+def _confirmation_labels(
+    corpus: TraceCorpus, *, min_fraction: float
+) -> frozenset[str]:
+    """Sender-side labels whose occurrences follow a same-pair event.
+
+    Fractions are measured within each node's own log (exact ordering):
+    ``ack_recvd``/``timeout`` always follow their ``trans`` (fraction 1.0)
+    while a ``trans`` opens its pair most of the time (fraction well below
+    any sensible threshold), so only genuine confirmations survive.
+    """
+    preceded: Counter = Counter()
+    total: Counter = Counter()
+    for trace in corpus.traces:
+        seen_pairs: set[tuple[int, int]] = set()
+        for event in trace.events:
+            if event.src is None or event.dst is None:
+                continue
+            if event.etype in corpus.sender_side:
+                total[event.etype] += 1
+                if (event.src, event.dst) in seen_pairs:
+                    preceded[event.etype] += 1
+            seen_pairs.add((event.src, event.dst))
+    return frozenset(
+        label
+        for label in corpus.sender_side
+        if total[label] and preceded[label] / total[label] >= min_fraction
+    )

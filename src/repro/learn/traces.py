@@ -1,0 +1,293 @@
+"""Trace extraction: a log corpus as per-(packet, node) label sequences.
+
+The first stage of the ``refill learn`` pipeline.  Events are grouped by
+packet (:func:`repro.events.merge.group_by_packet`), each node's events for
+a packet are projected to their label sequence in append order, and every
+sequence is tagged with the node's *role* for that packet:
+
+- ``origin`` — the node that generated the packet (``packet.origin``);
+- ``delivery`` — the base station (when known from store metadata);
+- ``sink`` — the sink node (when known);
+- ``forwarder`` — everything else.
+
+Alongside the sequences the corpus records what the later stages need:
+support counts (how often each distinct sequence occurred), label *side*
+classification (recorded on the pair's sender vs receiver — the basis for
+the learned realizer and the prerequisite miner's direction heuristic),
+origin-only labels (the basis for the learned admissibility predicate), and
+aux labels (events without a packet key, which drive no FSM).
+
+**Lossy-trace filtering.**  Field corpora are dirty; two deterministic
+filters keep damaged sequences from training the model:
+
+- traces from nodes with undecodable log lines are dropped (a corrupt shard
+  may have lost records *between* this packet's events, so its sequences
+  cannot be trusted as complete episodes);
+- unique sequences below ``min_trace_support`` occurrences are deweighted
+  out of FSM training (damage produces rare one-off orderings; real
+  protocol behavior repeats).
+
+**Multi-initial mining.**  :meth:`TraceCorpus.mine` wraps the k-tails miner
+with role-aware initial-state refinement: a role whose exclusive sequences
+can be fully replayed from some *existing* state of the machine mined from
+the remaining traces is given that state as its initial (recorded in the
+spec's ``initials``) instead of polluting the common initial with its
+edges.  The CTP no-gen corpus is the canonical case: origin traces start
+mid-protocol (``trans ...``), and the refinement recovers the hand-written
+``initial_for`` that starts origins at RECEIVED.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.events.event import Event
+from repro.events.log import NodeLog
+from repro.events.merge import group_by_packet
+from repro.events.packet import PacketKey
+from repro.fsm.graph import TransitionGraph
+from repro.learn.ktails import mine_fsm, replay_states
+
+#: Role tags in refinement order: packet-scoped origin first, then the
+#: deployment-scoped delivery (base station) and sink roles.
+ROLES = ("origin", "delivery", "sink", "forwarder")
+
+
+@dataclass(frozen=True)
+class ExtractionOptions:
+    """Knobs of the lossy-trace filter (all deterministic)."""
+
+    #: Drop every trace from nodes whose shard had undecodable lines.
+    filter_corrupt_nodes: bool = True
+    #: Unique sequences occurring fewer times than this are excluded from
+    #: FSM training (1 keeps everything — the clean-corpus default).
+    min_trace_support: int = 1
+
+
+@dataclass(frozen=True)
+class NodeTrace:
+    """One (packet, node) projection: the node's events in append order."""
+
+    packet: PacketKey
+    node: int
+    role: str
+    labels: tuple[str, ...]
+    events: tuple[Event, ...]
+
+
+@dataclass
+class TraceCorpus:
+    """Everything the mining and stitching stages consume."""
+
+    traces: list[NodeTrace]
+    #: Occurrences per distinct label sequence (over kept traces).
+    support: Counter = field(default_factory=Counter)
+    #: Distinct label sequences per role.
+    role_sequences: dict[str, set[tuple[str, ...]]] = field(default_factory=dict)
+    sender_side: frozenset = frozenset()
+    receiver_side: frozenset = frozenset()
+    local_labels: frozenset = frozenset()
+    origin_only: frozenset = frozenset()
+    aux_labels: frozenset = frozenset()
+    sink: Optional[int] = None
+    base_station: Optional[int] = None
+    packets: int = 0
+    nodes: frozenset = frozenset()
+    #: Nodes whose (uncorrupted) logs are present in the corpus — the
+    #: prerequisite miner only counts a missing peer co-event against a
+    #: candidate rule when the peer's log actually survived.
+    log_nodes: frozenset = frozenset()
+    #: Traces dropped by the corrupt-node filter.
+    dropped_traces: int = 0
+    options: ExtractionOptions = ExtractionOptions()
+
+    def by_packet(self) -> dict[PacketKey, dict[int, NodeTrace]]:
+        """Kept traces indexed ``packet -> node -> trace``."""
+        out: dict[PacketKey, dict[int, NodeTrace]] = {}
+        for trace in self.traces:
+            out.setdefault(trace.packet, {})[trace.node] = trace
+        return out
+
+    def role_counts(self) -> dict[str, int]:
+        """Kept trace count per role (zero-count roles omitted)."""
+        counts = Counter(t.role for t in self.traces)
+        return {role: counts[role] for role in ROLES if counts[role]}
+
+    def training_sequences(self) -> list[tuple[str, ...]]:
+        """Distinct sequences above the support threshold, sorted."""
+        floor = max(1, self.options.min_trace_support)
+        return sorted(s for s, n in self.support.items() if n >= floor)
+
+    # ------------------------------------------------------------------ #
+
+    def mine(self, *, k: int = 2) -> tuple[TransitionGraph, dict[str, str]]:
+        """Mine the per-node FSM with multi-initial role refinement.
+
+        Returns ``(graph, initials)`` where ``initials`` maps role names to
+        non-default start states (empty for single-initial corpora).
+        """
+        training = set(self.training_sequences())
+        if not training:
+            raise ValueError("no traces survived filtering; nothing to mine")
+        by_role = {
+            role: set(self.role_sequences.get(role, ())) & training
+            for role in ROLES
+        }
+        # Sequences exclusive to one role are candidates for re-rooting.
+        exclusive: dict[str, set[tuple[str, ...]]] = {}
+        for role in ("origin", "delivery", "sink"):
+            others = set()
+            for other in ROLES:
+                if other != role:
+                    others |= by_role[other]
+            exclusive[role] = by_role[role] - others
+
+        pending: dict[str, set[tuple[str, ...]]] = {}
+        for role in ("origin", "delivery", "sink"):
+            seqs = exclusive[role]
+            if not seqs or seqs == training:
+                continue
+            trial = training - seqs
+            graph = mine_fsm(sorted(trial), k=k)
+            if _common_start(graph, seqs) is not None:
+                training = trial
+                pending[role] = seqs
+
+        # Re-verify every pending role against the final machine; a role
+        # whose sequences stopped replaying (a later exclusion removed the
+        # behavior they relied on) folds back into the common initial.
+        while True:
+            graph = mine_fsm(sorted(training), k=k)
+            initials: dict[str, str] = {}
+            failed = None
+            for role in ("origin", "delivery", "sink"):
+                if role not in pending:
+                    continue
+                start = _common_start(graph, pending[role])
+                if start is None:
+                    failed = role
+                    break
+                if start != graph.initial:
+                    initials[role] = start
+            if failed is None:
+                return graph, initials
+            training |= pending.pop(failed)
+
+
+def _common_start(
+    graph: TransitionGraph, sequences: set
+) -> Optional[str]:
+    """First state (canonical order) that replays every sequence, if any."""
+    for state in graph.states:
+        if all(
+            replay_states(graph, seq, start=state) is not None
+            for seq in sorted(sequences)
+        ):
+            return state
+    return None
+
+
+def extract_traces(
+    logs: Mapping[int, NodeLog],
+    *,
+    sink: Optional[int] = None,
+    base_station: Optional[int] = None,
+    corrupt_lines: Optional[Mapping[int, int]] = None,
+    options: ExtractionOptions = ExtractionOptions(),
+) -> TraceCorpus:
+    """Project a log collection into a :class:`TraceCorpus`."""
+    corrupt = {
+        node for node, bad in (corrupt_lines or {}).items() if bad > 0
+    } if options.filter_corrupt_nodes else set()
+
+    grouped = group_by_packet(logs)
+    traces: list[NodeTrace] = []
+    support: Counter = Counter()
+    role_sequences: dict[str, set[tuple[str, ...]]] = {role: set() for role in ROLES}
+    dropped = 0
+    origin_nodes: dict[str, set[bool]] = {}
+    sender_counts: Counter = Counter()
+    receiver_counts: Counter = Counter()
+    pair_labels: set[str] = set()
+    all_labels: set[str] = set()
+
+    for packet in sorted(grouped):
+        per_node = grouped[packet]
+        for node in sorted(per_node):
+            events = tuple(per_node[node])
+            if node in corrupt:
+                dropped += 1
+                continue
+            labels = tuple(e.etype for e in events)
+            role = _role_of(node, packet, sink=sink, base_station=base_station)
+            traces.append(NodeTrace(packet, node, role, labels, events))
+            support[labels] += 1
+            role_sequences[role].add(labels)
+            for event in events:
+                all_labels.add(event.etype)
+                origin_nodes.setdefault(event.etype, set()).add(
+                    event.node == packet.origin
+                )
+                if event.src is not None and event.dst is not None:
+                    pair_labels.add(event.etype)
+                    if event.node == event.src:
+                        sender_counts[event.etype] += 1
+                    elif event.node == event.dst:
+                        receiver_counts[event.etype] += 1
+
+    aux: set[str] = set()
+    for node in sorted(logs):
+        if node in corrupt:
+            continue
+        for event in logs[node]:
+            if event.packet is None:
+                aux.add(event.etype)
+
+    sender_side = frozenset(
+        label for label in pair_labels
+        if sender_counts[label] > 0 and receiver_counts[label] == 0
+    )
+    receiver_side = frozenset(
+        label for label in pair_labels
+        if receiver_counts[label] > 0 and sender_counts[label] == 0
+    )
+    local = frozenset(all_labels) - sender_side - receiver_side
+    origin_only = frozenset(
+        label for label, flags in origin_nodes.items() if flags == {True}
+    )
+
+    return TraceCorpus(
+        traces=traces,
+        support=support,
+        role_sequences=role_sequences,
+        sender_side=sender_side,
+        receiver_side=receiver_side,
+        local_labels=local,
+        origin_only=origin_only,
+        aux_labels=frozenset(aux),
+        sink=sink,
+        base_station=base_station,
+        packets=len(grouped),
+        nodes=frozenset(t.node for t in traces),
+        log_nodes=frozenset(set(logs) - corrupt),
+        dropped_traces=dropped,
+        options=options,
+    )
+
+
+def _role_of(
+    node: int,
+    packet: PacketKey,
+    *,
+    sink: Optional[int],
+    base_station: Optional[int],
+) -> str:
+    if node == packet.origin:
+        return "origin"
+    if base_station is not None and node == base_station:
+        return "delivery"
+    if sink is not None and node == sink:
+        return "sink"
+    return "forwarder"

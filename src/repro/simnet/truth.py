@@ -171,3 +171,32 @@ class GroundTruth:
                 if not path or path[-1] != event.node:
                     path.append(event.node)
         return path
+
+
+# --------------------------------------------------------------------- #
+# ground-truth exports for the learning pipeline
+
+
+def ground_truth_template():
+    """The authoritative template behind the simulator's event stream.
+
+    The CitySee simulator drives every node with the CTP forwarder FSM;
+    :mod:`repro.learn.evaluate` compares a learned graph against this one.
+    Imported lazily — :mod:`repro.fsm` must not become a simnet dependency.
+    """
+    from repro.fsm.templates import forwarder_template
+
+    return forwarder_template()
+
+
+def true_label_traces(truth: "GroundTruth") -> list[tuple[str, ...]]:
+    """Per-(packet, node) true label sequences, sorted and deduplicated.
+
+    The lossless analog of what :mod:`repro.learn.traces` extracts from
+    collected logs — the oracle training corpus for learner self-tests.
+    """
+    per: dict[tuple[PacketKey, int], list[str]] = {}
+    for packet in sorted(truth.events):
+        for event in truth.events[packet]:
+            per.setdefault((packet, event.node), []).append(event.etype)
+    return sorted({tuple(labels) for labels in per.values()})

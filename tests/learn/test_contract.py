@@ -1,0 +1,148 @@
+"""The learn → check → analyze closed loop, end to end.
+
+One simulated deployment feeds the whole contract: a near-lossless corpus
+trains the model, ``refill check`` accepts the result (and rejects a
+tampered one), ``refill analyze`` reconstructs a *held-out* lossy corpus
+with it, and the reconstruction scores ≥ 0.9 cause accuracy against ground
+truth — the learned model has to be about as good as the hand-written
+template it replaces.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.accuracy import score_run
+from repro.analysis.pipeline import default_loss_spec, evaluate, run_simulation
+from repro.cli import main
+from repro.events.store import StoreMetadata, save_store
+from repro.learn import learn_from_logs
+from repro.learn.evaluate import evaluate_spec, graph_similarity
+from repro.learn.spec import load_learned_spec, save_learned_spec
+from repro.lognet.collector import collect_logs
+from repro.lognet.loss import LogLossSpec
+from repro.simnet.scenarios import small_network
+from repro.simnet.truth import ground_truth_template
+
+
+@pytest.fixture(scope="module")
+def sim():
+    # cached in the pipeline's _SIM_CACHE, shared with the accuracy tests
+    return run_simulation(small_network(n_nodes=25, minutes=30.0))
+
+
+@pytest.fixture(scope="module")
+def training_logs(sim):
+    return collect_logs(
+        sim.true_logs,
+        LogLossSpec.lossless(),
+        11,
+        perfect_clocks=frozenset({sim.base_station_node}),
+    )
+
+
+@pytest.fixture(scope="module")
+def spec(sim, training_logs):
+    return learn_from_logs(
+        training_logs,
+        sink=sim.sink,
+        base_station=sim.base_station_node,
+        name="ctp-learned",
+    )
+
+
+@pytest.fixture(scope="module")
+def store_dir(tmp_path_factory, sim, training_logs):
+    out = tmp_path_factory.mktemp("learn-contract") / "store"
+    metadata = StoreMetadata(
+        sink=sim.sink,
+        base_station=sim.base_station_node,
+        gen_interval=sim.params.gen_interval,
+        outages=sim.params.base_station.outages,
+    )
+    save_store(out, training_logs, metadata)
+    return out
+
+
+class TestLearnCheckContract:
+    def test_learned_spec_passes_check(self, spec, tmp_path):
+        path = tmp_path / "learned.json"
+        save_learned_spec(spec, path)
+        assert main(["check", "--spec", str(path), "-q"]) == 0
+
+    def test_tampered_spec_fails_check(self, spec, tmp_path):
+        data = json.loads(spec.to_json_str())
+        data["prereqs"][0]["state"] = "NO_SUCH_STATE"
+        path = tmp_path / "tampered.json"
+        path.write_text(json.dumps(data))
+        assert main(["check", "--spec", str(path), "-q"]) == 1
+
+    def test_cli_learn_is_byte_deterministic(self, store_dir, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["learn", str(store_dir), "--out", str(a), "-q"]) == 0
+        assert main(["learn", str(store_dir), "--out", str(b), "-q"]) == 0
+        assert a.read_bytes() == b.read_bytes()
+        # and the CLI output round-trips through the library loader
+        loaded = load_learned_spec(a)
+        assert loaded.to_json_str() == a.read_text()
+
+
+class TestAnalyzeWithLearnedSpec:
+    def test_analyze_reconstructs_flows(self, spec, store_dir, tmp_path, capsys):
+        path = tmp_path / "learned.json"
+        save_learned_spec(spec, path)
+        flows_out = tmp_path / "flows.json"
+        code = main([
+            "analyze", "--logs", str(store_dir), "--spec", str(path),
+            "--flows-out", str(flows_out), "-q",
+        ])
+        assert code == 0
+        assert "packets reconstructed" in capsys.readouterr().out
+        assert json.loads(flows_out.read_text())  # non-empty flow map
+
+
+class TestHeldOutAccuracy:
+    def test_cause_accuracy_above_floor_at_mild_loss(self, sim, spec):
+        # held-out: a different collection seed and actual log loss
+        evaluation = evaluate_spec(
+            spec,
+            small_network(n_nodes=25, minutes=30.0),
+            heldout_seed=777,
+            loss_factor=0.5,
+            sim=sim,
+        )
+        summary = evaluation.summary()
+        assert summary["coverage"] > 0.95
+        assert summary["cause_accuracy"] >= 0.9
+        assert summary["event_precision"] > 0.85
+        # the learned machine invents no behavior the protocol lacks
+        assert summary["graph_precision"] == 1.0
+
+    def test_learned_close_to_handwritten_template(self, sim, spec):
+        # same held-out corpus, hand-written vs learned template
+        params = small_network(n_nodes=25, minutes=30.0)
+        loss = default_loss_spec(sim).scaled(0.5)
+        learned = evaluate(
+            params, collection_seed=777, loss_spec=loss, sim=sim,
+            template=spec.realize_template(),
+        )
+        handwritten = evaluate(
+            params, collection_seed=777, loss_spec=loss, sim=sim,
+        )
+        score_l = score_run(
+            learned.flows, learned.reports, learned.collected_logs,
+            sim.truth, sink=sim.sink,
+        )
+        score_h = score_run(
+            handwritten.flows, handwritten.reports, handwritten.collected_logs,
+            sim.truth, sink=sim.sink,
+        )
+        assert score_l.cause_accuracy >= score_h.cause_accuracy - 0.05
+
+    def test_similarity_is_an_overlap_measure(self, spec):
+        reference = ground_truth_template().graph
+        sim_self = graph_similarity(reference, reference, depth=4)
+        assert sim_self.precision == sim_self.recall == 1.0
+        sim_learned = graph_similarity(spec.graph(), reference, depth=4)
+        assert 0.0 <= sim_learned.precision <= 1.0
+        assert 0.0 <= sim_learned.recall <= 1.0

@@ -1,0 +1,32 @@
+"""docs/LEARNING.md stays honest: spec fields documented, none stale."""
+
+import pathlib
+import re
+
+from repro.learn.spec import SPEC_FIELDS
+
+DOC = pathlib.Path(__file__).resolve().parents[2] / "docs" / "LEARNING.md"
+
+
+class TestSpecFieldCatalogue:
+    def test_every_spec_field_is_documented(self):
+        doc = DOC.read_text()
+        missing = [f for f in SPEC_FIELDS if f"#### {f}" not in doc]
+        assert not missing, f"undocumented spec fields: {missing}"
+
+    def test_no_stale_field_headings(self):
+        doc = DOC.read_text()
+        documented = re.findall(r"^#### (\w+)\s*$", doc, flags=re.M)
+        stale = [f for f in documented if f not in SPEC_FIELDS]
+        assert not stale, f"doc headings for retired spec fields: {stale}"
+
+    def test_headings_match_serialized_output(self):
+        from tests.learn.test_spec import sample_spec
+
+        data = sample_spec().to_json()
+        assert tuple(sorted(data)) == SPEC_FIELDS
+
+    def test_doc_names_the_cli_loop(self):
+        doc = DOC.read_text()
+        for needle in ("refill learn", "check --spec", "analyze --logs"):
+            assert needle in doc

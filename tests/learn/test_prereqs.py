@@ -1,0 +1,137 @@
+"""Unit tests for the prerequisite miner (direction, support, states)."""
+
+from repro.events.event import Event
+from repro.events.log import NodeLog
+from repro.events.packet import PacketKey
+from repro.learn.prereqs import mine_prereqs
+from repro.learn.traces import extract_traces
+
+
+def _extend(log, events):
+    for event in events:
+        log.append(event)
+
+
+def _delivered(logs, seq, *, drop_receiver_log=False):
+    """Append one delivered 1 → 2 → 3(sink) → 4(bs) episode to ``logs``."""
+    p = PacketKey(1, seq)
+    _extend(logs.setdefault(1, NodeLog(1)), [
+        Event.make("gen", 1, packet=p),
+        Event.make("trans", 1, src=1, dst=2, packet=p),
+        Event.make("ack_recvd", 1, src=1, dst=2, packet=p),
+    ])
+    if not drop_receiver_log:
+        _extend(logs.setdefault(2, NodeLog(2)), [
+            Event.make("recv", 2, src=1, dst=2, packet=p),
+            Event.make("trans", 2, src=2, dst=3, packet=p),
+            Event.make("ack_recvd", 2, src=2, dst=3, packet=p),
+        ])
+    _extend(logs.setdefault(3, NodeLog(3)), [
+        Event.make("recv", 3, src=2, dst=3, packet=p),
+        Event.make("trans", 3, src=3, dst=4, packet=p),
+    ])
+    _extend(logs.setdefault(4, NodeLog(4)), [
+        Event.make("recv", 4, src=3, dst=4, packet=p),
+    ])
+    return logs
+
+
+def _timeout(logs, seq):
+    """A 1 → 2 attempt whose receiver never saw the packet."""
+    p = PacketKey(1, 100 + seq)
+    _extend(logs.setdefault(1, NodeLog(1)), [
+        Event.make("gen", 1, packet=p),
+        Event.make("trans", 1, src=1, dst=2, packet=p),
+        Event.make("timeout", 1, src=1, dst=2, packet=p),
+    ])
+    return logs
+
+
+def _mine(logs, **kwargs):
+    corpus = extract_traces(logs, sink=3, base_station=4)
+    graph, initials = corpus.mine(k=2)
+    return corpus, graph, mine_prereqs(corpus, graph, initials, **kwargs)
+
+
+class TestDirection:
+    def test_recv_requires_upstream_sender_state(self):
+        logs = {}
+        for seq in range(4):
+            _delivered(logs, seq)
+        _corpus, graph, rules = _mine(logs)
+        recv = next(r for r in rules if r.label == "recv")
+        assert recv.peer == "src"
+        assert recv.support == 1.0
+        # the prerequisite state is one the sender visits after sending
+        assert graph.has_state(recv.state)
+
+    def test_ack_is_a_confirmation_and_requires_receiver(self):
+        logs = {}
+        for seq in range(4):
+            _delivered(logs, seq)
+        _corpus, _graph, rules = _mine(logs)
+        ack = next(r for r in rules if r.label == "ack_recvd")
+        assert ack.peer == "dst"
+        assert ack.support == 1.0
+
+    def test_trans_gets_no_rule(self):
+        # a first trans is not preceded by a same-pair event, so it is not
+        # a confirmation and must not yield a (causally reversed) DST rule
+        logs = {}
+        for seq in range(4):
+            _delivered(logs, seq)
+        _corpus, _graph, rules = _mine(logs)
+        assert not any(r.label == "trans" for r in rules)
+
+
+class TestSupport:
+    def test_timeout_rule_dies_on_low_support(self):
+        # timeouts are confirmations (preceded by their trans) but their
+        # receiver usually logged nothing: support collapses below 0.9
+        logs = {}
+        for seq in range(4):
+            _delivered(logs, seq)
+        for seq in range(4):
+            _timeout(logs, seq)
+        _corpus, _graph, rules = _mine(logs)
+        assert not any(r.label == "timeout" for r in rules)
+
+    def test_missing_peer_log_is_not_counted_against(self):
+        # node 2's log absent entirely: recv occurrences at node 3 citing
+        # src=2 are skipped (absence of evidence), not counted unsupported
+        logs = {}
+        for seq in range(4):
+            _delivered(logs, seq, drop_receiver_log=True)
+        corpus, _graph, rules = _mine(logs)
+        assert 2 not in corpus.log_nodes
+        recv = next((r for r in rules if r.label == "recv"), None)
+        if recv is not None:  # surviving observations are all supported
+            assert recv.support == 1.0
+
+    def test_min_observations_floor(self):
+        logs = _delivered({}, 0)
+        _corpus, _graph, rules = _mine(logs, min_observations=100)
+        assert rules == []
+
+    def test_delivery_hop_excluded_from_statistics(self):
+        # the base station's recv must not contribute occurrences: its
+        # sender is the sink whose serial trans is unloggable in the field
+        logs = {}
+        for seq in range(4):
+            _delivered(logs, seq)
+        corpus, graph, _rules = _mine(logs)
+        from repro.learn.traces import NodeTrace  # noqa: F401  (doc import)
+
+        bs_traces = [t for t in corpus.traces if t.role == "delivery"]
+        assert bs_traces, "fixture must exercise the delivery role"
+
+
+class TestDeterminism:
+    def test_rules_sorted_and_stable(self):
+        logs = {}
+        for seq in range(4):
+            _delivered(logs, seq)
+        _c1, _g1, rules1 = _mine(logs)
+        _c2, _g2, rules2 = _mine(logs)
+        assert rules1 == rules2
+        assert [r.label for r in rules1] == sorted(r.label for r in rules1)

@@ -1,0 +1,87 @@
+"""Property tests for the learning pipeline (Hypothesis).
+
+Three invariants the subsystem advertises:
+
+- every training trace stays accepted by the mined machine, for any corpus
+  and any k (k-tails merging only grows the language);
+- mining is order-insensitive: shuffling or duplicating the corpus yields
+  an identical graph (canonicalization before mining);
+- spec serialization is byte-stable through a JSON round trip.
+"""
+
+import json
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learn.ktails import accepts, mine_fsm
+from repro.learn.prereqs import MinedRule
+from repro.learn.spec import LearnedSpec, build_spec
+from repro.learn.traces import TraceCorpus, extract_traces
+from tests.strategies import label_traces
+
+
+class TestMiningProperties:
+    @given(label_traces(), st.integers(min_value=0, max_value=3))
+    @settings(max_examples=60)
+    def test_training_traces_stay_accepted(self, traces, k):
+        graph = mine_fsm(traces, k=k)
+        for trace in traces:
+            assert accepts(graph, trace)
+
+    @given(label_traces(min_traces=2), st.integers(min_value=1, max_value=3),
+           st.randoms(use_true_random=False))
+    @settings(max_examples=60)
+    def test_shuffle_and_duplication_invariance(self, traces, k, rng):
+        base = mine_fsm(traces, k=k)
+        shuffled = list(traces)
+        rng.shuffle(shuffled)
+        shuffled.append(shuffled[0])  # duplicates must not matter either
+        again = mine_fsm(shuffled, k=k)
+        assert base.states == again.states
+        assert base.transitions == again.transitions
+        assert base.initial == again.initial
+
+    @given(label_traces(), st.integers(min_value=0, max_value=3))
+    @settings(max_examples=40)
+    def test_mined_graph_is_deterministic(self, traces, k):
+        graph = mine_fsm(traces, k=k)
+        for state in graph.states:
+            seen = set()
+            for t in graph.outgoing(state):
+                assert t.event not in seen, "same-label edge fan survived"
+                seen.add(t.event)
+
+
+def _spec_from_traces(traces) -> LearnedSpec:
+    """A minimal spec built straight from label sequences (no logs)."""
+    from collections import Counter
+
+    corpus = TraceCorpus(
+        traces=[],
+        support=Counter({tuple(t): 1 for t in traces}),
+        role_sequences={"forwarder": {tuple(t) for t in traces}},
+    )
+    graph, initials = corpus.mine(k=2)
+    return build_spec(
+        corpus, graph, (), initials=initials, name="prop", k=2, min_support=0.9
+    )
+
+
+class TestSpecProperties:
+    @given(label_traces())
+    @settings(max_examples=40)
+    def test_json_round_trip_is_byte_identical(self, traces):
+        spec = _spec_from_traces(traces)
+        text = spec.to_json_str()
+        assert LearnedSpec.from_json(json.loads(text)).to_json_str() == text
+
+    @given(label_traces(min_traces=2), st.randoms(use_true_random=False))
+    @settings(max_examples=30)
+    def test_spec_bytes_are_order_insensitive(self, traces, rng):
+        a = _spec_from_traces(traces)
+        shuffled = list(traces)
+        rng.shuffle(shuffled)
+        b = _spec_from_traces(shuffled)
+        assert a.to_json_str() == b.to_json_str()

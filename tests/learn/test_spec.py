@@ -1,0 +1,161 @@
+"""Unit tests for LearnedSpec serialization and realization."""
+
+import json
+
+import pytest
+
+from repro.events.packet import PacketKey
+from repro.fsm.prerequisites import Peer
+from repro.learn.prereqs import MinedRule
+from repro.learn.spec import (
+    SPEC_FORMAT,
+    LearnedSpec,
+    load_learned_spec,
+    save_learned_spec,
+)
+
+
+def sample_spec(**overrides) -> LearnedSpec:
+    fields = dict(
+        name="learned",
+        k=2,
+        min_support=0.9,
+        initial="q0",
+        states=("q0", "q1", "q2", "q3"),
+        transitions=(
+            ("q0", "gen", "q1"),
+            ("q0", "recv", "q1"),
+            ("q1", "trans", "q2"),
+            ("q2", "ack_recvd", "q3"),
+            ("q2", "trans", "q2"),
+        ),
+        initials={},
+        sender_side=("ack_recvd", "trans"),
+        receiver_side=("recv",),
+        local_labels=("gen",),
+        origin_only=("gen",),
+        aux_labels=("parent_change",),
+        prereqs=(
+            MinedRule("ack_recvd", "dst", "q1", (), 10, 10),
+            MinedRule("recv", "src", "q2", ("q3",), 20, 21),
+        ),
+        sink=3,
+        base_station=4,
+        stats={"packets": 21, "traces": 60},
+    )
+    fields.update(overrides)
+    return LearnedSpec(**fields)
+
+
+class _Ctx:
+    def upstream(self, node):
+        return 7
+
+    def downstream(self, node):
+        return 9
+
+
+class TestSerialization:
+    def test_round_trip_is_byte_identical(self):
+        spec = sample_spec()
+        text = spec.to_json_str()
+        again = LearnedSpec.from_json(json.loads(text))
+        assert again == spec
+        assert again.to_json_str() == text
+
+    def test_canonical_bytes(self):
+        text = sample_spec().to_json_str()
+        assert text.endswith("\n")
+        assert ": " not in text  # minimal separators
+        data = json.loads(text)
+        assert data["format"] == SPEC_FORMAT
+
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "spec.json"
+        spec = sample_spec()
+        save_learned_spec(spec, path)
+        assert load_learned_spec(path) == spec
+
+    def test_foreign_format_rejected(self):
+        with pytest.raises(ValueError, match="not a learned spec"):
+            LearnedSpec.from_json({"format": "something-else"})
+
+
+class TestRealization:
+    def test_graph_matches_spec(self):
+        graph = sample_spec().graph()
+        assert graph.initial == "q0"
+        assert set(graph.states) == {"q0", "q1", "q2", "q3"}
+        assert len(graph.transitions) == 5
+
+    def test_prereq_rules_realized(self):
+        template = sample_spec().realize_template()
+        (recv_rule,) = template.prereq_rules("recv")
+        assert recv_rule.peer is Peer.SRC
+        assert recv_rule.state == "q2"
+        assert recv_rule.alt_states == ("q3",)
+        (ack_rule,) = template.prereq_rules("ack_recvd")
+        assert ack_rule.peer is Peer.DST
+
+    def test_origin_only_admissibility(self):
+        template = sample_spec().realize_template()
+        packet = PacketKey(5, 1)
+        gen_edge = next(
+            t for t in template.graph.transitions if t.event == "gen"
+        )
+        assert template.edge_admissible(gen_edge, 5, packet, _Ctx())
+        assert not template.edge_admissible(gen_edge, 6, packet, _Ctx())
+        recv_edge = next(
+            t for t in template.graph.transitions if t.event == "recv"
+        )
+        assert template.edge_admissible(recv_edge, 6, packet, _Ctx())
+
+    def test_side_based_realizer(self):
+        template = sample_spec().realize_template()
+        packet = PacketKey(5, 1)
+        recv = template.realize_event("recv", 2, packet, _Ctx())
+        assert (recv.src, recv.dst) == (7, 2)
+        trans = template.realize_event("trans", 2, packet, _Ctx())
+        assert (trans.src, trans.dst) == (2, 9)
+        gen = template.realize_event("gen", 2, packet, _Ctx())
+        assert (gen.src, gen.dst) == (None, None)
+
+    def test_role_initials(self):
+        spec = sample_spec(initials={"origin": "q1"})
+        template = spec.realize_template()
+        packet = PacketKey(5, 1)
+        assert template.initial_state(5, packet) == "q1"  # origin
+        assert template.initial_state(6, packet) == "q0"  # forwarder
+        assert template.initial_state(3, packet) == "q0"  # sink (no entry)
+
+    def test_deployment_spec_wraps_single_role(self):
+        dspec = sample_spec().deployment_spec()
+        assert set(dspec.roles) == {"learned"}
+        assert "parent_change" in dspec.aux_labels
+
+
+class TestCheckSpecIntegration:
+    def test_load_spec_accepts_json_path(self, tmp_path):
+        from repro.check.specs import load_spec
+
+        path = tmp_path / "learned.json"
+        save_learned_spec(sample_spec(), path)
+        dspec = load_spec(str(path))
+        assert set(dspec.roles) == {"learned"}
+
+    def test_clean_spec_has_no_model_errors(self, tmp_path):
+        from repro.check.runner import model_errors, run_check
+
+        report = run_check(sample_spec().deployment_spec())
+        assert model_errors(report) == []
+
+    def test_tampered_prereq_state_trips_xf_error(self):
+        from repro.check.runner import model_errors, run_check
+
+        bad = sample_spec(
+            prereqs=(MinedRule("recv", "src", "NO_SUCH_STATE", (), 5, 5),)
+        )
+        report = run_check(bad.deployment_spec())
+        errors = model_errors(report)
+        assert errors, "dangling prerequisite state must be a model error"
+        assert any(f.code.startswith("XF") for f in errors)

@@ -258,3 +258,30 @@ def garbled_lines(draw) -> str:
         else:  # separator loss
             line = line.replace("=", " ")
     return line
+
+
+#: A small protocol-flavored label vocabulary for learner property tests —
+#: overlapping prefixes and repeats, the shapes k-tails has to fold.
+TRACE_LABELS = ("gen", "recv", "trans", "ack_recvd", "dup", "overflow", "timeout")
+
+
+def label_traces(
+    *,
+    alphabet=TRACE_LABELS,
+    min_traces: int = 1,
+    max_traces: int = 12,
+    max_len: int = 8,
+):
+    """Corpora of non-empty label sequences for ``repro.learn`` properties.
+
+    Draws lists of label tuples over a bounded alphabet; duplicates are
+    deliberately allowed (support counting and the dedup-before-mining
+    canonicalization both need them).
+    """
+    return st.lists(
+        st.lists(
+            st.sampled_from(alphabet), min_size=1, max_size=max_len
+        ).map(tuple),
+        min_size=min_traces,
+        max_size=max_traces,
+    )
